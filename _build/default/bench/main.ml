@@ -1,0 +1,306 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per paper
+   table/figure, timing the computational kernel that experiment
+   stresses (transient simulation, LSE/MAP extraction, LUT build and
+   lookup, per-seed extraction, KDE), plus ablation kernels.
+
+   Part 2 — regeneration: re-runs every table and figure of the paper
+   at the configured scale (SLC_SCALE, default 1.0) and prints the
+   same rows/series the paper reports, including the iso-accuracy
+   speedup factors. *)
+
+open Bechamel
+open Slc_core
+module Tech = Slc_device.Tech
+module Cells = Slc_cell.Cells
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Equivalent = Slc_cell.Equivalent
+module Process = Slc_device.Process
+
+let std = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures, prepared once so the benchmark loops measure the
+   kernels and not the setup. *)
+
+let tech14 = Tech.n14
+
+let tech28 = Tech.n28
+
+let nor2_fall = Arc.find Cells.nor2 ~pin:"A" ~out_dir:Arc.Fall
+
+let inv_fall = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall
+
+let mid_point = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 }
+
+let tiny_prior =
+  lazy
+    (Prior.learn_pair ~cells:[ Cells.inv ] ~grid_levels:[| 2; 2; 2 |]
+       ~historical:[ Tech.n20; Tech.n45 ] ())
+
+let dense_obs =
+  lazy
+    (let points = Input_space.fitting_points tech14 ~k:48 in
+     let eq = Equivalent.of_arc tech14 nor2_fall in
+     Array.map
+       (fun (p : Harness.point) ->
+         let m = Harness.simulate tech14 nor2_fall p in
+         {
+           Extract_lse.point = p;
+           ieff = Equivalent.ieff eq ~vdd:p.Harness.vdd;
+           value = m.Harness.td;
+         })
+       points)
+
+let small_obs = lazy (Array.sub (Lazy.force dense_obs) 0 2)
+
+let lut_table = lazy (Slc_cell.Nldm.build tech14 nor2_fall ~levels:[| 3; 3; 2 |])
+
+let kde_fixture =
+  lazy
+    (let rng = Slc_prob.Rng.create 5 in
+     let xs =
+       Array.init 200 (fun _ ->
+           Slc_prob.Dist.gaussian rng ~mu:2e-11 ~sigma:2e-12)
+     in
+     Slc_prob.Kde.fit xs)
+
+let seed_fixture =
+  lazy
+    (let rng = Slc_prob.Rng.create 11 in
+     Process.sample rng tech28 0)
+
+(* ------------------------------------------------------------------ *)
+(* One benchmark per table/figure. *)
+
+let bench_table1 =
+  (* Table I kernel: dense LSE extraction of the 4 parameters. *)
+  Test.make ~name:"table1/lse-extraction-48pts"
+    (Staged.stage (fun () -> Extract_lse.fit (Lazy.force dense_obs)))
+
+let bench_fig2 =
+  (* Fig 2 kernel: one full transient simulation of the NOR2 arc. *)
+  Test.make ~name:"fig2/transient-simulation"
+    (Staged.stage (fun () -> Harness.simulate tech14 nor2_fall mid_point))
+
+let bench_fig3 =
+  (* Fig 3 kernel: Ieff evaluation of the equivalent inverter. *)
+  Test.make ~name:"fig3/equivalent-ieff"
+    (Staged.stage (fun () ->
+         let eq = Equivalent.of_arc tech14 nor2_fall in
+         Equivalent.ieff eq ~vdd:0.8))
+
+let bench_fig5 =
+  Test.make ~name:"fig5/validation-set-1000"
+    (Staged.stage (fun () -> Input_space.validation_set ~n:1000 ~seed:1 tech14))
+
+let bench_fig6_map =
+  (* Fig 6 kernel: MAP extraction from k = 2 observations. *)
+  Test.make ~name:"fig6/map-fit-k2"
+    (Staged.stage (fun () ->
+         Map_fit.fit_params
+           ~prior:(Lazy.force tiny_prior).Prior.delay
+           ~tech:tech14 (Lazy.force small_obs)))
+
+let bench_fig6_lut =
+  Test.make ~name:"fig6/lut-lookup"
+    (Staged.stage (fun () ->
+         Slc_cell.Nldm.lookup_td (Lazy.force lut_table) mid_point))
+
+let bench_fig78 =
+  (* Fig 7/8 kernel: per-seed simulate-and-extract at k = 2. *)
+  Test.make ~name:"fig78/per-seed-extraction"
+    (Staged.stage (fun () ->
+         Char_flow.train_bayes
+           ~seed:(Lazy.force seed_fixture)
+           ~prior:(Lazy.force tiny_prior) tech28 inv_fall ~k:2))
+
+let bench_fig9 =
+  Test.make ~name:"fig9/kde-evaluate-80"
+    (Staged.stage (fun () ->
+         let k = Lazy.force kde_fixture in
+         Slc_prob.Kde.evaluate k (Slc_prob.Kde.grid k 80)))
+
+let bench_ablation_beta =
+  Test.make ~name:"ablation/beta-lookup"
+    (Staged.stage (fun () ->
+         Prior.beta_at (Lazy.force tiny_prior).Prior.delay tech14 mid_point))
+
+let ssta_chain =
+  lazy
+    (Slc_cell.Chain.make tech14
+       [
+         Slc_cell.Chain.stage Cells.inv "A";
+         Slc_cell.Chain.stage Cells.nand2 "A";
+         Slc_cell.Chain.stage Cells.nor2 "B";
+       ])
+
+let bench_ssta =
+  (* SSTA kernel: propagate a 3-stage path through the compact models. *)
+  Test.make ~name:"ssta/path-propagation"
+    (Staged.stage (fun () ->
+         let oracle =
+           Slc_ssta.Oracle.bayes_bank ~prior:(Lazy.force tiny_prior) tech14
+             ~k:2
+         in
+         Slc_ssta.Path.propagate oracle (Lazy.force ssta_chain) ~sin:5e-12
+           ~vdd:0.8 ~in_rises:true))
+
+let bench_ablation_chain =
+  Test.make ~name:"ablation/belief-chain"
+    (Staged.stage (fun () ->
+         Belief.chain_prior (Lazy.force tiny_prior).Prior.delay
+           ~ordered:[ "n45"; "n20" ]))
+
+let all_benches =
+  Test.make_grouped ~name:"slc"
+    [
+      bench_table1; bench_fig2; bench_fig3; bench_fig5; bench_fig6_map;
+      bench_fig6_lut; bench_fig78; bench_fig9; bench_ablation_beta;
+      bench_ablation_chain; bench_ssta;
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances all_benches in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.fprintf std "== Micro-benchmarks (one per table/figure) ==@.";
+  Format.fprintf std "%-34s %14s@." "kernel" "time per run";
+  let rows = ref [] in
+  Hashtbl.iter (fun name v -> rows := (name, v) :: !rows) results;
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ ns ] ->
+        let pretty =
+          if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+          else Printf.sprintf "%8.0f ns" ns
+        in
+        Format.fprintf std "%-34s %14s@." name pretty
+      | _ -> Format.fprintf std "%-34s %14s@." name "n/a")
+    (List.sort (fun (a, _) (b, _) -> compare a b) !rows);
+  Format.fprintf std "@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure/table regeneration. *)
+
+let section title =
+  Format.fprintf std "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let regenerate () =
+  let config = Config.default () in
+  Format.fprintf std
+    "Regenerating all paper tables/figures at scale %.2f (SLC_SCALE to change)@."
+    config.Config.scale;
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    Harness.reset_sim_count ();
+    f ();
+    Format.fprintf std "[%s: %d simulator runs, %.1f s]@." name
+      (Harness.sim_count ())
+      (Unix.gettimeofday () -. t0)
+  in
+  section "Table I";
+  timed "table1" (fun () -> Exp_model.print_table1 std (Exp_model.table1 ()));
+  section "Fig 2";
+  timed "fig2" (fun () ->
+      Exp_model.print_invariance std
+        ~title:"T*Ieff/(Vdd+V') vs Vdd (NOR2, n14)" (Exp_model.fig2 ()));
+  section "Fig 3";
+  timed "fig3" (fun () ->
+      Exp_model.print_invariance std
+        ~title:"Td/(Cload+Cpar+a*Sin) vs (Cload,Sin) (NOR2, n14)"
+        (Exp_model.fig3 ()));
+  section "Fig 5";
+  Exp_nominal.print_fig5 std (Exp_nominal.fig5 Tech.n28);
+  section "Fig 6";
+  timed "fig6" (fun () ->
+      Exp_nominal.print_fig6 std (Exp_nominal.fig6 ~config ()));
+  section "Figs 7/8";
+  timed "fig78" (fun () ->
+      Exp_statistical.print_fig78 std (Exp_statistical.fig78 ~config ()));
+  section "Fig 9";
+  timed "fig9" (fun () ->
+      Exp_statistical.print_fig9 std (Exp_statistical.fig9 ~config ()));
+  section "Ablations";
+  timed "ablations" (fun () ->
+      Exp_ablation.print_rows std ~title:"learned vs constant beta(xi)"
+        (Exp_ablation.ablation_beta ~config ());
+      Exp_ablation.print_rows std ~title:"historical-library selection"
+        (Exp_ablation.ablation_history ~config ());
+      Exp_ablation.print_rows std ~title:"pooled vs belief-chain prior"
+        (Exp_ablation.ablation_chain ~config ());
+      Exp_ablation.print_rows std ~title:"curated vs random fitting design"
+        (Exp_ablation.ablation_design ~config ());
+      Exp_ablation.print_complexity std
+        (Exp_ablation.ablation_model_complexity ());
+      Exp_ablation.print_sampling std (Exp_ablation.ablation_sampling ()));
+  section "Extension: multi-Vt transfer";
+  timed "vt-transfer" (fun () ->
+      Exp_extension.print_result std (Exp_extension.vt_transfer ~config ()));
+  section "Extension: sequential (DFF) setup characterization";
+  timed "dff-setup" (fun () ->
+      let module Seq = Slc_cell.Seq in
+      List.iter
+        (fun vdd ->
+          let rise = Seq.setup_time ~resolution:2e-13 tech14 ~vdd ~data_rises:true in
+          let fall = Seq.setup_time ~resolution:2e-13 tech14 ~vdd ~data_rises:false in
+          let hold = Seq.hold_time ~resolution:2e-13 tech14 ~vdd ~data_rises:true in
+          Format.fprintf std
+            "vdd=%.2fV: setup(rise)=%.2fps  setup(fall)=%.2fps  hold(rise)=%.2fps@."
+            vdd (rise *. 1e12) (fall *. 1e12) (hold *. 1e12))
+        [ 0.8; 0.7 ]);
+  section "Extension: ring-oscillator cross-check";
+  timed "ring" (fun () ->
+      let module Ring = Slc_cell.Ring in
+      List.iter
+        (fun vdd ->
+          let r = Ring.simulate ~stages:5 tech14 ~vdd in
+          Format.fprintf std
+            "vdd=%.2fV: f=%.2f GHz, stage delay %.2f ps (%d cycles)@." vdd
+            (r.Ring.frequency /. 1e9)
+            (r.Ring.stage_delay *. 1e12)
+            r.Ring.cycles_measured)
+        [ 0.8; 0.7 ]);
+  section "Extension: SSTA consumer validation";
+  timed "ssta" (fun () ->
+      let chain =
+        Slc_cell.Chain.make tech14
+          [
+            Slc_cell.Chain.stage Cells.inv "A";
+            Slc_cell.Chain.stage ~wire_cap:1e-15 Cells.nand2 "A";
+            Slc_cell.Chain.stage Cells.nor2 "B";
+            Slc_cell.Chain.stage Cells.inv "A";
+            Slc_cell.Chain.stage Cells.aoi21 "A";
+          ]
+      in
+      let truth =
+        Slc_cell.Chain.simulate chain ~sin:5e-12 ~vdd:0.8 ~in_rises:true
+      in
+      let prior = Prior.learn_pair ~historical:(Tech.historical_for tech14) () in
+      let oracle = Slc_ssta.Oracle.bayes_bank ~prior tech14 ~k:3 in
+      let t =
+        Slc_ssta.Path.propagate oracle chain ~sin:5e-12 ~vdd:0.8 ~in_rises:true
+      in
+      Format.fprintf std
+        "5-stage path: transistor-level %.2f ps, model-based %.2f ps (%+.1f%%)@."
+        (truth.Slc_cell.Chain.total_delay *. 1e12)
+        (t.Slc_ssta.Path.total_delay *. 1e12)
+        (100.0
+        *. (t.Slc_ssta.Path.total_delay -. truth.Slc_cell.Chain.total_delay)
+        /. truth.Slc_cell.Chain.total_delay))
+
+let () =
+  let skip_bench = Array.exists (fun a -> a = "--no-bench") Sys.argv in
+  let skip_figs = Array.exists (fun a -> a = "--no-figs") Sys.argv in
+  if not skip_bench then run_benchmarks ();
+  if not skip_figs then regenerate ()

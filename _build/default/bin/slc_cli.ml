@@ -1,0 +1,367 @@
+(* slc-cli: command-line driver for the statistical library
+   characterization experiments.
+
+   Each subcommand regenerates one of the paper's tables or figures
+   (as plain-text series) at a configurable scale. *)
+
+open Cmdliner
+open Slc_core
+module Tech = Slc_device.Tech
+module Cells = Slc_cell.Cells
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+
+let std = Format.std_formatter
+
+let scale_arg =
+  let doc = "Experiment scale (1.0 = defaults; also via SLC_SCALE)." in
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~doc)
+
+let tech_arg default =
+  let doc = "Technology node (n14, n20, n28, n32, n40, n45)." in
+  Arg.(value & opt string default & info [ "t"; "tech" ] ~doc)
+
+let tech_of_name name =
+  match Tech.by_name name with
+  | t -> t
+  | exception Not_found ->
+    Printf.eprintf "unknown technology %S\n" name;
+    exit 2
+
+let config_of scale = Config.with_scale scale
+
+let with_timer f =
+  let t0 = Unix.gettimeofday () in
+  Harness.reset_sim_count ();
+  f ();
+  Format.fprintf std "[%d simulator runs, %.1f s]@."
+    (Harness.sim_count ())
+    (Unix.gettimeofday () -. t0)
+
+let table1_cmd =
+  let run () = with_timer (fun () ->
+      Exp_model.print_table1 std (Exp_model.table1 ()))
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Extracted model parameters (paper Table I)")
+    Term.(const run $ const ())
+
+let fig2_cmd =
+  let run tech = with_timer (fun () ->
+      let series = Exp_model.fig2 ~tech:(tech_of_name tech) () in
+      Exp_model.print_invariance std
+        ~title:"Fig 2: T*Ieff/(Vdd+V') constancy vs Vdd" series)
+  in
+  Cmd.v (Cmd.info "fig2" ~doc:"Vdd-invariance of the timing model (Fig 2)")
+    Term.(const run $ tech_arg "n14")
+
+let fig3_cmd =
+  let run tech = with_timer (fun () ->
+      let series = Exp_model.fig3 ~tech:(tech_of_name tech) () in
+      Exp_model.print_invariance std
+        ~title:"Fig 3: Td/(Cload+Cpar+a*Sin) constancy vs (Cload,Sin)" series)
+  in
+  Cmd.v (Cmd.info "fig3" ~doc:"(Cload,Sin)-invariance of the timing model (Fig 3)")
+    Term.(const run $ tech_arg "n14")
+
+let fig5_cmd =
+  let run tech =
+    Exp_nominal.print_fig5 std (Exp_nominal.fig5 (tech_of_name tech))
+  in
+  Cmd.v (Cmd.info "fig5" ~doc:"Validation input spread (Fig 5)")
+    Term.(const run $ tech_arg "n28")
+
+let fig6_cmd =
+  let run scale tech = with_timer (fun () ->
+      let r =
+        Exp_nominal.fig6 ~config:(config_of scale)
+          ~tech:(tech_of_name tech) ()
+      in
+      Exp_nominal.print_fig6 std r)
+  in
+  Cmd.v
+    (Cmd.info "fig6"
+       ~doc:"Nominal error vs training samples, Bayes/LSE/LUT (Fig 6)")
+    Term.(const run $ scale_arg $ tech_arg "n14")
+
+let fig78_cmd =
+  let run scale tech = with_timer (fun () ->
+      let r =
+        Exp_statistical.fig78 ~config:(config_of scale)
+          ~tech:(tech_of_name tech) ()
+      in
+      Exp_statistical.print_fig78 std r)
+  in
+  Cmd.v
+    (Cmd.info "fig78"
+       ~doc:"Statistical mean/sigma errors vs training samples (Figs 7-8)")
+    Term.(const run $ scale_arg $ tech_arg "n28")
+
+let fig9_cmd =
+  let run scale tech = with_timer (fun () ->
+      let r =
+        Exp_statistical.fig9 ~config:(config_of scale)
+          ~tech:(tech_of_name tech) ()
+      in
+      Exp_statistical.print_fig9 std r)
+  in
+  Cmd.v (Cmd.info "fig9" ~doc:"Delay pdf at a low-Vdd condition (Fig 9)")
+    Term.(const run $ scale_arg $ tech_arg "n28")
+
+let ablations_cmd =
+  let run scale = with_timer (fun () ->
+      let config = config_of scale in
+      Exp_ablation.print_rows std ~title:"Ablation: learned vs constant beta"
+        (Exp_ablation.ablation_beta ~config ());
+      Exp_ablation.print_rows std
+        ~title:"Ablation: historical-library selection"
+        (Exp_ablation.ablation_history ~config ());
+      Exp_ablation.print_rows std ~title:"Ablation: pooled vs chained prior"
+        (Exp_ablation.ablation_chain ~config ());
+      Exp_ablation.print_rows std
+        ~title:"Ablation: curated vs random fitting design"
+        (Exp_ablation.ablation_design ~config ());
+      Exp_ablation.print_complexity std
+        (Exp_ablation.ablation_model_complexity ());
+      Exp_extension.print_result std (Exp_extension.vt_transfer ~config ()))
+  in
+  Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablations")
+    Term.(const run $ scale_arg)
+
+let characterize_cmd =
+  let cell_arg =
+    Arg.(value & opt string "NAND2" & info [ "c"; "cell" ] ~doc:"Cell name.")
+  in
+  let pin_arg = Arg.(value & opt string "A" & info [ "p"; "pin" ] ~doc:"Input pin.") in
+  let k_arg =
+    Arg.(value & opt int 2 & info [ "k" ] ~doc:"Fitting simulations.")
+  in
+  let run tech cell pin k =
+    let tech = tech_of_name tech in
+    let cell =
+      match Cells.by_name cell with
+      | c -> c
+      | exception Not_found ->
+        Printf.eprintf "unknown cell %S\n" cell;
+        exit 2
+    in
+    let arc =
+      match Arc.find cell ~pin ~out_dir:Arc.Fall with
+      | a -> a
+      | exception Not_found ->
+        Printf.eprintf "no falling arc on pin %S\n" pin;
+        exit 2
+    in
+    with_timer (fun () ->
+        Format.fprintf std "Learning prior from %s...@."
+          (String.concat ","
+             (List.map (fun t -> t.Tech.name) (Tech.historical_for tech)));
+        let prior = Prior.learn_pair ~historical:(Tech.historical_for tech) () in
+        let p = Char_flow.train_bayes ~prior tech arc ~k in
+        let ds =
+          Char_flow.simulate_dataset tech arc
+            (Input_space.validation_set ~n:100 ~seed:1 tech)
+        in
+        let e = Char_flow.evaluate p ds in
+        Format.fprintf std
+          "%s in %s with k=%d: Td err %.2f%%, Sout err %.2f%%@."
+          (Arc.name arc) tech.Tech.name k
+          (100.0 *. e.Char_flow.td_err)
+          (100.0 *. e.Char_flow.sout_err))
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Characterize one arc with the Bayesian flow and report error")
+    Term.(const run $ tech_arg "n14" $ cell_arg $ pin_arg $ k_arg)
+
+let prior_cmd =
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Save the learned prior to FILE.")
+  in
+  let load_arg =
+    Arg.(value & opt (some string) None & info [ "load" ] ~doc:"Load a prior from FILE instead of learning.")
+  in
+  let run tech save load =
+    let tech = tech_of_name tech in
+    with_timer (fun () ->
+        let prior =
+          match load with
+          | Some path ->
+            Format.fprintf std "loading prior from %s@." path;
+            Prior_io.load path
+          | None ->
+            Format.fprintf std "learning prior from %s@."
+              (String.concat ","
+                 (List.map (fun t -> t.Tech.name) (Tech.historical_for tech)));
+            Prior.learn_pair ~historical:(Tech.historical_for tech) ()
+        in
+        Prior.pp_summary std prior.Prior.delay;
+        match save with
+        | Some path ->
+          Prior_io.save path prior;
+          Format.fprintf std "saved prior to %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "prior"
+       ~doc:"Learn (or load) the historical prior; optionally save it")
+    Term.(const run $ tech_arg "n14" $ save_arg $ load_arg)
+
+let corners_cmd =
+  let cell_arg =
+    Arg.(value & opt string "INV" & info [ "c"; "cell" ] ~doc:"Cell name.")
+  in
+  let run tech cell =
+    let tech0 = tech_of_name tech in
+    let cell =
+      match Cells.by_name cell with
+      | c -> c
+      | exception Not_found ->
+        Printf.eprintf "unknown cell %S\n" cell;
+        exit 2
+    in
+    let arc = Arc.find cell ~pin:"A" ~out_dir:Arc.Fall in
+    let module Process = Slc_device.Process in
+    let vdd_lo, vdd_hi = tech0.Tech.vdd_range in
+    let rows =
+      List.map
+        (fun (label, corner, celsius, vdd) ->
+          let t = Tech.at_temperature tech0 ~celsius in
+          let seed = Process.corner t corner in
+          let m =
+            Harness.simulate ~seed t arc
+              { Harness.sin = 5e-12; cload = 2e-15; vdd }
+          in
+          [
+            label;
+            Printf.sprintf "%.0fC" celsius;
+            Printf.sprintf "%.2fV" vdd;
+            Printf.sprintf "%.2fps" (m.Harness.td *. 1e12);
+            Printf.sprintf "%.2fps" (m.Harness.sout *. 1e12);
+            Printf.sprintf "%.3ffJ" (m.Harness.energy *. 1e15);
+          ])
+        [
+          ("SS (worst)", Process.Ss, 125.0, vdd_lo);
+          ("TT (typ)", Process.Tt, 25.0, 0.5 *. (vdd_lo +. vdd_hi));
+          ("FF (best)", Process.Ff, -40.0, vdd_hi);
+          ("SF", Process.Sf, 25.0, 0.5 *. (vdd_lo +. vdd_hi));
+          ("FS", Process.Fs, 25.0, 0.5 *. (vdd_lo +. vdd_hi));
+        ]
+    in
+    Format.fprintf std "PVT corners for %s in %s:@." (Arc.name arc)
+      tech0.Tech.name;
+    Report.table std
+      ~header:[ "corner"; "temp"; "vdd"; "delay"; "slew"; "energy" ]
+      rows
+  in
+  Cmd.v (Cmd.info "corners" ~doc:"PVT corner table for one cell")
+    Term.(const run $ tech_arg "n14" $ cell_arg)
+
+let liberty_cmd =
+  let out_arg =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let run tech out =
+    let tech = tech_of_name tech in
+    with_timer (fun () ->
+        let lib = Slc_cell.Library.characterize tech ~levels:[| 3; 3; 2 |] in
+        let text =
+          Slc_cell.Liberty.to_string ~vdd:tech.Tech.vdd_nom lib
+        in
+        if out = "-" then print_string text
+        else begin
+          Out_channel.with_open_text out (fun oc ->
+              Out_channel.output_string oc text);
+          Format.fprintf std "wrote %s (%d bytes)@." out (String.length text)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "liberty" ~doc:"Characterize a full library and emit .lib text")
+    Term.(const run $ tech_arg "n28" $ out_arg)
+
+let sta_cmd =
+  let netlist_arg =
+    Arg.(required & opt (some string) None & info [ "n"; "netlist" ] ~doc:"Structural Verilog file.")
+  in
+  let clock_arg =
+    Arg.(value & opt float 60e-12 & info [ "clock" ] ~doc:"Required time at the outputs, seconds.")
+  in
+  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Fitting sims per arc.") in
+  let prior_arg =
+    Arg.(value & opt (some string) None & info [ "prior" ] ~doc:"Load the prior from FILE (else learn it).")
+  in
+  let run tech netlist clock k prior_path =
+    let tech = tech_of_name tech in
+    let src = In_channel.with_open_text netlist In_channel.input_all in
+    let v =
+      match Slc_ssta.Verilog.parse src with
+      | v -> v
+      | exception Slc_ssta.Verilog.Parse_error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 2
+    in
+    with_timer (fun () ->
+        let dag, _, outputs =
+          Slc_ssta.Verilog.to_sdag v tech ~vdd:tech.Tech.vdd_nom
+        in
+        let prior =
+          match prior_path with
+          | Some p -> Prior_io.load p
+          | None -> Prior.learn_pair ~historical:(Tech.historical_for tech) ()
+        in
+        let oracle = Slc_ssta.Oracle.bayes_bank ~prior tech ~k in
+        let input_arrivals _ =
+          Slc_ssta.Sdag.input_edge ~at:0.0 ~slew:5e-12 ~rises:true
+        in
+        let rows =
+          Slc_ssta.Sdag.slack_report dag oracle ~input_arrivals
+            ~outputs:(List.map (fun (_, n) -> (n, clock)) outputs)
+        in
+        Format.fprintf std "%s: slack report at Tclk=%.2fps@."
+          v.Slc_ssta.Verilog.module_name (clock *. 1e12);
+        Report.table std
+          ~header:[ "net"; "arrival(ps)"; "required(ps)"; "slack(ps)" ]
+          (List.filter_map
+             (fun r ->
+               if r.Slc_ssta.Sdag.required_time < Float.infinity then
+                 Some
+                   [
+                     r.Slc_ssta.Sdag.net_label;
+                     Printf.sprintf "%.2f" (r.Slc_ssta.Sdag.arrival_time *. 1e12);
+                     Printf.sprintf "%.2f" (r.Slc_ssta.Sdag.required_time *. 1e12);
+                     Printf.sprintf "%+.2f" (r.Slc_ssta.Sdag.slack *. 1e12);
+                   ]
+               else None)
+             rows))
+  in
+  Cmd.v
+    (Cmd.info "sta"
+       ~doc:"Slack report for a structural-Verilog netlist (Bayes-characterized library)")
+    Term.(const run $ tech_arg "n14" $ netlist_arg $ clock_arg $ k_arg $ prior_arg)
+
+let all_cmd =
+  let run scale = with_timer (fun () ->
+      let config = config_of scale in
+      Exp_model.print_table1 std (Exp_model.table1 ());
+      Exp_model.print_invariance std ~title:"Fig 2" (Exp_model.fig2 ());
+      Exp_model.print_invariance std ~title:"Fig 3" (Exp_model.fig3 ());
+      Exp_nominal.print_fig5 std (Exp_nominal.fig5 Tech.n28);
+      Exp_nominal.print_fig6 std (Exp_nominal.fig6 ~config ());
+      Exp_statistical.print_fig78 std (Exp_statistical.fig78 ~config ());
+      Exp_statistical.print_fig9 std (Exp_statistical.fig9 ~config ()))
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure")
+    Term.(const run $ scale_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "slc-cli" ~version:"1.0.0"
+       ~doc:
+         "Statistical library characterization using belief propagation \
+          across technology nodes (DATE 2015 reproduction)")
+    [
+      table1_cmd; fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig78_cmd; fig9_cmd;
+      ablations_cmd; characterize_cmd; corners_cmd; liberty_cmd; prior_cmd;
+      sta_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cross_node_transfer.ml: Array Char_flow Format Input_space List Printf Prior Slc_cell Slc_core Slc_device Slc_prob String Timing_model

@@ -1,0 +1,1 @@
+examples/cross_node_transfer.mli:

@@ -1,0 +1,1 @@
+examples/library_builder.ml: Filename Format In_channel List Printf Slc_cell Slc_device Sys Unix

@@ -1,0 +1,1 @@
+examples/pvt_corners.ml: Arc Cells Char_flow Harness Input_space List Printf Prior Slc_cell Slc_core Slc_device

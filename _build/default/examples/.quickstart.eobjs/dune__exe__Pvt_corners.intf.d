@@ -1,0 +1,1 @@
+examples/pvt_corners.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Extract_lse Float Format Input_space Printf Slc_cell Slc_core Slc_device Timing_model

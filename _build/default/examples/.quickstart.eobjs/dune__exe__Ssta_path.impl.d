@@ -1,0 +1,1 @@
+examples/ssta_path.ml: Arc Array Cells Chain Format Harness List Oracle Path Printf Prior Slc_cell Slc_core Slc_device Slc_prob Slc_ssta Statistical String Yield

@@ -1,0 +1,1 @@
+examples/ssta_path.mli:

@@ -1,0 +1,1 @@
+examples/sta_netlist.ml: Cells Float Harness List Oracle Printf Prior Sdag Slc_cell Slc_core Slc_device Slc_ssta Verilog

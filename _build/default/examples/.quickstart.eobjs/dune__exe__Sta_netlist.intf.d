@@ -1,0 +1,1 @@
+examples/sta_netlist.mli:

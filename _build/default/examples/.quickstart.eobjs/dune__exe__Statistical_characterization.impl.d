@@ -1,0 +1,1 @@
+examples/statistical_characterization.ml: Array Format Printf Prior Slc_cell Slc_core Slc_device Slc_prob Statistical

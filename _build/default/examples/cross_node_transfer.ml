@@ -1,0 +1,70 @@
+(* Cross-node transfer: the paper's flagship flow.
+
+   Priors for the compact timing model are learned from five older
+   technology nodes; a new 14-nm cell is then characterized from just
+   TWO additional simulations via MAP estimation, and compared against
+   a conventional look-up table given many times that budget.
+
+   Run with: dune exec examples/cross_node_transfer.exe *)
+
+open Slc_core
+module Tech = Slc_device.Tech
+module Cells = Slc_cell.Cells
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+
+let () =
+  let target = Tech.n14 in
+  let historical = Tech.historical_for target in
+  Printf.printf "Target node: %s; historical nodes: %s\n" target.Tech.name
+    (String.concat ", " (List.map (fun t -> t.Tech.name) historical));
+
+  (* 1. Learn the prior (in production this is amortized: the old
+     libraries were characterized long ago). *)
+  Printf.printf "\nLearning priors from historical libraries...\n%!";
+  let prior = Prior.learn_pair ~historical () in
+  let mu =
+    Timing_model.of_vec (prior.Prior.delay.Prior.mvn : Slc_prob.Mvn.t).Slc_prob.Mvn.mu
+  in
+  Printf.printf "  prior mean (delay): %s\n"
+    (Format.asprintf "%a" Timing_model.pp mu);
+  Printf.printf "  learned from %d historical arcs, %d simulations\n"
+    (List.length prior.Prior.delay.Prior.provenance)
+    prior.Prior.delay.Prior.learn_cost;
+
+  (* 2. Characterize a NOR2 arc in the new node with only 2 sims. *)
+  let arc = Arc.find Cells.nor2 ~pin:"A" ~out_dir:Arc.Fall in
+  Harness.reset_sim_count ();
+  let bayes = Char_flow.train_bayes ~prior target arc ~k:2 in
+  Printf.printf "\nBayes/MAP characterization of %s: %d simulator runs\n"
+    (Arc.name arc) bayes.Char_flow.train_cost;
+
+  (* 3. Conventional LUT with 12x the budget. *)
+  let lut = Char_flow.train_lut target arc ~budget:24 in
+  Printf.printf "Lookup-table characterization: %d simulator runs\n"
+    lut.Char_flow.train_cost;
+
+  (* 4. Score both on a common simulated baseline. *)
+  let validation = Input_space.validation_set ~n:150 ~seed:2024 target in
+  let ds = Char_flow.simulate_dataset target arc validation in
+  let e_bayes = Char_flow.evaluate bayes ds in
+  let e_lut = Char_flow.evaluate lut ds in
+  Printf.printf "\nValidation on %d random conditions:\n"
+    (Array.length validation);
+  Printf.printf "  %-22s Td err %6.2f%%   Sout err %6.2f%%  (cost %d)\n"
+    "model+bayes (k=2)"
+    (100.0 *. e_bayes.Char_flow.td_err)
+    (100.0 *. e_bayes.Char_flow.sout_err)
+    bayes.Char_flow.train_cost;
+  Printf.printf "  %-22s Td err %6.2f%%   Sout err %6.2f%%  (cost %d)\n"
+    "lookup table"
+    (100.0 *. e_lut.Char_flow.td_err)
+    (100.0 *. e_lut.Char_flow.sout_err)
+    lut.Char_flow.train_cost;
+  if e_bayes.Char_flow.td_err <= e_lut.Char_flow.td_err then
+    Printf.printf
+      "\n=> 2 Bayesian samples match or beat a %d-point table: >= %.0fx fewer runs.\n"
+      lut.Char_flow.train_cost
+      (float_of_int lut.Char_flow.train_cost /. 2.0)
+  else
+    Printf.printf "\n=> LUT wins at this budget; raise k to close the gap.\n"

@@ -1,0 +1,68 @@
+(* PVT corners: multi-corner characterization with one prior.
+
+   Signoff needs libraries at many process/voltage/temperature corners
+   — exactly the cost explosion the paper's intro motivates.  This
+   example checks that a single prior learned from historical nodes at
+   25 C still carries a hot-corner characterization of the target node
+   from 2 simulations per arc, and prints the classic corner table.
+
+   Run with: dune exec examples/pvt_corners.exe *)
+
+module Tech = Slc_device.Tech
+module Process = Slc_device.Process
+open Slc_cell
+open Slc_core
+
+let () =
+  let tech = Tech.n14 in
+  let hot = Tech.at_temperature tech ~celsius:125.0 in
+  let arc = Arc.find Cells.nand2 ~pin:"A" ~out_dir:Arc.Fall in
+
+  (* One prior, learned at the reference temperature. *)
+  Printf.printf "Learning 25C prior from historical nodes...\n%!";
+  let prior =
+    Prior.learn_pair
+      ~cells:[ Cells.inv; Cells.nand2 ]
+      ~grid_levels:[| 3; 3; 2 |]
+      ~historical:[ Tech.n20; Tech.n28; Tech.n45 ]
+      ()
+  in
+
+  (* Characterize the HOT corner of the target node with k = 2. *)
+  let validation = Input_space.validation_set ~n:120 ~seed:5 hot in
+  let ds = Char_flow.simulate_dataset hot arc validation in
+  Harness.reset_sim_count ();
+  let bayes = Char_flow.train_bayes ~prior hot arc ~k:2 in
+  let bayes_cost = Harness.sim_count () in
+  let lut = Char_flow.train_lut hot arc ~budget:18 in
+  let e_bayes = Char_flow.evaluate bayes ds in
+  let e_lut = Char_flow.evaluate lut ds in
+  Printf.printf
+    "\nHot-corner (%s) characterization of %s:\n" hot.Tech.name (Arc.name arc);
+  Printf.printf "  %-24s Td err %5.2f%%  (%d sims)\n" "bayes, 25C prior, k=2"
+    (100.0 *. e_bayes.Char_flow.td_err)
+    bayes_cost;
+  Printf.printf "  %-24s Td err %5.2f%%  (%d sims)\n" "lookup table"
+    (100.0 *. e_lut.Char_flow.td_err)
+    lut.Char_flow.train_cost;
+
+  (* The corner table every datasheet carries. *)
+  let vdd_lo, vdd_hi = tech.Tech.vdd_range in
+  Printf.printf "\nPVT corner table (NAND2/A/fall, Sin=5ps, Cload=2fF):\n";
+  Printf.printf "  %-12s %6s %6s %9s %9s %9s\n" "corner" "temp" "vdd" "delay"
+    "slew" "energy";
+  List.iter
+    (fun (label, corner, celsius, vdd) ->
+      let t = Tech.at_temperature tech ~celsius in
+      let seed = Process.corner t corner in
+      let m =
+        Harness.simulate ~seed t arc { Harness.sin = 5e-12; cload = 2e-15; vdd }
+      in
+      Printf.printf "  %-12s %5.0fC %5.2fV %7.2fps %7.2fps %8.3ffJ\n" label
+        celsius vdd (m.Harness.td *. 1e12) (m.Harness.sout *. 1e12)
+        (m.Harness.energy *. 1e15))
+    [
+      ("SS/hot/low", Process.Ss, 125.0, vdd_lo);
+      ("TT/typ", Process.Tt, 25.0, 0.5 *. (vdd_lo +. vdd_hi));
+      ("FF/cold/hi", Process.Ff, -40.0, vdd_hi);
+    ]

@@ -1,0 +1,61 @@
+(* Quickstart: characterize one timing arc of a NAND2 gate in the
+   14-nm node with the compact timing model.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Slc_core
+module Tech = Slc_device.Tech
+module Cells = Slc_cell.Cells
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Equivalent = Slc_cell.Equivalent
+
+let () =
+  let tech = Tech.n14 in
+  let cell = Cells.nand2 in
+  let arc = Arc.find cell ~pin:"A" ~out_dir:Arc.Fall in
+  Printf.printf "Characterizing %s in %s (%d-nm)\n" (Arc.name arc)
+    tech.Tech.name tech.Tech.node_nm;
+
+  (* 1. Simulate the gate at a handful of input conditions.  Each call
+     builds a transistor netlist and runs a full transient analysis. *)
+  let points = Input_space.fitting_points tech ~k:8 in
+  let eq = Equivalent.of_arc tech arc in
+  let observations =
+    Array.map
+      (fun (p : Harness.point) ->
+        let m = Harness.simulate tech arc p in
+        Printf.printf "  %s -> Td = %5.2f ps, Sout = %5.2f ps\n"
+          (Format.asprintf "%a" Harness.pp_point p)
+          (m.Harness.td *. 1e12) (m.Harness.sout *. 1e12);
+        {
+          Extract_lse.point = p;
+          ieff = Equivalent.ieff eq ~vdd:p.Harness.vdd;
+          value = m.Harness.td;
+        })
+      points
+  in
+
+  (* 2. Extract the four model parameters {kd, Cpar, V', alpha}. *)
+  let params = Extract_lse.fit observations in
+  Printf.printf "\nExtracted delay model: %s\n"
+    (Format.asprintf "%a" Timing_model.pp params);
+  Printf.printf "Fitting error: %.2f%%\n"
+    (100.0 *. Extract_lse.avg_abs_rel_error params observations);
+
+  (* 3. Predict delay at a fresh condition and compare against a real
+     simulation. *)
+  let test_point = { Harness.sin = 7.5e-12; cload = 4.2e-15; vdd = 0.78 } in
+  let predicted =
+    Timing_model.eval params
+      ~ieff:(Equivalent.ieff eq ~vdd:test_point.Harness.vdd)
+      test_point
+  in
+  let simulated = (Harness.simulate tech arc test_point).Harness.td in
+  Printf.printf "\nHeld-out prediction at %s\n"
+    (Format.asprintf "%a" Harness.pp_point test_point);
+  Printf.printf "  model:     %.2f ps\n" (predicted *. 1e12);
+  Printf.printf "  simulator: %.2f ps\n" (simulated *. 1e12);
+  Printf.printf "  error:     %.2f%%\n"
+    (100.0 *. Float.abs ((predicted -. simulated) /. simulated));
+  Printf.printf "\nTotal simulator runs: %d\n" (Harness.sim_count ())

@@ -1,0 +1,83 @@
+(* Static timing analysis of a gate-level netlist.
+
+   Reads a structural-Verilog module, builds the timing DAG, and runs
+   arrival/slack analysis with a Bayesian-characterized library (k = 3
+   simulations per arc) — the complete "library team to timing signoff"
+   pipeline on one page.
+
+   Run with: dune exec examples/sta_netlist.exe *)
+
+module Tech = Slc_device.Tech
+open Slc_cell
+open Slc_core
+open Slc_ssta
+
+let netlist =
+  {|
+// 4-bit-ish carry chain fragment
+module carry_slice (a0, b0, a1, b1, cin, cout);
+  input a0, b0, a1, b1, cin;
+  output cout;
+  wire g0, p0, g1, p1, n0, n1, n2;
+  NAND2 u1 (.A(a0), .B(b0), .Y(g0));
+  NOR2  u2 (.A(a0), .B(b0), .Y(p0));
+  NAND2 u3 (.A(a1), .B(b1), .Y(g1));
+  NOR2  u4 (.A(a1), .B(b1), .Y(p1));
+  NAND2 u5 (.A(cin), .B(g0), .Y(n0));
+  NOR2  u6 (.A(n0), .B(p0), .Y(n1));
+  NAND2 u7 (.A(n1), .B(g1), .Y(n2));
+  NOR2  u8 (.A(n2), .B(p1), .Y(cout));
+endmodule
+|}
+
+let () =
+  let tech = Tech.n14 in
+  let vdd = 0.8 in
+  let v = Verilog.parse netlist in
+  Printf.printf "Parsed module %s: %d inputs, %d gates\n"
+    v.Verilog.module_name
+    (List.length v.Verilog.inputs)
+    (List.length v.Verilog.instances);
+  let dag, _inputs, outputs = Verilog.to_sdag v tech ~vdd in
+
+  (* Characterize the library with the Bayesian flow. *)
+  Printf.printf "Characterizing INV/NAND2/NOR2 arcs with k = 3...\n%!";
+  let prior =
+    Prior.learn_pair
+      ~cells:[ Cells.inv; Cells.nand2; Cells.nor2 ]
+      ~grid_levels:[| 3; 3; 2 |]
+      ~historical:[ Tech.n20; Tech.n28 ] ()
+  in
+  Harness.reset_sim_count ();
+  let oracle = Oracle.bayes_bank ~prior tech ~k:3 in
+
+  (* All inputs switch (rising) at t = 0 with a 5 ps slew. *)
+  let input_arrivals _ = Sdag.input_edge ~at:0.0 ~slew:5e-12 ~rises:true in
+  let cout = List.assoc "cout" outputs in
+  let arr = Sdag.analyze dag oracle ~input_arrivals cout in
+  (match (Sdag.at_edge arr ~rises:true, Sdag.at_edge arr ~rises:false) with
+  | Some r, Some f ->
+    let w = if r.Sdag.at >= f.Sdag.at then r else f in
+    Printf.printf "\ncout worst arrival: %.2f ps (slew %.2f ps)\n"
+      (w.Sdag.at *. 1e12) (w.Sdag.slew *. 1e12)
+  | Some e, None | None, Some e ->
+    Printf.printf "\ncout worst arrival: %.2f ps (slew %.2f ps)\n"
+      (e.Sdag.at *. 1e12) (e.Sdag.slew *. 1e12)
+  | None, None -> print_endline "no arrival at cout");
+  Printf.printf "library characterization cost so far: %d simulations\n"
+    (Harness.sim_count ());
+
+  (* Slack report against a 60 ps requirement. *)
+  let rows =
+    Sdag.slack_report dag oracle ~input_arrivals ~outputs:[ (cout, 60e-12) ]
+  in
+  Printf.printf "\nSlack report (Tclk = 60 ps), most critical first:\n";
+  Printf.printf "  %-8s %10s %10s %10s\n" "net" "arrival" "required" "slack";
+  List.iter
+    (fun r ->
+      if r.Sdag.required_time < Float.infinity then
+        Printf.printf "  %-8s %8.2fps %8.2fps %+8.2fps\n" r.Sdag.net_label
+          (r.Sdag.arrival_time *. 1e12)
+          (r.Sdag.required_time *. 1e12)
+          (r.Sdag.slack *. 1e12))
+    rows

@@ -1,0 +1,1 @@
+lib/cell/arc.ml: Cells List Printf String

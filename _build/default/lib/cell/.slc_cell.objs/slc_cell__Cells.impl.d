@@ -1,0 +1,1 @@
+lib/cell/cells.ml: List String Topology

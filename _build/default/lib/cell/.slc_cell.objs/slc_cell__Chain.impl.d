@@ -1,0 +1,1 @@
+lib/cell/chain.ml: Arc Array Cells Equivalent Float Harness List Netlist Option Printf Slc_device Slc_spice Stimulus String Transient Waveform

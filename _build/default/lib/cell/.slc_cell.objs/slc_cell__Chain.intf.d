@@ -1,0 +1,1 @@
+lib/cell/chain.mli: Arc Cells Slc_device

@@ -1,0 +1,1 @@
+lib/cell/equivalent.ml: Arc Cells List Slc_device String Topology

@@ -1,0 +1,1 @@
+lib/cell/equivalent.mli: Arc Cells Slc_device

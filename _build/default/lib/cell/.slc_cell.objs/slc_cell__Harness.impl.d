@@ -1,0 +1,1 @@
+lib/cell/harness.ml: Arc Array Atomic Cells Equivalent Float Format List Netlist Printf Slc_device Slc_spice Stimulus String Topology Transient Waveform

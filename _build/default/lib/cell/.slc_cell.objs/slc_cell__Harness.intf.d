@@ -1,0 +1,1 @@
+lib/cell/harness.mli: Arc Cells Format Slc_device Slc_num Slc_spice

@@ -1,0 +1,1 @@
+lib/cell/liberty.ml: Arc Array Cells Equivalent Float Format Library List Nldm Option Printf Slc_device Slc_num String

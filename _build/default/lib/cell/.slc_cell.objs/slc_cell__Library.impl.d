@@ -1,0 +1,1 @@
+lib/cell/library.ml: Arc Array Cells Format Harness List Nldm Slc_device String

@@ -1,0 +1,1 @@
+lib/cell/library.mli: Arc Cells Format Harness Nldm Slc_device

@@ -1,0 +1,1 @@
+lib/cell/nldm.ml: Arc Array Harness Slc_device Slc_num

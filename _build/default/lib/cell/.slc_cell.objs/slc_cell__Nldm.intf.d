@@ -1,0 +1,1 @@
+lib/cell/nldm.mli: Arc Harness Slc_device Slc_prob

@@ -1,0 +1,1 @@
+lib/cell/ring.ml: Arc Array Cells Equivalent Float Harness List Netlist Printf Slc_device Slc_spice Stimulus Transient Waveform

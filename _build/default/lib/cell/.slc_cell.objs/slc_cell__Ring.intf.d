@@ -1,0 +1,1 @@
+lib/cell/ring.mli: Slc_device

@@ -1,0 +1,1 @@
+lib/cell/seq.ml: Cells Harness List Netlist Slc_device Slc_spice Stimulus String Transient Waveform

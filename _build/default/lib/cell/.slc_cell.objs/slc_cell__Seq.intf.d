@@ -1,0 +1,1 @@
+lib/cell/seq.mli: Slc_device

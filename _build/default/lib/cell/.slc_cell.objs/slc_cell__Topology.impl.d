@@ -1,0 +1,1 @@
+lib/cell/topology.ml: Hashtbl List

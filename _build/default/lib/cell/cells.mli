@@ -1,0 +1,60 @@
+(** Standard-cell definitions.
+
+    Each cell is a static CMOS gate: a PMOS pull-up and a complementary
+    NMOS pull-down network, plus base width multipliers applied on top
+    of the technology's minimum widths.  The usual logical-effort
+    sizings are used (series stacks upsized to match the drive of the
+    reference inverter). *)
+
+type t = {
+  name : string;
+  inputs : string list;
+  wn_mult : float;  (** multiplier on the technology NMOS template width *)
+  wp_mult : float;  (** multiplier on the technology PMOS template width *)
+  pull_down : Topology.t;  (** NMOS network, output-to-ground *)
+  pull_up : Topology.t;    (** PMOS network, output-to-Vdd *)
+}
+
+val inv : t
+
+val nand2 : t
+
+val nand3 : t
+
+val nor2 : t
+
+val nor3 : t
+
+val nand4 : t
+
+val nor4 : t
+
+val aoi21 : t
+(** out = not (A and B or C). *)
+
+val oai21 : t
+(** out = not ((A or B) and C). *)
+
+val aoi22 : t
+(** out = not (A and B or C and D). *)
+
+val oai22 : t
+(** out = not ((A or B) and (C or D)). *)
+
+val all : t list
+
+val by_name : string -> t
+(** Raises [Not_found] for unknown names. *)
+
+val paper_set : t list
+(** INV, NAND2, NOR2 — the set the paper reports in Table I. *)
+
+val logic_value : t -> on:(string -> bool) -> bool option
+(** Static output for a full input assignment: [Some true] when only the
+    pull-up conducts, [Some false] when only the pull-down conducts,
+    [None] for a non-complementary state (never happens for the
+    built-in cells). *)
+
+val is_complementary : t -> bool
+(** Whether pull-up and pull-down conduction are complements over all
+    input assignments. *)

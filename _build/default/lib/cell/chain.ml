@@ -1,0 +1,168 @@
+module Tech = Slc_device.Tech
+module Process = Slc_device.Process
+open Slc_spice
+
+type stage = { cell : Cells.t; pin : string; wire_cap : float }
+
+let stage ?(wire_cap = 0.0) cell pin = { cell; pin; wire_cap }
+
+type t = { tech : Tech.t; stages : stage list; final_load : float }
+
+let make ?(final_load = 2e-15) tech stages =
+  if stages = [] then invalid_arg "Chain.make: empty chain";
+  List.iter
+    (fun s ->
+      if not (List.mem s.pin s.cell.Cells.inputs) then
+        invalid_arg
+          (Printf.sprintf "Chain.make: cell %s has no pin %s"
+             s.cell.Cells.name s.pin);
+      if s.wire_cap < 0.0 then invalid_arg "Chain.make: negative wire cap")
+    stages;
+  { tech; stages; final_load }
+
+(* All built-in cells invert, so the edge direction alternates. *)
+let arcs_of t ~in_rises =
+  let _, arcs =
+    List.fold_left
+      (fun (rises, acc) s ->
+        let out_dir = if rises then Arc.Fall else Arc.Rise in
+        let arc = Arc.find s.cell ~pin:s.pin ~out_dir in
+        (not rises, arc :: acc))
+      (in_rises, []) t.stages
+  in
+  List.rev arcs
+
+type result = {
+  total_delay : float;
+  stage_delays : float array;
+  stage_slews : float array;
+  out_slew : float;
+}
+
+exception Simulation_failed of string
+
+let ramp_start = 1e-12
+
+let simulate ?(seed = Process.nominal) t ~sin ~vdd ~in_rises =
+  if sin <= 0.0 || vdd <= 0.0 then
+    invalid_arg "Chain.simulate: invalid stimulus";
+  let arcs = arcs_of t ~in_rises in
+  let net = Netlist.create () in
+  let nvdd = Netlist.fresh_node net "vdd" in
+  let nin = Netlist.fresh_node net "in" in
+  Netlist.add_vsource net (Stimulus.dc vdd) nvdd;
+  let v_from = if in_rises then 0.0 else vdd in
+  let v_to = if in_rises then vdd else 0.0 in
+  Netlist.add_vsource net
+    (Stimulus.ramp ~t0:ramp_start ~duration:sin ~v_from ~v_to)
+    nin;
+  (* Instantiate the stages front to back; each output node feeds the
+     next stage's switching pin. *)
+  let outs =
+    List.mapi
+      (fun i _ -> Netlist.fresh_node net (Printf.sprintf "out%d" i))
+      t.stages
+  in
+  let drive = nin :: outs in
+  List.iteri
+    (fun i ((s : stage), (arc : Arc.t)) ->
+      let in_node = List.nth drive i in
+      let out_node = List.nth outs i in
+      let side_node pin =
+        if List.assoc pin arc.Arc.side_values then nvdd else Netlist.ground
+      in
+      let gate_node pin =
+        if String.equal pin s.pin then in_node else side_node pin
+      in
+      Harness.instantiate ~seed t.tech net s.cell ~gate_node ~out:out_node
+        ~vdd_node:nvdd;
+      Netlist.add_capacitor net s.wire_cap ~a:out_node ~b:Netlist.ground)
+    (List.combine t.stages arcs);
+  let last_out = List.nth outs (List.length outs - 1) in
+  Netlist.add_capacitor net t.final_load ~a:last_out ~b:Netlist.ground;
+  (* Window estimate: sum of single-stage C*V/Ieff scales with a
+     few-fF representative load, padded by the retry loop below. *)
+  let tau_total =
+    List.fold_left
+      (fun acc (arc : Arc.t) ->
+        let eq = Equivalent.of_arc t.tech arc in
+        let ieff = Equivalent.ieff eq ~vdd in
+        acc +. (3e-15 *. vdd /. Float.max 1e-12 ieff))
+      0.0 arcs
+  in
+  let n_stages = List.length t.stages in
+  let rec attempt retries window =
+    if retries > 3 then
+      raise (Simulation_failed (Printf.sprintf "%d-stage chain" n_stages));
+    let tstop = ramp_start +. sin +. window in
+    (* The default step cap (tstop/100) is far coarser than a single
+       stage transition once several stages share the window; cap the
+       step so every transition is resolved by many points. *)
+    let opts =
+      {
+        (Transient.default_options ~tstop) with
+        dt_max = tstop /. Float.max 600.0 (150.0 *. float_of_int n_stages);
+        breakpoints = Stimulus.breakpoints ~t0:ramp_start ~duration:sin;
+      }
+    in
+    Harness.count_simulation ();
+    let res = Transient.run opts net in
+    let win = Transient.waveform res nin in
+    let wouts = List.map (Transient.waveform res) outs in
+    (* Expected final value of each stage output. *)
+    let dirs =
+      List.map
+        (fun (arc : Arc.t) ->
+          match arc.Arc.out_dir with
+          | Arc.Fall -> Waveform.Falling
+          | Arc.Rise -> Waveform.Rising)
+        arcs
+    in
+    let half = 0.5 *. vdd in
+    let crossings =
+      List.map2
+        (fun w dir -> Waveform.cross_time w dir half)
+        wouts dirs
+    in
+    let in_cross =
+      match Waveform.cross_time win Waveform.Rising half with
+      | Some tc -> Some tc
+      | None -> Waveform.cross_time win Waveform.Falling half
+    in
+    let slews =
+      List.map2 (fun w dir -> Waveform.measure_slew w ~vdd dir) wouts dirs
+    in
+    let settled =
+      List.for_all2
+        (fun w dir ->
+          let target =
+            match dir with Waveform.Falling -> 0.0 | Waveform.Rising -> vdd
+          in
+          Waveform.settled w ~vdd ~target ~tol_frac:0.02)
+        wouts dirs
+    in
+    let all_some l = List.for_all Option.is_some l in
+    if (not settled) || (not (all_some crossings)) || (not (all_some slews))
+       || in_cross = None
+    then attempt (retries + 1) (window *. 3.0)
+    else begin
+      let cross_times = List.map Option.get crossings in
+      let t_in = Option.get in_cross in
+      let stage_delays =
+        Array.of_list
+          (List.mapi
+             (fun i tc ->
+               let prev = if i = 0 then t_in else List.nth cross_times (i - 1) in
+               tc -. prev)
+             cross_times)
+      in
+      let stage_slews = Array.of_list (List.map Option.get slews) in
+      {
+        total_delay = List.nth cross_times (n_stages - 1) -. t_in;
+        stage_delays;
+        stage_slews;
+        out_slew = stage_slews.(n_stages - 1);
+      }
+    end
+  in
+  attempt 0 (Float.max (5.0 *. tau_total) (Float.max (3.0 *. sin) 4e-11))

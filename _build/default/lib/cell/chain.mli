@@ -1,0 +1,52 @@
+(** Multi-stage cell chains simulated at transistor level.
+
+    A chain is a sequence of (cell, switching pin) stages: each stage's
+    output drives the next stage's switching input, with optional wire
+    capacitance per net and a final load.  The whole chain is flattened
+    into one netlist and solved by the transient engine — the ground
+    truth against which model-based SSTA path propagation (module
+    [Slc_ssta]) is validated. *)
+
+type stage = {
+  cell : Cells.t;
+  pin : string;      (** the input driven by the previous stage *)
+  wire_cap : float;  (** extra capacitance on this stage's output, F *)
+}
+
+val stage : ?wire_cap:float -> Cells.t -> string -> stage
+
+type t = {
+  tech : Slc_device.Tech.t;
+  stages : stage list;
+  final_load : float;
+}
+
+val make :
+  ?final_load:float -> Slc_device.Tech.t -> stage list -> t
+(** [final_load] defaults to 2 fF.  Raises [Invalid_argument] on an
+    empty chain or an unknown pin. *)
+
+val arcs_of : t -> in_rises:bool -> Arc.t list
+(** The timing arc exercised at each stage when the chain input makes
+    the given transition (all built-in cells invert, so the edge
+    direction alternates down the chain). *)
+
+type result = {
+  total_delay : float;      (** chain input 50% to final output 50% *)
+  stage_delays : float array;  (** per-stage 50%-to-50% delays *)
+  stage_slews : float array;   (** output slew of each stage *)
+  out_slew : float;
+}
+
+exception Simulation_failed of string
+
+val simulate :
+  ?seed:Slc_device.Process.seed ->
+  t ->
+  sin:float ->
+  vdd:float ->
+  in_rises:bool ->
+  result
+(** Builds and solves the full transistor netlist.  Counts as one
+    simulator run in {!Harness.sim_count} (it is one transient
+    analysis, albeit of a larger circuit). *)

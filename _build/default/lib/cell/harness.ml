@@ -1,0 +1,198 @@
+module Mosfet = Slc_device.Mosfet
+module Tech = Slc_device.Tech
+module Process = Slc_device.Process
+open Slc_spice
+
+type point = { sin : float; cload : float; vdd : float }
+
+let pp_point ppf p =
+  Format.fprintf ppf "(Sin=%.2fps, Cload=%.2ffF, Vdd=%.3fV)" (p.sin *. 1e12)
+    (p.cload *. 1e15) p.vdd
+
+let point_of_vec v =
+  if Array.length v <> 3 then invalid_arg "Harness.point_of_vec: need 3 coords";
+  { sin = v.(0); cload = v.(1); vdd = v.(2) }
+
+let vec_of_point p = [| p.sin; p.cload; p.vdd |]
+
+type measurement = {
+  td : float;
+  sout : float;
+  energy : float;
+  newton_iters : int;
+  time_steps : int;
+  retries : int;
+}
+
+exception Simulation_failed of string
+
+(* Atomic: simulations may run concurrently under Slc_num.Parallel. *)
+let sims = Atomic.make 0
+
+let sim_count () = Atomic.get sims
+
+let reset_sim_count () = Atomic.set sims 0
+
+let count_simulation () = Atomic.incr sims
+
+(* Fractions of the total gate capacitance assigned to the gate-drain
+   (Miller) and gate-source branches. *)
+let cgd_frac = 0.3
+
+let cgs_frac = 0.5
+
+let ramp_start = 1e-12
+
+(* Supply-current sense resistor: small enough to leave waveforms
+   unchanged (IR drop ~0.1 mV at 100 uA), large enough to read the
+   current from the node-voltage difference without precision loss. *)
+let r_sense = 1.0
+
+let instantiate ?(seed = Process.nominal) (tech : Tech.t) net
+    (cell : Cells.t) ~gate_node ~out ~vdd_node =
+  let cpar_scale = Process.cpar_scale seed in
+  let add_device template width_mult ~g ~d ~s ~bulk =
+    let base = Mosfet.scale_width template width_mult in
+    let index = Netlist.device_count net in
+    let dev = Process.apply seed tech ~device_index:index base in
+    Netlist.add_mosfet net dev ~g ~d ~s;
+    let cgate = Mosfet.cgate dev *. cpar_scale in
+    let cj = Mosfet.cjunction dev *. cpar_scale in
+    Netlist.add_capacitor net (cgd_frac *. cgate) ~a:g ~b:d;
+    Netlist.add_capacitor net (cgs_frac *. cgate) ~a:g ~b:s;
+    Netlist.add_capacitor net cj ~a:d ~b:bulk
+  in
+  (* Expand a series-parallel network between the output node and a
+     rail.  Series chains walk from the output towards the rail. *)
+  let rec expand network template base_mult ~bulk ~top ~bottom =
+    match network with
+    | Topology.Dev { pin; width_mult } ->
+      add_device template (width_mult *. base_mult) ~g:(gate_node pin) ~d:top
+        ~s:bottom ~bulk
+    | Topology.Parallel subs ->
+      List.iter (fun s -> expand s template base_mult ~bulk ~top ~bottom) subs
+    | Topology.Series subs ->
+      let n = List.length subs in
+      let rec walk i from = function
+        | [] -> ()
+        | [ last ] -> expand last template base_mult ~bulk ~top:from ~bottom
+        | sub :: rest ->
+          let mid = Netlist.fresh_node net (Printf.sprintf "int%d" i) in
+          expand sub template base_mult ~bulk ~top:from ~bottom:mid;
+          walk (i + 1) mid rest
+      in
+      if n = 0 then invalid_arg "Harness: empty series group"
+      else walk 0 top subs
+  in
+  Topology.validate cell.Cells.pull_down;
+  Topology.validate cell.Cells.pull_up;
+  expand cell.Cells.pull_down tech.Tech.nmos cell.Cells.wn_mult
+    ~bulk:Netlist.ground ~top:out ~bottom:Netlist.ground;
+  expand cell.Cells.pull_up tech.Tech.pmos cell.Cells.wp_mult ~bulk:vdd_node
+    ~top:out ~bottom:vdd_node
+
+let build_netlist ?(seed = Process.nominal) (tech : Tech.t) (arc : Arc.t) point =
+  if point.sin <= 0.0 || point.cload < 0.0 || point.vdd <= 0.0 then
+    invalid_arg "Harness.build_netlist: invalid input condition";
+  let cell = arc.Arc.cell in
+  let net = Netlist.create () in
+  let nvdd = Netlist.fresh_node net "vdd" in
+  let nrail = Netlist.fresh_node net "vddrail" in
+  let nout = Netlist.fresh_node net "out" in
+  let nin = Netlist.fresh_node net "in" in
+  Netlist.add_vsource net (Stimulus.dc point.vdd) nvdd;
+  Netlist.add_resistor net r_sense ~a:nvdd ~b:nrail;
+  let input_rises = Arc.input_rises arc in
+  let v_from = if input_rises then 0.0 else point.vdd in
+  let v_to = if input_rises then point.vdd else 0.0 in
+  Netlist.add_vsource net
+    (Stimulus.ramp ~t0:ramp_start ~duration:point.sin ~v_from ~v_to)
+    nin;
+  (* Side inputs tied to their static rails.  The switching pin starts
+     at v_from, so side values come from the pre-transition state; they
+     are constant throughout. *)
+  let side_node pin =
+    let v = List.assoc pin arc.Arc.side_values in
+    if v then nvdd else Netlist.ground
+  in
+  let gate_node pin =
+    if String.equal pin arc.Arc.pin then nin else side_node pin
+  in
+  instantiate ~seed tech net cell ~gate_node ~out:nout ~vdd_node:nrail;
+  Netlist.add_capacitor net point.cload ~a:nout ~b:Netlist.ground;
+  (net, nin, nout)
+
+let transition_scale tech arc point =
+  (* Crude RC time scale used only to size the simulation window. *)
+  let eq = Equivalent.of_arc tech arc in
+  let ieff = Equivalent.ieff eq ~vdd:point.vdd in
+  let cpar = Equivalent.parasitic_cap tech arc in
+  (point.cload +. cpar) *. point.vdd /. Float.max 1e-12 ieff
+
+(* Node ids assigned by build_netlist, in order. *)
+let node_vdd = 1
+
+let node_rail = 2
+
+let supply_energy res ~vdd =
+  (* E = Vdd * integral of (leakage-corrected) supply current. *)
+  let w_src = Transient.waveform res node_vdd in
+  let w_rail = Transient.waveform res node_rail in
+  let times = w_src.Waveform.times in
+  let current i =
+    (w_src.Waveform.values.(i) -. w_rail.Waveform.values.(i)) /. r_sense
+  in
+  let i_leak = current 0 in
+  let q = ref 0.0 in
+  for i = 0 to Array.length times - 2 do
+    let dt = times.(i + 1) -. times.(i) in
+    q := !q +. (0.5 *. ((current i -. i_leak) +. (current (i + 1) -. i_leak)) *. dt)
+  done;
+  vdd *. !q
+
+let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
+  let net, nin, nout = build_netlist ~seed tech arc point in
+  let out_dir =
+    match arc.Arc.out_dir with
+    | Arc.Fall -> Waveform.Falling
+    | Arc.Rise -> Waveform.Rising
+  in
+  let target = match arc.Arc.out_dir with Arc.Fall -> 0.0 | Arc.Rise -> point.vdd in
+  let tau = transition_scale tech arc point in
+  let rec attempt retries window =
+    if retries > 3 then
+      raise
+        (Simulation_failed
+           (Printf.sprintf "%s at Sin=%.3gps Cload=%.3gfF Vdd=%.3gV"
+              (Arc.name arc) (point.sin *. 1e12) (point.cload *. 1e15)
+              point.vdd));
+    let tstop = ramp_start +. point.sin +. window in
+    let opts =
+      {
+        (Transient.default_options ~tstop) with
+        (* Resolve the edge finely: the default tstop/100 cap leaves
+           only a handful of samples across a fast transition. *)
+        dt_max = tstop /. 300.0;
+        breakpoints = Stimulus.breakpoints ~t0:ramp_start ~duration:point.sin;
+      }
+    in
+    Atomic.incr sims;
+    let res = Transient.run opts net in
+    let win = Transient.waveform res nin in
+    let wout = Transient.waveform res nout in
+    let ok_settled = Waveform.settled wout ~vdd:point.vdd ~target ~tol_frac:0.02 in
+    let td = Waveform.measure_delay ~input:win ~output:wout ~vdd:point.vdd ~out_dir in
+    let sout = Waveform.measure_slew wout ~vdd:point.vdd out_dir in
+    match (td, sout, ok_settled) with
+    | Some td, Some sout, true ->
+      {
+        td;
+        sout;
+        energy = supply_energy res ~vdd:point.vdd;
+        newton_iters = Transient.newton_iterations_total res;
+        time_steps = Transient.steps_taken res;
+        retries;
+      }
+    | _ -> attempt (retries + 1) (window *. 3.0)
+  in
+  attempt 0 (Float.max (8.0 *. tau) (Float.max (3.0 *. point.sin) 2.0e-11))

@@ -1,0 +1,81 @@
+(** Characterization testbench.
+
+    Builds the transistor netlist of a cell under one timing arc — ramp
+    driver on the switching pin, other inputs tied to their
+    non-controlling rails, load capacitor on the output, per-device
+    parasitics, process variation applied per seed — runs the transient
+    solver, and measures propagation delay and output slew.
+
+    This is the "electrical simulation" block of the paper's flow
+    (Fig. 4); every characterization method pays its cost in calls to
+    {!simulate}. *)
+
+type point = { sin : float; cload : float; vdd : float }
+(** One library input condition [ξ = (Sin, Cload, Vdd)]. *)
+
+val pp_point : Format.formatter -> point -> unit
+
+val point_of_vec : Slc_num.Vec.t -> point
+(** From a 3-vector [(sin, cload, vdd)]. *)
+
+val vec_of_point : point -> Slc_num.Vec.t
+
+type measurement = {
+  td : float;    (** 50%-to-50% propagation delay, s *)
+  sout : float;  (** output transition time (20–80 extrapolated), s *)
+  energy : float;
+      (** switching energy drawn from the supply during the transition
+          (leakage-corrected), J.  Rising outputs draw roughly
+          [(Cload + Cpar) * Vdd^2]; falling outputs only pay crowbar
+          and internal charge. *)
+  newton_iters : int;
+  time_steps : int;
+  retries : int; (** extra transient runs needed to capture the edge *)
+}
+
+exception Simulation_failed of string
+
+val instantiate :
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  Slc_spice.Netlist.t ->
+  Cells.t ->
+  gate_node:(string -> Slc_spice.Netlist.node) ->
+  out:Slc_spice.Netlist.node ->
+  vdd_node:Slc_spice.Netlist.node ->
+  unit
+(** Expands one cell instance into an existing netlist: pull-up and
+    pull-down networks with per-device process variation and parasitic
+    capacitances.  [gate_node] maps each input pin to its driving
+    node.  Used by the single-arc testbench and by multi-stage chains
+    ({!Chain}). *)
+
+val build_netlist :
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  Arc.t ->
+  point ->
+  Slc_spice.Netlist.t * Slc_spice.Netlist.node * Slc_spice.Netlist.node
+(** [(netlist, in_node, out_node)] for the given arc and condition
+    (ramp starts at an internal offset time). *)
+
+val simulate :
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  Arc.t ->
+  point ->
+  measurement
+(** Runs the testbench, retrying with longer windows when the output
+    edge is not captured; raises {!Simulation_failed} after three
+    retries. *)
+
+val sim_count : unit -> int
+(** Global count of transient simulations performed since program start
+    (or the last {!reset_sim_count}) — the cost metric every
+    speedup claim in the paper is stated in. *)
+
+val reset_sim_count : unit -> unit
+
+val count_simulation : unit -> unit
+(** Adds one to the global simulation counter — for engines (e.g.
+    {!Chain}) that invoke the transient solver directly. *)

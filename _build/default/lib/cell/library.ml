@@ -1,0 +1,53 @@
+type entry = { arc : Arc.t; table : Nldm.t }
+
+type t = { tech : Slc_device.Tech.t; entries : entry list; sim_runs : int }
+
+let characterize ?seed ?(cells = Cells.all) tech ~levels =
+  let before = Harness.sim_count () in
+  let entries =
+    List.concat_map
+      (fun cell ->
+        List.map
+          (fun arc -> { arc; table = Nldm.build ?seed tech arc ~levels })
+          (Arc.all_of_cell cell))
+      cells
+  in
+  { tech; entries; sim_runs = Harness.sim_count () - before }
+
+let find t ~cell ~pin ~out_dir =
+  List.find_opt
+    (fun e ->
+      String.equal e.arc.Arc.cell.Cells.name cell
+      && String.equal e.arc.Arc.pin pin
+      && e.arc.Arc.out_dir = out_dir)
+    t.entries
+
+let arcs t = List.map (fun e -> e.arc) t.entries
+
+let entry_for t arc =
+  match
+    find t ~cell:arc.Arc.cell.Cells.name ~pin:arc.Arc.pin
+      ~out_dir:arc.Arc.out_dir
+  with
+  | Some e -> e
+  | None -> raise Not_found
+
+let delay t arc point = Nldm.lookup_td (entry_for t arc).table point
+
+let slew t arc point = Nldm.lookup_sout (entry_for t arc).table point
+
+let summary ppf t =
+  Format.fprintf ppf "library(%s) { /* %d arcs, %d simulator runs */@."
+    t.tech.Slc_device.Tech.name (List.length t.entries) t.sim_runs;
+  List.iter
+    (fun e ->
+      let tb = e.table in
+      let n_s = Array.length tb.Nldm.sin_axis
+      and n_c = Array.length tb.Nldm.cload_axis
+      and n_v = Array.length tb.Nldm.vdd_axis in
+      let td_min = tb.Nldm.td.(0).(0).(n_v - 1) in
+      let td_max = tb.Nldm.td.(n_s - 1).(n_c - 1).(0) in
+      Format.fprintf ppf "  arc %-16s table %dx%dx%d  td [%6.2f .. %6.2f] ps@."
+        (Arc.name e.arc) n_s n_c n_v (td_min *. 1e12) (td_max *. 1e12))
+    t.entries;
+  Format.fprintf ppf "}@."

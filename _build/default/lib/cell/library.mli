@@ -1,0 +1,33 @@
+(** A characterized standard-cell library: NLDM tables for every arc of
+    every cell of a technology. *)
+
+type entry = { arc : Arc.t; table : Nldm.t }
+
+type t = {
+  tech : Slc_device.Tech.t;
+  entries : entry list;
+  sim_runs : int;  (** total simulator runs spent building the library *)
+}
+
+val characterize :
+  ?seed:Slc_device.Process.seed ->
+  ?cells:Cells.t list ->
+  Slc_device.Tech.t ->
+  levels:int array ->
+  t
+(** Builds tables for every arc of the given cells (default
+    {!Cells.all}). *)
+
+val find : t -> cell:string -> pin:string -> out_dir:Arc.direction -> entry option
+
+val arcs : t -> Arc.t list
+
+val delay : t -> Arc.t -> Harness.point -> float
+(** Interpolated delay; raises [Not_found] for an arc that is not in the
+    library. *)
+
+val slew : t -> Arc.t -> Harness.point -> float
+
+val summary : Format.formatter -> t -> unit
+(** Liberty-flavored human-readable dump (cells, arcs, table sizes and
+    corner values). *)

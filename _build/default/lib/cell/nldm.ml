@@ -1,0 +1,113 @@
+type t = {
+  arc_name : string;
+  sin_axis : float array;
+  cload_axis : float array;
+  vdd_axis : float array;
+  td : float array array array;
+  sout : float array array array;
+  energy : float array array array;
+}
+
+let size t =
+  Array.length t.sin_axis * Array.length t.cload_axis * Array.length t.vdd_axis
+
+let design_levels ~budget ~box =
+  if Array.length box <> 3 then invalid_arg "Nldm.design_levels: need 3-D box";
+  if budget < 1 then invalid_arg "Nldm.design_levels: budget must be >= 1";
+  (* Enumerate (n_sin, n_cload, n_vdd); maximize the grid size, then
+     prefer sin/cload resolution and balance. *)
+  let best = ref [| 1; 1; 1 |] in
+  let best_key = ref (-1, 0.0) in
+  for a = 1 to budget do
+    for b = 1 to budget / a do
+      let c = budget / (a * b) in
+      if c >= 1 then begin
+        let product = a * b * c in
+        let fa = float_of_int a and fb = float_of_int b and fc = float_of_int c in
+        (* Penalty: imbalance between sin and cload, plus vdd finer than
+           the others. *)
+        let penalty =
+          ((fa -. fb) ** 2.0) +. (0.5 *. ((fc -. (0.5 *. (fa +. fb))) ** 2.0))
+          +. if c > min a b then 10.0 else 0.0
+        in
+        let key = (product, -.penalty) in
+        if key > !best_key then begin
+          best_key := key;
+          best := [| a; b; c |]
+        end
+      end
+    done
+  done;
+  !best
+
+let axis_of_level (lo, hi) n =
+  if n < 1 then invalid_arg "Nldm.axes_of_levels: level < 1";
+  if n = 1 then [| 0.5 *. (lo +. hi) |]
+  else Slc_num.Vec.linspace lo hi n
+
+let axes_of_levels ~box levels =
+  if Array.length box <> 3 || Array.length levels <> 3 then
+    invalid_arg "Nldm.axes_of_levels: need 3-D box and levels";
+  Array.init 3 (fun d -> axis_of_level box.(d) levels.(d))
+
+let build_on_axes ?seed tech arc ~axes =
+  if Array.length axes <> 3 then invalid_arg "Nldm.build_on_axes: need 3 axes";
+  let sin_axis = axes.(0) and cload_axis = axes.(1) and vdd_axis = axes.(2) in
+  let measure s c v =
+    Harness.simulate ?seed tech arc { Harness.sin = s; cload = c; vdd = v }
+  in
+  let n_s = Array.length sin_axis
+  and n_c = Array.length cload_axis
+  and n_v = Array.length vdd_axis in
+  let td = Array.init n_s (fun _ -> Array.init n_c (fun _ -> Array.make n_v 0.0)) in
+  let sout = Array.init n_s (fun _ -> Array.init n_c (fun _ -> Array.make n_v 0.0)) in
+  let energy =
+    Array.init n_s (fun _ -> Array.init n_c (fun _ -> Array.make n_v 0.0))
+  in
+  for i = 0 to n_s - 1 do
+    for j = 0 to n_c - 1 do
+      for k = 0 to n_v - 1 do
+        let m = measure sin_axis.(i) cload_axis.(j) vdd_axis.(k) in
+        td.(i).(j).(k) <- m.Harness.td;
+        sout.(i).(j).(k) <- m.Harness.sout;
+        energy.(i).(j).(k) <- m.Harness.energy
+      done
+    done
+  done;
+  { arc_name = Arc.name arc; sin_axis; cload_axis; vdd_axis; td; sout; energy }
+
+let build ?seed tech arc ~levels =
+  let box = Slc_device.Tech.input_box tech in
+  build_on_axes ?seed tech arc ~axes:(axes_of_levels ~box levels)
+
+(* Interpolation over up to three axes, constant along singletons. *)
+let cell_of axis x =
+  let n = Array.length axis in
+  if n = 1 then (0, 0.0)
+  else begin
+    let i = Slc_num.Interp.locate axis x in
+    (i, (x -. axis.(i)) /. (axis.(i + 1) -. axis.(i)))
+  end
+
+let lookup values t (p : Harness.point) =
+  let i, tx = cell_of t.sin_axis p.Harness.sin in
+  let j, ty = cell_of t.cload_axis p.Harness.cload in
+  let k, tz = cell_of t.vdd_axis p.Harness.vdd in
+  let at a b c =
+    let a = min a (Array.length t.sin_axis - 1) in
+    let b = min b (Array.length t.cload_axis - 1) in
+    let c = min c (Array.length t.vdd_axis - 1) in
+    values.(a).(b).(c)
+  in
+  let lerp w a b = ((1.0 -. w) *. a) +. (w *. b) in
+  let c00 = lerp tx (at i j k) (at (i + 1) j k) in
+  let c10 = lerp tx (at i (j + 1) k) (at (i + 1) (j + 1) k) in
+  let c01 = lerp tx (at i j (k + 1)) (at (i + 1) j (k + 1)) in
+  let c11 = lerp tx (at i (j + 1) (k + 1)) (at (i + 1) (j + 1) (k + 1)) in
+  lerp tz (lerp ty c00 c10) (lerp ty c01 c11)
+
+let lookup_td t p = lookup t.td t p
+
+let lookup_sout t p = lookup t.sout t p
+
+let lookup_energy t p = lookup t.energy t p

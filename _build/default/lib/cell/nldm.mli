@@ -1,0 +1,52 @@
+(** NLDM-style look-up tables — the conventional characterization the
+    paper benchmarks against.
+
+    A table stores delay and output slew on a rectilinear
+    [Sin x Cload x Vdd] grid and answers arbitrary points by trilinear
+    interpolation (constant along axes that have a single level).  The
+    cost of building a table is exactly its number of grid points, in
+    simulator runs — the paper's [N_LUT]. *)
+
+type t = {
+  arc_name : string;
+  sin_axis : float array;
+  cload_axis : float array;
+  vdd_axis : float array;
+  td : float array array array;    (** indexed [sin][cload][vdd] *)
+  sout : float array array array;
+  energy : float array array array;  (** switching energy, J *)
+}
+
+val size : t -> int
+(** Number of grid points = simulator runs used to build the table. *)
+
+val design_levels : budget:int -> box:Slc_prob.Sampling.box -> int array
+(** Axis level counts [| n_sin; n_cload; n_vdd |] whose product is as
+    close to [budget] as possible without exceeding it, preferring
+    balanced [Sin]/[Cload] resolution over [Vdd] (the conventional NLDM
+    shape).  Every count is at least 1. *)
+
+val axes_of_levels : box:Slc_prob.Sampling.box -> int array -> float array array
+(** Evenly spaced levels per axis (a singleton level sits at the box
+    center). *)
+
+val build :
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  Arc.t ->
+  levels:int array ->
+  t
+(** Simulates every grid point. *)
+
+val build_on_axes :
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  Arc.t ->
+  axes:float array array ->
+  t
+
+val lookup_td : t -> Harness.point -> float
+
+val lookup_sout : t -> Harness.point -> float
+
+val lookup_energy : t -> Harness.point -> float

@@ -1,0 +1,99 @@
+module Tech = Slc_device.Tech
+module Process = Slc_device.Process
+open Slc_spice
+
+type result = {
+  period : float;
+  frequency : float;
+  stage_delay : float;
+  cycles_measured : int;
+}
+
+exception No_oscillation
+
+let simulate ?(seed = Process.nominal) ?(stages = 5) ?(extra_load = 0.0)
+    (tech : Tech.t) ~vdd =
+  if stages < 3 || stages mod 2 = 0 then
+    invalid_arg "Ring.simulate: stages must be odd and >= 3";
+  if vdd <= 0.0 then invalid_arg "Ring.simulate: vdd must be > 0";
+  let net = Netlist.create () in
+  let nvdd = Netlist.fresh_node net "vdd" in
+  Netlist.add_vsource net (Stimulus.dc vdd) nvdd;
+  let nodes =
+    Array.init stages (fun i -> Netlist.fresh_node net (Printf.sprintf "r%d" i))
+  in
+  for i = 0 to stages - 1 do
+    let g = nodes.(i) in
+    let out = nodes.((i + 1) mod stages) in
+    Harness.instantiate ~seed tech net Cells.inv
+      ~gate_node:(fun _ -> g)
+      ~out ~vdd_node:nvdd;
+    Netlist.add_capacitor net extra_load ~a:out ~b:Netlist.ground
+  done;
+  (* Startup kick: a small cap from a fast pulse source injects charge
+     into node 0, pushing the ring off its metastable DC point. *)
+  let nkick = Netlist.fresh_node net "kick" in
+  Netlist.add_vsource net
+    (Stimulus.pwl [ (0.0, 0.0); (1e-12, 0.0); (2e-12, vdd); (4e-12, vdd); (5e-12, 0.0) ])
+    nkick;
+  Netlist.add_capacitor net 0.3e-15 ~a:nkick ~b:nodes.(0);
+  (* Rough period estimate from the equivalent inverter to size the
+     window for ~12 cycles. *)
+  let arc = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall in
+  let eq = Equivalent.of_arc tech arc in
+  let ieff = Equivalent.ieff eq ~vdd in
+  let cap_per_node =
+    Equivalent.input_cap tech Cells.inv ~pin:"A"
+    +. Equivalent.parasitic_cap tech arc +. extra_load
+  in
+  let t_stage = 0.7 *. cap_per_node *. vdd /. Float.max 1e-12 ieff in
+  let est_period = 2.0 *. float_of_int stages *. t_stage in
+  let rec attempt retries window_periods =
+    if retries > 2 then raise No_oscillation;
+    let tstop = est_period *. window_periods in
+    let opts =
+      {
+        (Transient.default_options ~tstop) with
+        dt_max = tstop /. (400.0 *. window_periods);
+        breakpoints = [ 1e-12; 2e-12; 4e-12; 5e-12 ];
+      }
+    in
+    Harness.count_simulation ();
+    let res = Transient.run opts net in
+    let w = Transient.waveform res nodes.(0) in
+    (* Rising mid-rail crossings, skipping the first half of the window
+       (startup transient). *)
+    let half = 0.5 *. vdd in
+    let crossings = ref [] in
+    let rec collect after =
+      match Waveform.cross_time w ~after Waveform.Rising half with
+      | Some t ->
+        crossings := t :: !crossings;
+        collect (t +. (0.05 *. est_period))
+      | None -> ()
+    in
+    collect (0.5 *. tstop);
+    let ts = List.rev !crossings in
+    match ts with
+    | t0 :: (_ :: _ :: _ as rest) ->
+      let tn = List.nth rest (List.length rest - 1) in
+      let cycles = List.length rest in
+      let period = (tn -. t0) /. float_of_int cycles in
+      (* Periods must be consistent cycle to cycle. *)
+      let rec jitter prev worst = function
+        | [] -> worst
+        | t :: tl ->
+          jitter t (Float.max worst (Float.abs (t -. prev -. period))) tl
+      in
+      let worst = jitter t0 0.0 rest in
+      if worst > 0.1 *. period then attempt (retries + 1) (window_periods *. 2.0)
+      else
+        {
+          period;
+          frequency = 1.0 /. period;
+          stage_delay = period /. (2.0 *. float_of_int stages);
+          cycles_measured = cycles;
+        }
+    | _ -> attempt (retries + 1) (window_periods *. 2.0)
+  in
+  attempt 0 12.0

@@ -1,0 +1,30 @@
+(** Ring oscillators — the classic silicon speed monitor, and a strong
+    end-to-end check of the transient engine: an autonomous circuit
+    with no driving input whose oscillation frequency must agree with
+    the per-stage delays the characterization flow predicts.
+
+    The ring sits at its (metastable) DC point until a small charge
+    kick on one node starts the oscillation. *)
+
+type result = {
+  period : float;        (** steady-state oscillation period, s *)
+  frequency : float;     (** 1 / period *)
+  stage_delay : float;   (** period / (2 * stages) *)
+  cycles_measured : int;
+}
+
+exception No_oscillation
+
+val simulate :
+  ?seed:Slc_device.Process.seed ->
+  ?stages:int ->
+  ?extra_load:float ->
+  Slc_device.Tech.t ->
+  vdd:float ->
+  result
+(** Builds a ring of [stages] (odd, default 5) inverters with
+    [extra_load] femto-scale capacitance per node (default 0), kicks
+    it, waits out the startup transient and measures the period from
+    the last few full cycles.  Raises {!No_oscillation} if no stable
+    oscillation is observed and [Invalid_argument] for an even or
+    too-short ring. *)

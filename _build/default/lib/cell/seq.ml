@@ -1,0 +1,180 @@
+module Tech = Slc_device.Tech
+module Process = Slc_device.Process
+open Slc_spice
+
+type capture_result = {
+  captured : bool;
+  q_final : float;
+  clk_to_q : float option;
+}
+
+let edge = 5e-12
+
+(* The 6-NAND positive-edge DFF (7474 style):
+     g1 = NAND(g2, g4)        g2 = NAND(g1, clk)
+     g3 = NAND(g2, clk, g4)   g4 = NAND(g3, d)
+     q  = NAND(g2, qb)        qb = NAND(q, g3)
+   Feedback everywhere; the output latch is seeded through weak
+   resistors so the pre-edge state is deterministic. *)
+(* d_revert: when [Some t], the data returns to its old value [t]
+   seconds after the clock edge (hold-time measurement). *)
+let build ?(seed = Process.nominal) (tech : Tech.t) ~vdd ~data_rises
+    ~d_to_clk ?d_revert ~t_clk () =
+  let net = Netlist.create () in
+  let nvdd = Netlist.fresh_node net "vdd" in
+  let nd = Netlist.fresh_node net "d" in
+  let nclk = Netlist.fresh_node net "clk" in
+  let g1 = Netlist.fresh_node net "g1" in
+  let g2 = Netlist.fresh_node net "g2" in
+  let g3 = Netlist.fresh_node net "g3" in
+  let g4 = Netlist.fresh_node net "g4" in
+  let q = Netlist.fresh_node net "q" in
+  let qb = Netlist.fresh_node net "qb" in
+  Netlist.add_vsource net (Stimulus.dc vdd) nvdd;
+  let v_old = if data_rises then 0.0 else vdd in
+  let v_new = vdd -. v_old in
+  let t_d = t_clk -. d_to_clk in
+  (match d_revert with
+  | None ->
+    Netlist.add_vsource net
+      (Stimulus.ramp ~t0:t_d ~duration:edge ~v_from:v_old ~v_to:v_new)
+      nd
+  | Some after ->
+    let t_back = t_clk +. after in
+    if t_back <= t_d +. edge then
+      invalid_arg "Seq.build: revert before the data edge completes";
+    Netlist.add_vsource net
+      (Stimulus.pwl
+         [
+           (0.0, v_old); (t_d, v_old); (t_d +. edge, v_new); (t_back, v_new);
+           (t_back +. edge, v_old);
+         ])
+      nd);
+  (* A priming clock pulse loads the OLD data value into the output
+     latch before the measured edge, so Q starts from a driven state
+     rather than relying on the weak keepers to resolve the latch. *)
+  Netlist.add_vsource net
+    (Stimulus.pwl
+       [
+         (0.0, 0.0); (8e-12, 0.0); (8e-12 +. edge, vdd); (25e-12, vdd);
+         (25e-12 +. edge, 0.0); (t_clk, 0.0); (t_clk +. edge, vdd);
+       ])
+    nclk;
+  let nand2 ~a ~b ~out =
+    Harness.instantiate ~seed tech net Cells.nand2
+      ~gate_node:(fun pin -> if String.equal pin "A" then a else b)
+      ~out ~vdd_node:nvdd
+  in
+  let nand3 ~a ~b ~c ~out =
+    Harness.instantiate ~seed tech net Cells.nand3
+      ~gate_node:(fun pin ->
+        match pin with "A" -> a | "B" -> b | _ -> c)
+      ~out ~vdd_node:nvdd
+  in
+  nand2 ~a:g2 ~b:g4 ~out:g1;
+  nand2 ~a:g1 ~b:nclk ~out:g2;
+  nand3 ~a:g2 ~b:nclk ~c:g4 ~out:g3;
+  nand2 ~a:g3 ~b:nd ~out:g4;
+  nand2 ~a:g2 ~b:qb ~out:q;
+  nand2 ~a:q ~b:g3 ~out:qb;
+  (* Weak keepers break the output latch's DC symmetry towards the old
+     value: ~1 GOhm injects under a nanoamp, irrelevant during
+     switching. *)
+  let weak = 1e9 in
+  if data_rises then begin
+    (* old Q = 0 *)
+    Netlist.add_resistor net weak ~a:q ~b:Netlist.ground;
+    Netlist.add_resistor net weak ~a:qb ~b:nvdd
+  end
+  else begin
+    Netlist.add_resistor net weak ~a:q ~b:nvdd;
+    Netlist.add_resistor net weak ~a:qb ~b:Netlist.ground
+  end;
+  (* Output load. *)
+  Netlist.add_capacitor net 2e-15 ~a:q ~b:Netlist.ground;
+  (net, nclk, q, t_d)
+
+let simulate_capture_gen ?seed ?d_revert (tech : Tech.t) ~vdd ~data_rises
+    ~d_to_clk =
+  if vdd <= 0.0 then invalid_arg "Seq.simulate_capture: vdd must be > 0";
+  if d_to_clk > 55e-12 then
+    invalid_arg "Seq.simulate_capture: data edge would precede the priming pulse";
+  (* Fixed timeline: priming pulse first, then both edges comfortably
+     inside the window even for negative offsets. *)
+  let t_clk = 90e-12 in
+  let settle = 120e-12 in
+  let net, nclk, q, t_d =
+    build ?seed tech ~vdd ~data_rises ~d_to_clk ?d_revert ~t_clk ()
+  in
+  let tstop = t_clk +. settle in
+  let opts =
+    {
+      (Transient.default_options ~tstop) with
+      dt_max = tstop /. 600.0;
+      breakpoints =
+        [ 8e-12; 8e-12 +. edge; 25e-12; 25e-12 +. edge; t_d; t_d +. edge;
+          t_clk; t_clk +. edge ]
+        |> List.filter (fun t -> t > 0.0);
+    }
+  in
+  Harness.count_simulation ();
+  let res = Transient.run opts net in
+  let wq = Transient.waveform res q in
+  let wclk = Transient.waveform res nclk in
+  let q_final = Waveform.final_value wq in
+  let captured =
+    if data_rises then q_final > 0.85 *. vdd else q_final < 0.15 *. vdd
+  in
+  let clk_to_q =
+    let half = 0.5 *. vdd in
+    let dir = if data_rises then Waveform.Rising else Waveform.Falling in
+    match
+      ( Waveform.cross_time wclk ~after:(t_clk -. 1e-12) Waveform.Rising half,
+        Waveform.cross_time wq ~after:t_clk dir half )
+    with
+    | Some tc, Some tq when captured -> Some (tq -. tc)
+    | _ -> None
+  in
+  { captured; q_final; clk_to_q }
+
+let simulate_capture ?seed tech ~vdd ~data_rises ~d_to_clk =
+  simulate_capture_gen ?seed tech ~vdd ~data_rises ~d_to_clk
+
+let hold_time ?seed ?(resolution = 5e-14) tech ~vdd ~data_rises =
+  (* Safe setup margin; only the revert time varies. *)
+  let d_to_clk = 30e-12 in
+  let try_at after =
+    (simulate_capture_gen ?seed ~d_revert:after tech ~vdd ~data_rises
+       ~d_to_clk)
+      .captured
+  in
+  (* Edge-triggered latches often have near-zero or negative hold, so
+     the bracket extends to reverts before the clock edge. *)
+  let long = 50e-12 and short = -15e-12 in
+  if not (try_at long) then
+    failwith "Seq.hold_time: capture fails even when data held long";
+  if try_at short then
+    failwith "Seq.hold_time: capture survives reverting before the edge";
+  let lo = ref short and hi = ref long in
+  while !hi -. !lo > resolution do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if try_at mid then hi := mid else lo := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let setup_time ?seed ?(resolution = 5e-14) tech ~vdd ~data_rises =
+  let try_at d_to_clk =
+    (simulate_capture ?seed tech ~vdd ~data_rises ~d_to_clk).captured
+  in
+  let early = 40e-12 and late = -10e-12 in
+  if not (try_at early) then
+    failwith "Seq.setup_time: capture fails even with very early data";
+  if try_at late then
+    failwith "Seq.setup_time: capture succeeds with data after the edge";
+  (* Bisect on the offset: large offset = safe, small/negative = fail. *)
+  let lo = ref late and hi = ref early in
+  while !hi -. !lo > resolution do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if try_at mid then hi := mid else lo := mid
+  done;
+  0.5 *. (!lo +. !hi)

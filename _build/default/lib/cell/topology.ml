@@ -1,0 +1,47 @@
+type t =
+  | Dev of { pin : string; width_mult : float }
+  | Series of t list
+  | Parallel of t list
+
+let pins net =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Dev { pin; _ } ->
+      if not (Hashtbl.mem seen pin) then begin
+        Hashtbl.add seen pin ();
+        acc := pin :: !acc
+      end
+    | Series l | Parallel l -> List.iter go l
+  in
+  go net;
+  List.rev !acc
+
+let rec device_count = function
+  | Dev _ -> 1
+  | Series l | Parallel l ->
+    List.fold_left (fun n sub -> n + device_count sub) 0 l
+
+let rec conducts net ~on =
+  match net with
+  | Dev { pin; _ } -> on pin
+  | Series l -> List.for_all (fun sub -> conducts sub ~on) l
+  | Parallel l -> List.exists (fun sub -> conducts sub ~on) l
+
+let rec equivalent_width_mult net ~on =
+  match net with
+  | Dev { pin; width_mult } -> if on pin then width_mult else 0.0
+  | Series l ->
+    let ws = List.map (fun sub -> equivalent_width_mult sub ~on) l in
+    if List.exists (fun w -> w = 0.0) ws then 0.0
+    else 1.0 /. List.fold_left (fun acc w -> acc +. (1.0 /. w)) 0.0 ws
+  | Parallel l ->
+    List.fold_left (fun acc sub -> acc +. equivalent_width_mult sub ~on) 0.0 l
+
+let rec validate = function
+  | Dev { width_mult; _ } ->
+    if width_mult <= 0.0 then
+      invalid_arg "Topology.validate: width multiplier must be > 0"
+  | Series [] | Parallel [] ->
+    invalid_arg "Topology.validate: empty series/parallel group"
+  | Series l | Parallel l -> List.iter validate l

@@ -1,0 +1,1 @@
+lib/core/bayes_library.ml: Char_flow Format Input_space List Map_fit Prior Slc_cell Slc_device String Timing_model

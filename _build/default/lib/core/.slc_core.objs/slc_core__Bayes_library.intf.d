@@ -1,0 +1,1 @@
+lib/core/bayes_library.mli: Char_flow Format Input_space Prior Slc_cell Slc_device Timing_model

@@ -1,0 +1,1 @@
+lib/core/belief.ml: Array List Prior Slc_num Slc_prob String Timing_model

@@ -1,0 +1,1 @@
+lib/core/belief.mli: Prior Slc_num Slc_prob

@@ -1,0 +1,1 @@
+lib/core/char_flow.ml: Array Extract_lse Float Format Input_space List Map_fit Prior Rsm Slc_cell Slc_device Slc_num Timing_model

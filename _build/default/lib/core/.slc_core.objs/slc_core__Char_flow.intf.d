@@ -1,0 +1,1 @@
+lib/core/char_flow.mli: Extract_lse Format Input_space Prior Slc_cell Slc_device

@@ -1,0 +1,1 @@
+lib/core/exp_ablation.ml: Array Belief Char_flow Config Extract_lse Format Hashtbl Input_space List Model_ext Printf Prior Report Slc_cell Slc_device Slc_prob String

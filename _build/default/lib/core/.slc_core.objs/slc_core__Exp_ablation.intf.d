@@ -1,0 +1,1 @@
+lib/core/exp_ablation.mli: Config Format Prior Slc_device

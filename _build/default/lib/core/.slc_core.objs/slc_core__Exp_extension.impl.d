@@ -1,0 +1,1 @@
+lib/core/exp_extension.ml: Array Char_flow Config Format Input_space List Prior Report Slc_cell Slc_device Slc_prob

@@ -1,0 +1,1 @@
+lib/core/exp_extension.mli: Config Format Slc_device

@@ -1,0 +1,1 @@
+lib/core/exp_model.ml: Array Extract_lse Float Format Input_space List Printf Report Slc_cell Slc_device Slc_num String Timing_model

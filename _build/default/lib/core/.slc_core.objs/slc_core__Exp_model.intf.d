@@ -1,0 +1,1 @@
+lib/core/exp_model.mli: Format Slc_cell Slc_device Timing_model

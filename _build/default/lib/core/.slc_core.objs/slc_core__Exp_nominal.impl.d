@@ -1,0 +1,1 @@
+lib/core/exp_nominal.ml: Array Char_flow Config Float Format Input_space List Printf Prior Report Slc_cell Slc_device Slc_prob

@@ -1,0 +1,1 @@
+lib/core/exp_statistical.ml: Array Char_flow Config Float Format Input_space List Prior Report Slc_cell Slc_device Slc_prob Statistical

@@ -1,0 +1,1 @@
+lib/core/exp_statistical.mli: Char_flow Config Format Input_space Prior Slc_cell Slc_device

@@ -1,0 +1,1 @@
+lib/core/extract_lse.ml: Array Float Slc_cell Slc_num Timing_model

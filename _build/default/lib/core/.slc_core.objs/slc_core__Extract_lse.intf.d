@@ -1,0 +1,1 @@
+lib/core/extract_lse.mli: Slc_cell Timing_model

@@ -1,0 +1,1 @@
+lib/core/input_space.ml: Array Slc_cell Slc_device Slc_prob

@@ -1,0 +1,1 @@
+lib/core/input_space.mli: Slc_cell Slc_device Slc_num Slc_prob

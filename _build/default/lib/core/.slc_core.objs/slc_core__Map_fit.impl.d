@@ -1,0 +1,1 @@
+lib/core/map_fit.ml: Array Extract_lse Prior Slc_num Slc_prob Timing_model

@@ -1,0 +1,1 @@
+lib/core/map_fit.mli: Extract_lse Prior Slc_device Timing_model

@@ -1,0 +1,1 @@
+lib/core/model_ext.ml: Array Extract_lse Float Slc_cell Slc_num Timing_model

@@ -1,0 +1,1 @@
+lib/core/model_ext.mli: Extract_lse Slc_cell Slc_num Timing_model

@@ -1,0 +1,1 @@
+lib/core/prior.ml: Array Extract_lse Float Format Input_space List Slc_cell Slc_device Slc_num Slc_prob Timing_model

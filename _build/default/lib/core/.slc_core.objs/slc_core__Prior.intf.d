@@ -1,0 +1,1 @@
+lib/core/prior.mli: Format Slc_cell Slc_device Slc_num Slc_prob Timing_model

@@ -1,0 +1,1 @@
+lib/core/prior_io.ml: Array Format In_channel List Out_channel Printf Prior Slc_num Slc_prob String Timing_model

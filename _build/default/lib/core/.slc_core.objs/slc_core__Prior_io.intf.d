@@ -1,0 +1,1 @@
+lib/core/prior_io.mli: Format Prior

@@ -1,0 +1,1 @@
+lib/core/rsm.ml: Array Float Input_space Slc_device Slc_num

@@ -1,0 +1,1 @@
+lib/core/rsm.mli: Input_space Slc_device

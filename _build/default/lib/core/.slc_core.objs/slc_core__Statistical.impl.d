@@ -1,0 +1,1 @@
+lib/core/statistical.ml: Array Char_flow Float Input_space Prior Slc_cell Slc_device Slc_num Slc_prob

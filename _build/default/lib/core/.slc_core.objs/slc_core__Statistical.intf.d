@@ -1,0 +1,1 @@
+lib/core/statistical.mli: Input_space Prior Slc_cell Slc_device

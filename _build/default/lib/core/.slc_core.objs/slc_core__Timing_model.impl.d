@@ -1,0 +1,1 @@
+lib/core/timing_model.ml: Array Format Slc_cell

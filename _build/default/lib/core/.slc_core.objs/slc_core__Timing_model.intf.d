@@ -1,0 +1,1 @@
+lib/core/timing_model.mli: Format Slc_cell Slc_num

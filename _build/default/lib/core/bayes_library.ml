@@ -1,0 +1,95 @@
+module Tech = Slc_device.Tech
+module Cells = Slc_cell.Cells
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+
+type entry = {
+  arc : Arc.t;
+  delay_params : Timing_model.params;
+  slew_params : Timing_model.params;
+}
+
+type t = {
+  tech : Tech.t;
+  prior : Prior.pair;
+  k : int;
+  entries : entry list;
+  sim_runs : int;
+}
+
+let characterize ?(cells = Cells.all) ?seed ~prior tech ~k =
+  let before = Harness.sim_count () in
+  let entries =
+    List.concat_map
+      (fun cell ->
+        List.map
+          (fun arc ->
+            let points = Input_space.fitting_points tech ~k in
+            let ds = Char_flow.simulate_dataset ?seed tech arc points in
+            let obs_td =
+              Char_flow.observations_of_dataset ?seed tech ds
+                ~metric:Prior.Delay
+            in
+            let obs_so =
+              Char_flow.observations_of_dataset ?seed tech ds
+                ~metric:Prior.Slew
+            in
+            {
+              arc;
+              delay_params =
+                Map_fit.fit_params ~prior:prior.Prior.delay ~tech obs_td;
+              slew_params =
+                Map_fit.fit_params ~prior:prior.Prior.slew ~tech obs_so;
+            })
+          (Arc.all_of_cell cell))
+      cells
+  in
+  { tech; prior; k; entries; sim_runs = Harness.sim_count () - before }
+
+let find t arc =
+  List.find_opt (fun e -> String.equal (Arc.name e.arc) (Arc.name arc)) t.entries
+
+let entry_exn t arc =
+  match find t arc with Some e -> e | None -> raise Not_found
+
+let ieff_of t arc (point : Input_space.point) =
+  Slc_cell.Equivalent.ieff
+    (Slc_cell.Equivalent.of_arc t.tech arc)
+    ~vdd:point.Harness.vdd
+
+let delay t arc point =
+  Timing_model.eval (entry_exn t arc).delay_params ~ieff:(ieff_of t arc point)
+    point
+
+let slew t arc point =
+  Timing_model.eval (entry_exn t arc).slew_params ~ieff:(ieff_of t arc point)
+    point
+
+let oracle_query t arc point = (delay t arc point, slew t arc point)
+
+let validate ?(n = 40) ?(rng_seed = 7) t =
+  let points = Input_space.validation_set ~n ~seed:rng_seed t.tech in
+  List.map
+    (fun e ->
+      let ds = Char_flow.simulate_dataset t.tech e.arc points in
+      let predictor =
+        {
+          Char_flow.label = "bayes-library";
+          train_cost = t.k;
+          predict_td = delay t e.arc;
+          predict_sout = slew t e.arc;
+        }
+      in
+      (Arc.name e.arc, Char_flow.evaluate predictor ds))
+    t.entries
+
+let summary ppf t =
+  Format.fprintf ppf
+    "bayes_library(%s) { /* %d arcs, k = %d, %d simulator runs */@."
+    t.tech.Tech.name (List.length t.entries) t.k t.sim_runs;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  arc %-16s delay %a@." (Arc.name e.arc)
+        Timing_model.pp e.delay_params)
+    t.entries;
+  Format.fprintf ppf "}@."

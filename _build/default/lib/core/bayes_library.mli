@@ -1,0 +1,53 @@
+(** Whole-library characterization with the proposed flow — the
+    deliverable a library team would actually produce.
+
+    Every timing arc of every cell is characterized by MAP extraction
+    from [k] simulations under the historical prior; the result answers
+    delay/slew at any input condition, reports its total simulator
+    cost, and can be compared against (or exported like) a conventional
+    NLDM library. *)
+
+type entry = {
+  arc : Slc_cell.Arc.t;
+  delay_params : Timing_model.params;
+  slew_params : Timing_model.params;
+}
+
+type t = {
+  tech : Slc_device.Tech.t;
+  prior : Prior.pair;
+  k : int;
+  entries : entry list;
+  sim_runs : int;  (** total target-node simulations *)
+}
+
+val characterize :
+  ?cells:Slc_cell.Cells.t list ->
+  ?seed:Slc_device.Process.seed ->
+  prior:Prior.pair ->
+  Slc_device.Tech.t ->
+  k:int ->
+  t
+(** Defaults to every built-in cell.  Cost is exactly
+    [k x number of arcs] (plus window retries). *)
+
+val find : t -> Slc_cell.Arc.t -> entry option
+
+val delay : t -> Slc_cell.Arc.t -> Input_space.point -> float
+(** Raises [Not_found] for arcs outside the library. *)
+
+val slew : t -> Slc_cell.Arc.t -> Input_space.point -> float
+
+val oracle_query :
+  t -> Slc_cell.Arc.t -> Input_space.point -> float * float
+(** [(delay, slew)] — plugs directly into [Slc_ssta.Oracle]. *)
+
+val validate :
+  ?n:int ->
+  ?rng_seed:int ->
+  t ->
+  (string * Char_flow.errors) list
+(** Simulated validation per arc ([n] random conditions each, default
+    40): the honest accuracy report to ship with the library. *)
+
+val summary : Format.formatter -> t -> unit

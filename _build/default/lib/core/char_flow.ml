@@ -1,0 +1,167 @@
+module Tech = Slc_device.Tech
+module Process = Slc_device.Process
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Equivalent = Slc_cell.Equivalent
+module Nldm = Slc_cell.Nldm
+
+type dataset = {
+  arc : Arc.t;
+  points : Input_space.point array;
+  td : float array;
+  sout : float array;
+  cost : int;
+}
+
+let simulate_dataset ?seed tech arc points =
+  let before = Harness.sim_count () in
+  (* Pure per-point tasks: safe to spread over domains. *)
+  let measured =
+    Slc_num.Parallel.map (fun p -> Harness.simulate ?seed tech arc p) points
+  in
+  {
+    arc;
+    points;
+    td = Array.map (fun m -> m.Harness.td) measured;
+    sout = Array.map (fun m -> m.Harness.sout) measured;
+    cost = Harness.sim_count () - before;
+  }
+
+let ieff_at ?(seed = Process.nominal) tech arc (p : Input_space.point) =
+  Equivalent.ieff_with_seed tech seed arc ~vdd:p.Harness.vdd
+
+let observations_of_dataset ?(seed = Process.nominal) tech ds ~metric =
+  let values =
+    match metric with Prior.Delay -> ds.td | Prior.Slew -> ds.sout
+  in
+  Array.init (Array.length ds.points) (fun i ->
+      {
+        Extract_lse.point = ds.points.(i);
+        ieff = ieff_at ~seed tech ds.arc ds.points.(i);
+        value = values.(i);
+      })
+
+type predictor = {
+  label : string;
+  train_cost : int;
+  predict_td : Input_space.point -> float;
+  predict_sout : Input_space.point -> float;
+}
+
+let model_predictor ~label ~seed ~tech ~arc ~cost p_td p_sout =
+  {
+    label;
+    train_cost = cost;
+    predict_td =
+      (fun pt -> Timing_model.eval p_td ~ieff:(ieff_at ?seed tech arc pt) pt);
+    predict_sout =
+      (fun pt -> Timing_model.eval p_sout ~ieff:(ieff_at ?seed tech arc pt) pt);
+  }
+
+let fitting_points_for ?points tech ~k =
+  match points with
+  | None -> Input_space.fitting_points tech ~k
+  | Some pts ->
+    if Array.length pts <> k then
+      invalid_arg "Char_flow: points override must have length k";
+    pts
+
+let train_bayes ?seed ?points ~(prior : Prior.pair) tech arc ~k =
+  let points = fitting_points_for ?points tech ~k in
+  let ds = simulate_dataset ?seed tech arc points in
+  let obs_td = observations_of_dataset ?seed tech ds ~metric:Prior.Delay in
+  let obs_sout = observations_of_dataset ?seed tech ds ~metric:Prior.Slew in
+  let p_td = Map_fit.fit_params ~prior:prior.Prior.delay ~tech obs_td in
+  let p_sout = Map_fit.fit_params ~prior:prior.Prior.slew ~tech obs_sout in
+  model_predictor ~label:"model+bayes" ~seed ~tech ~arc ~cost:ds.cost p_td
+    p_sout
+
+let train_lse ?seed ?points tech arc ~k =
+  let points = fitting_points_for ?points tech ~k in
+  let ds = simulate_dataset ?seed tech arc points in
+  let obs_td = observations_of_dataset ?seed tech ds ~metric:Prior.Delay in
+  let obs_sout = observations_of_dataset ?seed tech ds ~metric:Prior.Slew in
+  let p_td = Extract_lse.fit obs_td in
+  let p_sout = Extract_lse.fit obs_sout in
+  model_predictor ~label:"model+lse" ~seed ~tech ~arc ~cost:ds.cost p_td p_sout
+
+let train_rsm ?seed ?points tech arc ~k =
+  let points = fitting_points_for ?points tech ~k in
+  let ds = simulate_dataset ?seed tech arc points in
+  let samples values =
+    Array.init (Array.length ds.points) (fun i -> (ds.points.(i), values.(i)))
+  in
+  let rsm_td = Rsm.fit tech (samples ds.td) in
+  let rsm_sout = Rsm.fit tech (samples ds.sout) in
+  {
+    label = "rsm";
+    train_cost = ds.cost;
+    predict_td = Rsm.eval rsm_td;
+    predict_sout = Rsm.eval rsm_sout;
+  }
+
+let train_lut ?seed tech arc ~budget =
+  let box = Tech.input_box tech in
+  let levels = Nldm.design_levels ~budget ~box in
+  let before = Harness.sim_count () in
+  let table = Nldm.build ?seed tech arc ~levels in
+  {
+    label = "lookup-table";
+    train_cost = Harness.sim_count () - before;
+    predict_td = (fun pt -> Nldm.lookup_td table pt);
+    predict_sout = (fun pt -> Nldm.lookup_sout table pt);
+  }
+
+type errors = { td_err : float; sout_err : float }
+
+let mean_abs_rel pred actual =
+  let n = Array.length actual in
+  if n = 0 then invalid_arg "Char_flow.evaluate: empty dataset";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. Float.abs ((pred.(i) -. actual.(i)) /. actual.(i))
+  done;
+  !acc /. float_of_int n
+
+let evaluate p ds =
+  let td_pred = Array.map p.predict_td ds.points in
+  let sout_pred = Array.map p.predict_sout ds.points in
+  {
+    td_err = mean_abs_rel td_pred ds.td;
+    sout_err = mean_abs_rel sout_pred ds.sout;
+  }
+
+let budget_to_reach ~curve ~target =
+  (* The curve need not be monotone; find the first crossing going up
+     in budget, log-interpolating between bracketing points. *)
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) curve in
+  let rec go prev = function
+    | [] -> None
+    | (b, e) :: rest -> (
+      if e <= target then
+        match prev with
+        | None -> Some (float_of_int b)
+        | Some (b0, e0) when e0 > target ->
+          (* log-linear interpolation in budget *)
+          let lb0 = log (float_of_int b0) and lb1 = log (float_of_int b) in
+          let t = (e0 -. target) /. Float.max 1e-12 (e0 -. e) in
+          Some (exp (lb0 +. (t *. (lb1 -. lb0))))
+        | Some _ -> Some (float_of_int b)
+      else go (Some (b, e)) rest)
+  in
+  go None sorted
+
+type reach = Reached of float | At_least of float
+
+let speedup_vs ~budget ~curve ~target =
+  match budget_to_reach ~curve ~target with
+  | Some b -> Reached (b /. budget)
+  | None ->
+    let max_budget =
+      List.fold_left (fun acc (b, _) -> max acc b) 0 curve
+    in
+    At_least (float_of_int max_budget /. budget)
+
+let pp_reach ppf = function
+  | Reached s -> Format.fprintf ppf "%.1fx" s
+  | At_least s -> Format.fprintf ppf ">%.1fx (never reached in sweep)" s

@@ -1,0 +1,108 @@
+(** Nominal characterization flows and their cost accounting.
+
+    Three methods answer "delay/slew at any input condition ξ" for one
+    timing arc, each trained with a given budget of simulator runs:
+
+    - {b Bayes}: the paper's method — k simulations, MAP extraction
+      under the historical prior;
+    - {b LSE}: the compact model fitted by plain least squares on the
+      same k simulations (no prior);
+    - {b LUT}: a conventional NLDM grid of ~budget points with
+      trilinear interpolation.
+
+    All methods are evaluated against a common simulated baseline
+    dataset, with mean absolute relative error as in the paper. *)
+
+type dataset = {
+  arc : Slc_cell.Arc.t;
+  points : Input_space.point array;
+  td : float array;
+  sout : float array;
+  cost : int;  (** simulator runs spent building this dataset *)
+}
+
+val simulate_dataset :
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  Slc_cell.Arc.t ->
+  Input_space.point array ->
+  dataset
+
+val observations_of_dataset :
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  dataset ->
+  metric:Prior.metric ->
+  Extract_lse.observation array
+(** Attaches per-condition [Ieff] (with the seed's global shifts) to the
+    measured values. *)
+
+type predictor = {
+  label : string;
+  train_cost : int;  (** simulator runs spent training *)
+  predict_td : Input_space.point -> float;
+  predict_sout : Input_space.point -> float;
+}
+
+val train_bayes :
+  ?seed:Slc_device.Process.seed ->
+  ?points:Input_space.point array ->
+  prior:Prior.pair ->
+  Slc_device.Tech.t ->
+  Slc_cell.Arc.t ->
+  k:int ->
+  predictor
+(** [points] overrides the default curated fitting design (its length
+    must then be [k]); used by the design ablation. *)
+
+val train_lse :
+  ?seed:Slc_device.Process.seed ->
+  ?points:Input_space.point array ->
+  Slc_device.Tech.t ->
+  Slc_cell.Arc.t ->
+  k:int ->
+  predictor
+
+val train_rsm :
+  ?seed:Slc_device.Process.seed ->
+  ?points:Input_space.point array ->
+  Slc_device.Tech.t ->
+  Slc_cell.Arc.t ->
+  k:int ->
+  predictor
+(** Response-surface baseline: polynomial regression over normalized
+    inputs fitted to the same [k] simulations the model methods use
+    (degree adapts to [k]; see {!Rsm}). *)
+
+val train_lut :
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  Slc_cell.Arc.t ->
+  budget:int ->
+  predictor
+(** Builds the largest NLDM grid whose size does not exceed [budget];
+    [train_cost] is the actual grid size. *)
+
+type errors = { td_err : float; sout_err : float }
+(** Mean absolute relative errors over a dataset. *)
+
+val evaluate : predictor -> dataset -> errors
+
+val budget_to_reach :
+  curve:(int * float) list -> target:float -> float option
+(** Given (budget, error) pairs for one method, the (log-interpolated)
+    budget at which the method first reaches [target] error; [None] if
+    it never does.  Used for the paper's iso-accuracy speedup claims. *)
+
+type reach =
+  | Reached of float  (** iso-accuracy speedup factor *)
+  | At_least of float (** the other method never reached the target
+                          within its sweep; factor is a lower bound from
+                          its largest budget *)
+
+val speedup_vs :
+  budget:float -> curve:(int * float) list -> target:float -> reach
+(** Speedup of a method that achieves [target] error with [budget] runs
+    over the method described by [curve]. *)
+
+val pp_reach : Format.formatter -> reach -> unit

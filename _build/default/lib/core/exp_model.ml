@@ -1,0 +1,216 @@
+module Tech = Slc_device.Tech
+module Cells = Slc_cell.Cells
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Equivalent = Slc_cell.Equivalent
+module Vec = Slc_num.Vec
+
+type table1_row = {
+  tech_label : string;
+  tech_name : string;
+  cell_name : string;
+  params : Timing_model.params;
+  fit_error : float;
+  sims : int;
+}
+
+(* Delay observations for the cell's representative arc (pin A, falling
+   output) over a dense normalized grid.  The paper models one timing
+   arc at a time (Section II), and Table I reports one parameter set per
+   cell. *)
+let cell_observations tech cell =
+  let arc = Arc.find cell ~pin:"A" ~out_dir:Arc.Fall in
+  let unit_points = Input_space.unit_grid ~levels:[| 4; 4; 3 |] in
+  let points = Array.map (Input_space.denormalize tech) unit_points in
+  let eq = Equivalent.of_arc tech arc in
+  Array.to_list
+    (Array.map
+       (fun (p : Harness.point) ->
+         let m = Harness.simulate tech arc p in
+         {
+           Extract_lse.point = p;
+           ieff = Equivalent.ieff eq ~vdd:p.Harness.vdd;
+           value = m.Harness.td;
+         })
+       points)
+
+let table1 ?(techs = [ Tech.n14; Tech.n28; Tech.n45 ])
+    ?(cells = Cells.paper_set) () =
+  let labels = [| "A"; "B"; "C"; "D"; "E"; "F" |] in
+  List.concat
+    (List.mapi
+       (fun i tech ->
+         List.map
+           (fun cell ->
+             let before = Harness.sim_count () in
+             let obs = Array.of_list (cell_observations tech cell) in
+             let params = Extract_lse.fit obs in
+             {
+               tech_label = labels.(min i (Array.length labels - 1));
+               tech_name = tech.Tech.name;
+               cell_name = cell.Cells.name;
+               params;
+               fit_error = Extract_lse.avg_abs_rel_error params obs;
+               sims = Harness.sim_count () - before;
+             })
+           cells)
+       techs)
+
+let print_table1 ppf rows =
+  Format.fprintf ppf "Table I: extracted delay-model parameters@.";
+  Report.table ppf
+    ~header:[ "Tech"; "Cell"; "kd"; "Cpar(fF)"; "V'(V)"; "alpha"; "% error" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%s(%s)" r.tech_label r.tech_name;
+           r.cell_name;
+           Printf.sprintf "%.3f" r.params.Timing_model.kd;
+           Printf.sprintf "%.3f" r.params.Timing_model.cpar;
+           Printf.sprintf "%.3f" r.params.Timing_model.v_off;
+           Printf.sprintf "%.3f" r.params.Timing_model.alpha;
+           Printf.sprintf "%.2f%%" (100.0 *. r.fit_error);
+         ])
+       rows)
+
+type invariance_series = {
+  label : string;
+  xs : float array;
+  ratios : float array;
+  deviation : float;
+}
+
+let deviation_of ratios =
+  let m = Vec.mean ratios in
+  Array.fold_left
+    (fun acc r -> Float.max acc (Float.abs (r -. m) /. Float.abs m))
+    0.0 ratios
+
+(* Fit the model for one arc and metric over a dense grid, to obtain
+   the V'/Cpar/alpha used by the invariance plots. *)
+let fit_arc tech arc ~slew =
+  let unit_points = Input_space.unit_grid ~levels:[| 3; 3; 3 |] in
+  let points = Array.map (Input_space.denormalize tech) unit_points in
+  let eq = Equivalent.of_arc tech arc in
+  let obs =
+    Array.map
+      (fun (p : Harness.point) ->
+        let m = Harness.simulate tech arc p in
+        {
+          Extract_lse.point = p;
+          ieff = Equivalent.ieff eq ~vdd:p.Harness.vdd;
+          value = (if slew then m.Harness.sout else m.Harness.td);
+        })
+      points
+  in
+  Extract_lse.fit obs
+
+let fig2 ?(tech = Tech.n14) ?(cell = Cells.nor2) ?(n_vdd = 8) () =
+  let vdd_lo, vdd_hi = tech.Tech.vdd_range in
+  let vdds = Vec.linspace vdd_lo vdd_hi n_vdd in
+  let sin_lo, sin_hi = tech.Tech.sin_range in
+  let cl_lo, cl_hi = tech.Tech.cload_range in
+  let groups =
+    [
+      (0.3 *. (sin_lo +. sin_hi), 0.3 *. (cl_lo +. cl_hi));
+      (0.5 *. (sin_lo +. sin_hi), 0.5 *. (cl_lo +. cl_hi));
+      (0.7 *. (sin_lo +. sin_hi), 0.7 *. (cl_lo +. cl_hi));
+    ]
+  in
+  let arcs =
+    List.filter
+      (fun a -> String.equal a.Arc.pin "A")
+      (Arc.all_of_cell cell)
+  in
+  List.concat_map
+    (fun arc ->
+      let eq = Equivalent.of_arc tech arc in
+      List.concat_map
+        (fun slew ->
+          let params = fit_arc tech arc ~slew in
+          List.mapi
+            (fun gi (sin, cload) ->
+              let ratios =
+                Array.map
+                  (fun vdd ->
+                    let p = { Harness.sin; cload; vdd } in
+                    let m = Harness.simulate tech arc p in
+                    let y = if slew then m.Harness.sout else m.Harness.td in
+                    let ieff = Equivalent.ieff eq ~vdd in
+                    y *. ieff /. (vdd +. params.Timing_model.v_off))
+                  vdds
+              in
+              {
+                label =
+                  Printf.sprintf "%s %s grp%d"
+                    (if slew then "Sout" else "Td")
+                    (Arc.direction_to_string arc.Arc.out_dir)
+                    (gi + 1);
+                xs = vdds;
+                ratios;
+                deviation = deviation_of ratios;
+              })
+            groups)
+        [ false; true ])
+    arcs
+
+let fig3 ?(tech = Tech.n14) ?(cell = Cells.nor2) () =
+  let sin_lo, sin_hi = tech.Tech.sin_range in
+  let cl_lo, cl_hi = tech.Tech.cload_range in
+  (* 14 (Cload, Sin) combinations as in the paper's x axis. *)
+  let combos =
+    Array.init 14 (fun i ->
+        let t = float_of_int i /. 13.0 in
+        let sin = sin_lo +. ((sin_hi -. sin_lo) *. Float.rem (t *. 3.7) 1.0) in
+        let cload = cl_lo +. ((cl_hi -. cl_lo) *. t) in
+        (sin, cload))
+  in
+  let vdd_lo, vdd_hi = tech.Tech.vdd_range in
+  let vdds = [ vdd_lo; 0.5 *. (vdd_lo +. vdd_hi); vdd_hi ] in
+  let arcs =
+    List.filter (fun a -> String.equal a.Arc.pin "A") (Arc.all_of_cell cell)
+  in
+  List.concat_map
+    (fun arc ->
+      let params = fit_arc tech arc ~slew:false in
+      List.map
+        (fun vdd ->
+          let ratios =
+            Array.map
+              (fun (sin, cload) ->
+                let p = { Harness.sin; cload; vdd } in
+                let m = Harness.simulate tech arc p in
+                let cap =
+                  cload
+                  +. ((params.Timing_model.cpar
+                      +. (params.Timing_model.alpha *. (sin /. 1e-12)))
+                     *. 1e-15)
+                in
+                m.Harness.td /. cap)
+              combos
+          in
+          {
+            label =
+              Printf.sprintf "Td %s Vdd=%.2f"
+                (Arc.direction_to_string arc.Arc.out_dir)
+                vdd;
+            xs = Array.init 14 (fun i -> float_of_int (i + 1));
+            ratios;
+            deviation = deviation_of ratios;
+          })
+        vdds)
+    arcs
+
+let print_invariance ppf ~title series =
+  Format.fprintf ppf "%s@." title;
+  Report.table ppf
+    ~header:[ "series"; "n"; "mean ratio"; "max deviation" ]
+    (List.map
+       (fun s ->
+         [
+           s.label;
+           string_of_int (Array.length s.ratios);
+           Printf.sprintf "%.4g" (Vec.mean s.ratios);
+           Printf.sprintf "%.2f%%" (100.0 *. s.deviation);
+         ])
+       series)

@@ -1,0 +1,54 @@
+(** Model-validation experiments: paper Table I and Figs. 2–3. *)
+
+(** {1 Table I: extracted parameters across technologies} *)
+
+type table1_row = {
+  tech_label : string;   (** "A"/"B"/"C" as in the paper *)
+  tech_name : string;
+  cell_name : string;
+  params : Timing_model.params;
+  fit_error : float;     (** mean |relative| error of the fit *)
+  sims : int;
+}
+
+val table1 :
+  ?techs:Slc_device.Tech.t list ->
+  ?cells:Slc_cell.Cells.t list ->
+  unit ->
+  table1_row list
+(** Fits the delay model per (technology, cell), pooling all arcs of
+    the cell on a dense grid.  Defaults: technologies A/B/C =
+    n14/n28/n45, cells = INV/NAND2/NOR2. *)
+
+val print_table1 : Format.formatter -> table1_row list -> unit
+
+(** {1 Fig. 2: invariance of Td·Ieff/(Vdd+V') versus Vdd} *)
+
+type invariance_series = {
+  label : string;
+  xs : float array;       (** swept variable *)
+  ratios : float array;   (** the quantity that should be constant *)
+  deviation : float;      (** max |ratio - mean| / mean *)
+}
+
+val fig2 :
+  ?tech:Slc_device.Tech.t ->
+  ?cell:Slc_cell.Cells.t ->
+  ?n_vdd:int ->
+  unit ->
+  invariance_series list
+(** For delay and slew, rise and fall, at three (Cload, Sin) groups:
+    sweeps Vdd and reports [T·Ieff/(Vdd+V')] with V' fitted per metric.
+    Default NOR2 in n14 as in the paper. *)
+
+(** {1 Fig. 3: invariance of Td/(Cload+Cpar+α·Sin) across (Cload, Sin)} *)
+
+val fig3 :
+  ?tech:Slc_device.Tech.t ->
+  ?cell:Slc_cell.Cells.t ->
+  unit ->
+  invariance_series list
+(** Sweeps 14 (Cload, Sin) combinations at three Vdd values and reports
+    [Td/(Cload+Cpar+α·Sin)] per Vdd/direction series. *)
+
+val print_invariance : Format.formatter -> title:string -> invariance_series list -> unit

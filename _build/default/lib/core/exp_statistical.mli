@@ -1,0 +1,75 @@
+(** Statistical-characterization experiments: paper Figs. 7, 8 and 9
+    (28-nm statistical example). *)
+
+type stat_curve = {
+  budgets : int array;
+  e_mu_td : float array;
+  e_sigma_td : float array;
+  e_mu_sout : float array;
+  e_sigma_sout : float array;
+}
+
+type fig78_result = {
+  tech_name : string;
+  arc_names : string list;
+  n_points : int;
+  n_seeds : int;
+  baseline_cost : int;
+  bayes : stat_curve;
+  lse : stat_curve;
+  lut : stat_curve;
+  (* Iso-accuracy speedups vs the Bayes elbow (the paper quotes 17x for
+     µ(Td), 20x for σ(Td), 18x/19x for Sout): *)
+  speedup_mu_td : Char_flow.reach;
+  speedup_sigma_td : Char_flow.reach;
+  speedup_mu_sout : Char_flow.reach;
+  speedup_sigma_sout : Char_flow.reach;
+}
+
+val fig78 :
+  ?config:Config.t ->
+  ?tech:Slc_device.Tech.t ->
+  ?arcs:Slc_cell.Arc.t list ->
+  ?prior:Prior.pair ->
+  unit ->
+  fig78_result
+(** Statistical errors (Eqs. 16–19, relative) versus per-seed training
+    budget for the three methods, averaged over the given arcs (default:
+    one representative arc each of INV, NAND2, NOR2). *)
+
+val print_fig78 : Format.formatter -> fig78_result -> unit
+
+type fig9_result = {
+  point : Input_space.point;
+  arc_name : string;
+  n_seeds : int;
+  k_bayes : int;
+  lut_points : int;
+  grid : float array;          (** delay axis for the densities, s *)
+  pdf_baseline : float array;
+  pdf_bayes : float array;
+  pdf_lut : float array;
+  baseline_skewness : float;
+  bayes_skewness : float;
+  lut_skewness : float;
+  ks_bayes : float;            (** KS distance to the MC baseline *)
+  ks_lut : float;
+  cost_baseline : int;
+  cost_bayes : int;
+  cost_lut : int;
+}
+
+val fig9 :
+  ?config:Config.t ->
+  ?tech:Slc_device.Tech.t ->
+  ?arc:Slc_cell.Arc.t ->
+  ?point:Input_space.point ->
+  ?prior:Prior.pair ->
+  unit ->
+  fig9_result
+(** Delay probability density at one low-Vdd condition (default: the
+    paper's Vdd=0.734 V, Sin=5.09 ps, Cload=1.67 fF) for the MC
+    baseline, the proposed method with 7 fitting conditions, and a
+    60-point LUT. *)
+
+val print_fig9 : Format.formatter -> fig9_result -> unit

@@ -1,0 +1,55 @@
+module Sampling = Slc_prob.Sampling
+module Tech = Slc_device.Tech
+module Harness = Slc_cell.Harness
+
+type point = Harness.point
+
+let box = Tech.input_box
+
+let normalize tech (p : point) =
+  Sampling.to_unit (box tech) (Harness.vec_of_point p)
+
+let denormalize tech u =
+  Harness.point_of_vec (Sampling.scale_unit (box tech) u)
+
+let validation_set ?(n = 1000) ~seed tech =
+  let rng = Slc_prob.Rng.create seed in
+  Array.map Harness.point_of_vec (Sampling.random_box rng (box tech) n)
+
+(* Hand-ordered unit-cube design: coordinates are (sin, cload, vdd).
+   The first few points pin down the Vdd and capacitance dependences,
+   which is what the four model parameters need. *)
+let lead_design =
+  [|
+    [| 0.50; 0.50; 0.50 |];
+    [| 0.20; 0.90; 0.15 |];
+    [| 0.90; 0.20; 0.85 |];
+    [| 0.15; 0.15; 0.90 |];
+    [| 0.85; 0.85; 0.30 |];
+    [| 0.50; 0.10; 0.10 |];
+    [| 0.10; 0.60; 0.60 |];
+    [| 0.90; 0.90; 0.90 |];
+  |]
+
+let fitting_points tech ~k =
+  if k < 1 then invalid_arg "Input_space.fitting_points: k must be >= 1";
+  let b = box tech in
+  let lead = Array.length lead_design in
+  Array.init k (fun i ->
+      if i < lead then
+        Harness.point_of_vec (Sampling.scale_unit b lead_design.(i))
+      else begin
+        (* Continue with a Halton tail, skipping the early sequence
+           positions that cluster near the lead points. *)
+        let h = Sampling.halton b (i - lead + 1 + 16) in
+        Harness.point_of_vec h.(i - lead + 16)
+      end)
+
+let random_fitting_points tech ~k ~seed =
+  if k < 1 then invalid_arg "Input_space.random_fitting_points: k >= 1";
+  let rng = Slc_prob.Rng.create seed in
+  Array.map Harness.point_of_vec (Sampling.random_box rng (box tech) k)
+
+let unit_grid ~levels =
+  let unit_box = Array.make 3 (0.05, 0.95) in
+  Sampling.full_factorial unit_box ~levels

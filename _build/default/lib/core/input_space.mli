@@ -1,0 +1,36 @@
+(** The library input space ξ = (Sin, Cload, Vdd) of a technology:
+    normalization, validation sets and fitting-point designs.
+
+    Normalized coordinates (unit cube) are what cross-technology
+    learning operates on: the same normalized condition maps to
+    technology-appropriate absolute conditions in every node, which is
+    how precision learned on old nodes transfers to a new one. *)
+
+type point = Slc_cell.Harness.point
+
+val box : Slc_device.Tech.t -> Slc_prob.Sampling.box
+
+val normalize : Slc_device.Tech.t -> point -> Slc_num.Vec.t
+(** Into the unit cube (values outside the box land outside [0,1]). *)
+
+val denormalize : Slc_device.Tech.t -> Slc_num.Vec.t -> point
+
+val validation_set : ?n:int -> seed:int -> Slc_device.Tech.t -> point array
+(** [n] (default 1000) uniform random conditions — the paper's Fig. 5
+    baseline spread.  Deterministic in [seed]. *)
+
+val fitting_points : Slc_device.Tech.t -> k:int -> point array
+(** The first [k] points of a deterministic, identifiability-oriented
+    design: a hand-ordered spread covering the corners of the
+    (Vdd, Cload, Sin) box first, continued with a Halton sequence.
+    Methods that fit with [k] samples all receive the same points, so
+    method comparisons are paired. *)
+
+val random_fitting_points :
+  Slc_device.Tech.t -> k:int -> seed:int -> point array
+(** [k] conditions drawn uniformly from the box — the "random sampling"
+    the paper's baselines use.  Deterministic in [seed]. *)
+
+val unit_grid : levels:int array -> Slc_num.Vec.t array
+(** Full-factorial grid on the unit cube (inclusive of 0.05/0.95-margin
+    bounds to stay inside every technology's well-behaved region). *)

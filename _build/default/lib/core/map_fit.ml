@@ -1,0 +1,83 @@
+module Mat = Slc_num.Mat
+module Vec = Slc_num.Vec
+module Linalg = Slc_num.Linalg
+module Optimize = Slc_num.Optimize
+module Mvn = Slc_prob.Mvn
+
+type result = {
+  params : Timing_model.params;
+  posterior_cost : float;
+  prior_mahalanobis : float;
+  data_cost : float;
+}
+
+(* Inverse of a lower-triangular matrix, column by column. *)
+let lower_inverse l =
+  let n = Mat.rows l in
+  let inv = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    let x = Linalg.lower_solve l e in
+    for i = 0 to n - 1 do
+      Mat.set inv i j x.(i)
+    done
+  done;
+  inv
+
+let fit ~(prior : Prior.t) ~tech obs =
+  let mvn = prior.Prior.mvn in
+  let mu0 = mvn.Mvn.mu in
+  let l0 = mvn.Mvn.chol in
+  let l0_inv = lower_inverse l0 in
+  let n_p = Timing_model.n_params in
+  let m = Array.length obs in
+  let sqrt_betas =
+    Array.map
+      (fun (o : Extract_lse.observation) ->
+        sqrt (Prior.beta_at prior tech o.Extract_lse.point))
+      obs
+  in
+  let residuals v =
+    let p = Timing_model.of_vec v in
+    let prior_part = Mat.mul_vec l0_inv (Vec.sub v mu0) in
+    let data_part =
+      Array.mapi
+        (fun i (o : Extract_lse.observation) ->
+          sqrt_betas.(i)
+          *. Timing_model.rel_residual p ~ieff:o.Extract_lse.ieff
+               o.Extract_lse.point ~observed:o.Extract_lse.value)
+        obs
+    in
+    Array.append prior_part data_part
+  in
+  let jacobian v =
+    let p = Timing_model.of_vec v in
+    Mat.init (n_p + m) n_p (fun i j ->
+        if i < n_p then Mat.get l0_inv i j
+        else begin
+          let o = obs.(i - n_p) in
+          let g =
+            Timing_model.grad p ~ieff:o.Extract_lse.ieff o.Extract_lse.point
+          in
+          sqrt_betas.(i - n_p) *. g.(j) /. o.Extract_lse.value
+        end)
+  in
+  let lm =
+    Optimize.levenberg_marquardt ~residuals ~jacobian ~x0:(Vec.copy mu0) ()
+  in
+  let r = residuals lm.Optimize.x in
+  let prior_sq = ref 0.0 and data_sq = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      if i < n_p then prior_sq := !prior_sq +. (x *. x)
+      else data_sq := !data_sq +. (x *. x))
+    r;
+  {
+    params = Timing_model.of_vec lm.Optimize.x;
+    posterior_cost = lm.Optimize.cost;
+    prior_mahalanobis = !prior_sq;
+    data_cost = !data_sq;
+  }
+
+let fit_params ~prior ~tech obs = (fit ~prior ~tech obs).params

@@ -1,0 +1,33 @@
+(** Maximum-a-posteriori parameter extraction (paper Eq. 15):
+
+    minimize  (1/2)(P - µ0)ᵀ Σ0⁻¹ (P - µ0)
+            + (1/2) Σᵢ βᵢ rᵢ(P)²
+
+    where [rᵢ] is the relative model residual at fitting condition
+    [ξᵢ] and [βᵢ = β(ξᵢ)] the historically learned precision.  Solved
+    by Levenberg–Marquardt on the stacked residual vector
+    [[L0⁻¹ (P - µ0); √βᵢ rᵢ]] with analytic Jacobians ([L0] the
+    Cholesky factor of [Σ0]). *)
+
+type result = {
+  params : Timing_model.params;
+  posterior_cost : float;    (** value of the MAP objective at the optimum *)
+  prior_mahalanobis : float; (** (P-µ0)ᵀ Σ0⁻¹ (P-µ0) at the optimum *)
+  data_cost : float;         (** Σ βᵢ rᵢ² at the optimum *)
+}
+
+val fit :
+  prior:Prior.t ->
+  tech:Slc_device.Tech.t ->
+  Extract_lse.observation array ->
+  result
+(** MAP fit of the observations under the given prior.  Works with any
+    number of observations including zero (then the result is the prior
+    mean). *)
+
+val fit_params :
+  prior:Prior.t ->
+  tech:Slc_device.Tech.t ->
+  Extract_lse.observation array ->
+  Timing_model.params
+(** [fit] returning only the parameters. *)

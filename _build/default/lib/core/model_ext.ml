@@ -1,0 +1,87 @@
+module Optimize = Slc_num.Optimize
+module Mat = Slc_num.Mat
+
+type params = { base : Timing_model.params; gamma : float }
+
+let of_base base = { base; gamma = 0.0 }
+
+let n_params = 5
+
+let to_vec p = Array.append (Timing_model.to_vec p.base) [| p.gamma |]
+
+let of_vec v =
+  if Array.length v <> 5 then invalid_arg "Model_ext.of_vec: need 5 coords";
+  { base = Timing_model.of_vec (Array.sub v 0 4); gamma = v.(4) }
+
+let fF = 1e-15
+
+let cross_term p (pt : Slc_cell.Harness.point) =
+  let cload_fF = pt.Slc_cell.Harness.cload /. fF in
+  let sin_ps = pt.Slc_cell.Harness.sin /. 1e-12 in
+  p.gamma *. sin_ps *. cload_fF *. fF
+
+let eval p ~ieff pt =
+  let b = p.base in
+  Timing_model.eval b ~ieff pt
+  +. (b.Timing_model.kd
+     *. (pt.Slc_cell.Harness.vdd +. b.Timing_model.v_off)
+     *. cross_term p pt /. ieff)
+
+let grad p ~ieff pt =
+  let b = p.base in
+  let base_grad = Timing_model.grad b ~ieff pt in
+  let v = pt.Slc_cell.Harness.vdd +. b.Timing_model.v_off in
+  let cross = cross_term p pt in
+  let sin_ps = pt.Slc_cell.Harness.sin /. 1e-12 in
+  let cload_fF = pt.Slc_cell.Harness.cload /. fF in
+  (* The cross term adds to the cap term, so kd and v_off gradients get
+     corrections too. *)
+  [|
+    base_grad.(0) +. (v *. cross /. ieff);
+    base_grad.(1);
+    base_grad.(2) +. (b.Timing_model.kd *. cross /. ieff);
+    base_grad.(3);
+    b.Timing_model.kd *. v *. sin_ps *. cload_fF *. fF /. ieff;
+  |]
+
+let residuals_of obs v =
+  let p = of_vec v in
+  Array.map
+    (fun (o : Extract_lse.observation) ->
+      (eval p ~ieff:o.Extract_lse.ieff o.Extract_lse.point
+      -. o.Extract_lse.value)
+      /. o.Extract_lse.value)
+    obs
+
+let jacobian_of obs v =
+  let p = of_vec v in
+  Mat.init (Array.length obs) n_params (fun i j ->
+      let o = obs.(i) in
+      let g = grad p ~ieff:o.Extract_lse.ieff o.Extract_lse.point in
+      g.(j) /. o.Extract_lse.value)
+
+let fit ?init obs =
+  if Array.length obs = 0 then invalid_arg "Model_ext.fit: no observations";
+  let init =
+    match init with Some p -> p | None -> of_base Timing_model.default_init
+  in
+  let result =
+    Optimize.levenberg_marquardt ~residuals:(residuals_of obs)
+      ~jacobian:(jacobian_of obs) ~x0:(to_vec init) ()
+  in
+  of_vec result.Optimize.x
+
+let avg_abs_rel_error p obs =
+  if Array.length obs = 0 then
+    invalid_arg "Model_ext.avg_abs_rel_error: empty";
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (o : Extract_lse.observation) ->
+      acc :=
+        !acc
+        +. Float.abs
+             ((eval p ~ieff:o.Extract_lse.ieff o.Extract_lse.point
+              -. o.Extract_lse.value)
+             /. o.Extract_lse.value))
+    obs;
+  !acc /. float_of_int (Array.length obs)

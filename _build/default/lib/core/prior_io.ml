@@ -1,0 +1,185 @@
+module Mvn = Slc_prob.Mvn
+module Mat = Slc_num.Mat
+module Interp = Slc_num.Interp
+
+exception Format_error of string
+
+let fail msg = raise (Format_error msg)
+
+let fl x = Printf.sprintf "%.17g" x
+
+let write_one ppf (p : Prior.t) =
+  Format.fprintf ppf "metric %s@." (Prior.metric_to_string p.Prior.metric);
+  let mvn = p.Prior.mvn in
+  Format.fprintf ppf "mu %s@."
+    (String.concat " " (Array.to_list (Array.map fl (mvn : Mvn.t).Mvn.mu)));
+  let cov = mvn.Mvn.cov in
+  let flat = ref [] in
+  for i = 3 downto 0 do
+    for j = 3 downto 0 do
+      flat := fl (Mat.get cov i j) :: !flat
+    done
+  done;
+  Format.fprintf ppf "cov %s@." (String.concat " " !flat);
+  let xs, ys, zs = p.Prior.beta.Interp.axes in
+  let axis a =
+    Printf.sprintf "%d %s" (Array.length a)
+      (String.concat " " (Array.to_list (Array.map fl a)))
+  in
+  Format.fprintf ppf "axis %s@." (axis xs);
+  Format.fprintf ppf "axis %s@." (axis ys);
+  Format.fprintf ppf "axis %s@." (axis zs);
+  let betas = ref [] in
+  Array.iter
+    (fun plane ->
+      Array.iter (fun row -> Array.iter (fun v -> betas := fl v :: !betas) row)
+      plane)
+    p.Prior.beta.Interp.values3;
+  Format.fprintf ppf "beta %s@." (String.concat " " (List.rev !betas));
+  Format.fprintf ppf "provenance %d@." (List.length p.Prior.provenance);
+  List.iter
+    (fun (f : Prior.fitted_arc) ->
+      let q = f.Prior.params in
+      Format.fprintf ppf "prov %s %s %s %s %s %s %s@." f.Prior.tech_name
+        f.Prior.arc_name
+        (fl q.Timing_model.kd)
+        (fl q.Timing_model.cpar)
+        (fl q.Timing_model.v_off)
+        (fl q.Timing_model.alpha)
+        (fl f.Prior.fit_error))
+    p.Prior.provenance;
+  Format.fprintf ppf "cost %d@." p.Prior.learn_cost
+
+let write ppf (pair : Prior.pair) =
+  Format.fprintf ppf "slc-prior 1@.";
+  write_one ppf pair.Prior.delay;
+  write_one ppf pair.Prior.slew;
+  Format.fprintf ppf "end@."
+
+let to_string pair = Format.asprintf "%a" write pair
+
+(* ------------------------------------------------------------------ *)
+
+type cursor = { mutable lines : string list }
+
+let next_line c =
+  match c.lines with
+  | [] -> fail "unexpected end of file"
+  | l :: rest ->
+    c.lines <- rest;
+    l
+
+let fields l =
+  String.split_on_char ' ' l |> List.filter (fun s -> s <> "")
+
+let expect_key key l =
+  match fields l with
+  | k :: rest when String.equal k key -> rest
+  | _ -> fail (Printf.sprintf "expected %S, got %S" key l)
+
+let float_of s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail ("bad float " ^ s)
+
+let int_of s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail ("bad int " ^ s)
+
+let parse_one c =
+  let metric =
+    match expect_key "metric" (next_line c) with
+    | [ "delay" ] -> Prior.Delay
+    | [ "slew" ] -> Prior.Slew
+    | _ -> fail "bad metric"
+  in
+  let mu =
+    match expect_key "mu" (next_line c) with
+    | [ a; b; d; e ] -> [| float_of a; float_of b; float_of d; float_of e |]
+    | _ -> fail "mu needs 4 values"
+  in
+  let cov_vals = List.map float_of (expect_key "cov" (next_line c)) in
+  if List.length cov_vals <> 16 then fail "cov needs 16 values";
+  let cov_arr = Array.of_list cov_vals in
+  let cov = Mat.init 4 4 (fun i j -> cov_arr.((i * 4) + j)) in
+  let axis () =
+    match expect_key "axis" (next_line c) with
+    | n :: rest ->
+      let n = int_of n in
+      let vals = Array.of_list (List.map float_of rest) in
+      if Array.length vals <> n then fail "axis length mismatch";
+      vals
+    | [] -> fail "empty axis"
+  in
+  let xs = axis () in
+  let ys = axis () in
+  let zs = axis () in
+  let betas = Array.of_list (List.map float_of (expect_key "beta" (next_line c))) in
+  let n_s = Array.length xs and n_c = Array.length ys and n_v = Array.length zs in
+  if Array.length betas <> n_s * n_c * n_v then fail "beta size mismatch";
+  let values3 =
+    Array.init n_s (fun i ->
+        Array.init n_c (fun j ->
+            Array.init n_v (fun k -> betas.((((i * n_c) + j) * n_v) + k))))
+  in
+  let n_prov =
+    match expect_key "provenance" (next_line c) with
+    | [ n ] -> int_of n
+    | _ -> fail "bad provenance count"
+  in
+  let provenance =
+    List.init n_prov (fun _ ->
+        match expect_key "prov" (next_line c) with
+        | [ tech_name; arc_name; kd; cpar; v_off; alpha; err ] ->
+          {
+            Prior.tech_name;
+            arc_name;
+            params =
+              {
+                Timing_model.kd = float_of kd;
+                cpar = float_of cpar;
+                v_off = float_of v_off;
+                alpha = float_of alpha;
+              };
+            fit_error = float_of err;
+          }
+        | _ -> fail "bad prov line")
+  in
+  let learn_cost =
+    match expect_key "cost" (next_line c) with
+    | [ n ] -> int_of n
+    | _ -> fail "bad cost"
+  in
+  {
+    Prior.metric;
+    mvn = Mvn.make ~mu ~cov;
+    beta = { Interp.axes = (xs, ys, zs); values3 };
+    provenance;
+    learn_cost;
+  }
+
+let parse src =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let c = { lines } in
+  (match fields (next_line c) with
+  | [ "slc-prior"; "1" ] -> ()
+  | _ -> fail "bad header (want: slc-prior 1)");
+  let delay = parse_one c in
+  let slew = parse_one c in
+  (match fields (next_line c) with
+  | [ "end" ] -> ()
+  | _ -> fail "missing end marker");
+  if delay.Prior.metric <> Prior.Delay then fail "first block must be delay";
+  if slew.Prior.metric <> Prior.Slew then fail "second block must be slew";
+  { Prior.delay; slew }
+
+let save path pair =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string pair))
+
+let load path = parse (In_channel.with_open_text path In_channel.input_all)

@@ -1,0 +1,23 @@
+(** Persistence for learned priors.
+
+    Prior learning costs thousands of simulator runs over the
+    historical nodes; a production flow learns once per node family
+    and reuses the result.  The format is a versioned, line-oriented
+    text file (stable across platforms, diff-friendly). *)
+
+exception Format_error of string
+
+val write : Format.formatter -> Prior.pair -> unit
+
+val to_string : Prior.pair -> string
+
+val parse : string -> Prior.pair
+(** Raises {!Format_error} on malformed input.  Round-trips everything
+    the MAP flow needs: prior mean/covariance, the β(ξ) grid, the
+    provenance list and the learning cost. *)
+
+val save : string -> Prior.pair -> unit
+(** Write to a file path. *)
+
+val load : string -> Prior.pair
+(** Read from a file path; raises [Sys_error] or {!Format_error}. *)

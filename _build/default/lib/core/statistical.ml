@@ -1,0 +1,138 @@
+module Process = Slc_device.Process
+module Harness = Slc_cell.Harness
+module Describe = Slc_prob.Describe
+
+type method_ = Bayes of Prior.pair | Lse | Lut
+
+let method_label = function
+  | Bayes _ -> "model+bayes"
+  | Lse -> "model+lse"
+  | Lut -> "lookup-table"
+
+type population = {
+  meth : method_;
+  seeds : Process.seed array;
+  train_cost : int;
+  predict_td : Process.seed -> Input_space.point -> float;
+  predict_sout : Process.seed -> Input_space.point -> float;
+}
+
+let extract_population ~method_ ~tech ~arc ~seeds ~budget =
+  if Array.length seeds = 0 then
+    invalid_arg "Statistical.extract_population: no seeds";
+  if budget < 1 then invalid_arg "Statistical.extract_population: budget < 1";
+  let before = Harness.sim_count () in
+  (* Per-seed predictors, keyed by seed index. *)
+  let predictors =
+    Slc_num.Parallel.map
+      (fun seed ->
+        match method_ with
+        | Bayes prior -> Char_flow.train_bayes ~seed ~prior tech arc ~k:budget
+        | Lse -> Char_flow.train_lse ~seed tech arc ~k:budget
+        | Lut -> Char_flow.train_lut ~seed tech arc ~budget)
+      seeds
+  in
+  let find seed =
+    if seed.Process.index < 0 || seed.Process.index >= Array.length seeds then
+      invalid_arg "Statistical.population: unknown seed";
+    predictors.(seed.Process.index)
+  in
+  {
+    meth = method_;
+    seeds;
+    train_cost = Harness.sim_count () - before;
+    predict_td = (fun seed pt -> (find seed).Char_flow.predict_td pt);
+    predict_sout = (fun seed pt -> (find seed).Char_flow.predict_sout pt);
+  }
+
+let predict_samples pop pt ~td =
+  Array.map
+    (fun seed ->
+      if td then pop.predict_td seed pt else pop.predict_sout seed pt)
+    pop.seeds
+
+type baseline = {
+  points : Input_space.point array;
+  mu_td : float array;
+  sigma_td : float array;
+  mu_sout : float array;
+  sigma_sout : float array;
+  samples_td : float array array;
+  samples_sout : float array array;
+  cost : int;
+}
+
+let monte_carlo_baseline ~tech ~arc ~seeds ~points =
+  if Array.length seeds < 2 then
+    invalid_arg "Statistical.monte_carlo_baseline: need >= 2 seeds";
+  let before = Harness.sim_count () in
+  let n = Array.length points in
+  (* Simulate each (point, seed) once, reading both metrics; points
+     run in parallel (each task is pure). *)
+  let per_point =
+    Slc_num.Parallel.map
+      (fun pt ->
+        let td = Array.make (Array.length seeds) 0.0 in
+        let sout = Array.make (Array.length seeds) 0.0 in
+        Array.iteri
+          (fun j seed ->
+            let m = Harness.simulate ~seed tech arc pt in
+            td.(j) <- m.Harness.td;
+            sout.(j) <- m.Harness.sout)
+          seeds;
+        (td, sout))
+      points
+  in
+  let samples_td = Array.map fst per_point in
+  let samples_sout = Array.map snd per_point in
+  ignore n;
+  {
+    points;
+    mu_td = Array.map Describe.mean samples_td;
+    sigma_td = Array.map Describe.std samples_td;
+    mu_sout = Array.map Describe.mean samples_sout;
+    sigma_sout = Array.map Describe.std samples_sout;
+    samples_td;
+    samples_sout;
+    cost = Harness.sim_count () - before;
+  }
+
+type stat_errors = {
+  e_mu_td : float;
+  e_sigma_td : float;
+  e_mu_sout : float;
+  e_sigma_sout : float;
+}
+
+let evaluate pop base =
+  let n = Array.length base.points in
+  if n = 0 then invalid_arg "Statistical.evaluate: empty baseline";
+  let acc_mu_td = ref 0.0
+  and acc_sg_td = ref 0.0
+  and acc_mu_so = ref 0.0
+  and acc_sg_so = ref 0.0 in
+  Array.iteri
+    (fun i pt ->
+      let td = predict_samples pop pt ~td:true in
+      let so = predict_samples pop pt ~td:false in
+      let mu_td = Describe.mean td and sg_td = Describe.std td in
+      let mu_so = Describe.mean so and sg_so = Describe.std so in
+      acc_mu_td :=
+        !acc_mu_td +. (Float.abs (mu_td -. base.mu_td.(i)) /. base.mu_td.(i));
+      acc_sg_td :=
+        !acc_sg_td
+        +. (Float.abs (sg_td -. base.sigma_td.(i)) /. base.sigma_td.(i));
+      acc_mu_so :=
+        !acc_mu_so
+        +. (Float.abs (mu_so -. base.mu_sout.(i)) /. base.mu_sout.(i));
+      acc_sg_so :=
+        !acc_sg_so
+        +. (Float.abs (sg_so -. base.sigma_sout.(i)) /. base.sigma_sout.(i)))
+    base.points;
+  let nf = float_of_int n in
+  {
+    e_mu_td = !acc_mu_td /. nf;
+    e_sigma_td = !acc_sg_td /. nf;
+    e_mu_sout = !acc_mu_so /. nf;
+    e_sigma_sout = !acc_sg_so /. nf;
+  }

@@ -1,0 +1,67 @@
+(** Statistical library characterization (paper Section IV, last part,
+    and the Section V 28-nm example).
+
+    [N_sample] process seeds are drawn.  For each seed the chosen method
+    is trained with its budget of per-seed simulations; pushing the
+    per-seed models through any input condition yields the predicted
+    delay/slew distribution there.  The Monte-Carlo baseline simulates
+    every (validation point x seed) pair. *)
+
+type method_ =
+  | Bayes of Prior.pair  (** MAP extraction under the historical prior *)
+  | Lse                  (** plain least-squares extraction *)
+  | Lut                  (** per-seed NLDM table *)
+
+val method_label : method_ -> string
+
+type population = {
+  meth : method_;
+  seeds : Slc_device.Process.seed array;
+  train_cost : int;  (** total simulator runs over all seeds *)
+  predict_td : Slc_device.Process.seed -> Input_space.point -> float;
+  predict_sout : Slc_device.Process.seed -> Input_space.point -> float;
+}
+
+val extract_population :
+  method_:method_ ->
+  tech:Slc_device.Tech.t ->
+  arc:Slc_cell.Arc.t ->
+  seeds:Slc_device.Process.seed array ->
+  budget:int ->
+  population
+(** Trains the method independently for every seed with [budget]
+    simulator runs each ([k] fitting points for model methods, grid
+    size for LUT). *)
+
+val predict_samples :
+  population -> Input_space.point -> td:bool -> float array
+(** Per-seed predicted values at one condition ([td:false] gives output
+    slew). *)
+
+type baseline = {
+  points : Input_space.point array;
+  mu_td : float array;
+  sigma_td : float array;
+  mu_sout : float array;
+  sigma_sout : float array;
+  samples_td : float array array;   (** [point][seed] raw values *)
+  samples_sout : float array array;
+  cost : int;
+}
+
+val monte_carlo_baseline :
+  tech:Slc_device.Tech.t ->
+  arc:Slc_cell.Arc.t ->
+  seeds:Slc_device.Process.seed array ->
+  points:Input_space.point array ->
+  baseline
+
+type stat_errors = {
+  e_mu_td : float;     (** mean relative |µ̂ - µ| over points *)
+  e_sigma_td : float;  (** mean relative |σ̂ - σ| / σ over points *)
+  e_mu_sout : float;
+  e_sigma_sout : float;
+}
+
+val evaluate : population -> baseline -> stat_errors
+(** Paper Eqs. 16–19 in relative form. *)

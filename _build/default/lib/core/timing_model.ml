@@ -1,0 +1,46 @@
+type params = { kd : float; cpar : float; v_off : float; alpha : float }
+
+let to_vec p = [| p.kd; p.cpar; p.v_off; p.alpha |]
+
+let of_vec v =
+  if Array.length v <> 4 then invalid_arg "Timing_model.of_vec: need 4 coords";
+  { kd = v.(0); cpar = v.(1); v_off = v.(2); alpha = v.(3) }
+
+let n_params = 4
+
+let default_init = { kd = 0.4; cpar = 1.0; v_off = -0.25; alpha = 0.1 }
+
+let fF = 1e-15
+
+(* Sin enters in ps because alpha is in fF/ps; the product alpha*sin_ps
+   is then in fF like cpar. *)
+let cap_term p (pt : Slc_cell.Harness.point) =
+  let cload_fF = pt.Slc_cell.Harness.cload /. fF in
+  let sin_ps = pt.Slc_cell.Harness.sin /. 1e-12 in
+  (cload_fF +. p.cpar +. (p.alpha *. sin_ps)) *. fF
+
+let charge p (pt : Slc_cell.Harness.point) =
+  (pt.Slc_cell.Harness.vdd +. p.v_off) *. cap_term p pt
+
+let eval p ~ieff pt =
+  if ieff <= 0.0 then invalid_arg "Timing_model.eval: ieff must be > 0";
+  p.kd *. charge p pt /. ieff
+
+let grad p ~ieff pt =
+  let v = pt.Slc_cell.Harness.vdd +. p.v_off in
+  let c = cap_term p pt in
+  let sin_ps = pt.Slc_cell.Harness.sin /. 1e-12 in
+  [|
+    v *. c /. ieff;                        (* d/d kd *)
+    p.kd *. v *. fF /. ieff;               (* d/d cpar *)
+    p.kd *. c /. ieff;                     (* d/d v_off *)
+    p.kd *. v *. sin_ps *. fF /. ieff;     (* d/d alpha *)
+  |]
+
+let rel_residual p ~ieff pt ~observed =
+  if observed = 0.0 then invalid_arg "Timing_model.rel_residual: observed = 0";
+  (eval p ~ieff pt -. observed) /. observed
+
+let pp ppf p =
+  Format.fprintf ppf "{kd=%.3f; Cpar=%.3f fF; V'=%.3f V; alpha=%.3f fF/ps}"
+    p.kd p.cpar p.v_off p.alpha

@@ -1,0 +1,1 @@
+lib/device/process.ml: Array Float Int64 Mosfet Slc_prob Tech

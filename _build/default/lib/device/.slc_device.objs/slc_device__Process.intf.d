@@ -1,0 +1,1 @@
+lib/device/process.mli: Mosfet Slc_prob Tech

@@ -1,0 +1,1 @@
+lib/device/tech.ml: List Mosfet Printf String

@@ -1,0 +1,113 @@
+module Rng = Slc_prob.Rng
+module Dist = Slc_prob.Dist
+
+type seed = {
+  index : int;
+  dvt_n : float;
+  dvt_p : float;
+  dkp_rel : float;
+  dl_rel : float;
+  dcpar_rel : float;
+  local_seed : int;
+}
+
+let nominal =
+  {
+    index = -1;
+    dvt_n = 0.0;
+    dvt_p = 0.0;
+    dkp_rel = 0.0;
+    dl_rel = 0.0;
+    dcpar_rel = 0.0;
+    local_seed = 0;
+  }
+
+type corner = Ss | Tt | Ff | Sf | Fs
+
+let corner (tech : Tech.t) which =
+  (* +1 = slow (higher Vt), -1 = fast, per device polarity; the shared
+     mobility shift follows the average of the two polarities. *)
+  let n_sign, p_sign =
+    match which with
+    | Ss -> (1.0, 1.0)
+    | Tt -> (0.0, 0.0)
+    | Ff -> (-1.0, -1.0)
+    | Sf -> (1.0, -1.0)
+    | Fs -> (-1.0, 1.0)
+  in
+  let vt3 = 3.0 *. tech.Tech.sigma_vt_global in
+  let kp2 = 2.0 *. tech.Tech.sigma_kp_rel in
+  {
+    index = -1;
+    dvt_n = n_sign *. vt3;
+    dvt_p = p_sign *. vt3;
+    dkp_rel = -.kp2 *. (n_sign +. p_sign) /. 2.0;
+    dl_rel = 0.0;
+    dcpar_rel = 0.0;
+    local_seed = 0;
+  }
+
+let sample rng (tech : Tech.t) index =
+  {
+    index;
+    dvt_n = Dist.gaussian rng ~mu:0.0 ~sigma:tech.sigma_vt_global;
+    dvt_p = Dist.gaussian rng ~mu:0.0 ~sigma:tech.sigma_vt_global;
+    dkp_rel =
+      Dist.truncated_gaussian rng ~mu:0.0 ~sigma:tech.sigma_kp_rel ~lo:(-0.4)
+        ~hi:0.4;
+    dl_rel =
+      Dist.truncated_gaussian rng ~mu:0.0 ~sigma:tech.sigma_l_rel ~lo:(-0.3)
+        ~hi:0.3;
+    dcpar_rel =
+      Dist.truncated_gaussian rng ~mu:0.0 ~sigma:tech.sigma_cpar_rel
+        ~lo:(-0.4) ~hi:0.4;
+    local_seed = Int64.to_int (Rng.uint64 rng) land 0x3FFFFFFF;
+  }
+
+let sample_batch rng tech n = Array.init n (fun i -> sample rng tech i)
+
+let sample_batch_lhs rng (tech : Tech.t) n =
+  if n < 1 then invalid_arg "Process.sample_batch_lhs: n must be >= 1";
+  (* One stratified uniform per dimension, pushed through the Gaussian
+     (or truncated-Gaussian-approximating clamp) quantile. *)
+  let unit_box = Array.make 5 (0.0, 1.0) in
+  let pts = Slc_prob.Sampling.latin_hypercube rng unit_box n in
+  let clamp_q lo hi u = Float.max lo (Float.min hi u) in
+  Array.init n (fun i ->
+      let u = pts.(i) in
+      let q sigma j =
+        Slc_prob.Dist.gaussian_quantile ~mu:0.0 ~sigma
+          (clamp_q 1e-6 (1.0 -. 1e-6) u.(j))
+      in
+      let trunc sigma bound j = Float.max (-.bound) (Float.min bound (q sigma j)) in
+      {
+        index = i;
+        dvt_n = q tech.Tech.sigma_vt_global 0;
+        dvt_p = q tech.Tech.sigma_vt_global 1;
+        dkp_rel = trunc tech.Tech.sigma_kp_rel 0.4 2;
+        dl_rel = trunc tech.Tech.sigma_l_rel 0.3 3;
+        dcpar_rel = trunc tech.Tech.sigma_cpar_rel 0.4 4;
+        local_seed = Int64.to_int (Slc_prob.Rng.uint64 rng) land 0x3FFFFFFF;
+      })
+
+let local_dvt seed (tech : Tech.t) ~device_index (p : Mosfet.params) =
+  if seed.local_seed = 0 && seed.index = -1 then 0.0
+  else begin
+    let stream = Rng.create ((seed.local_seed * 65_537) + device_index) in
+    let sigma = tech.avt /. sqrt (p.w *. p.l) in
+    Dist.gaussian stream ~mu:0.0 ~sigma
+  end
+
+let apply seed tech ~device_index (p : Mosfet.params) =
+  let dvt_global =
+    match p.polarity with Mosfet.Nmos -> seed.dvt_n | Mosfet.Pmos -> seed.dvt_p
+  in
+  let dvt = dvt_global +. local_dvt seed tech ~device_index p in
+  {
+    p with
+    vt = p.vt +. dvt;
+    kp = p.kp *. (1.0 +. seed.dkp_rel);
+    l = p.l *. (1.0 +. seed.dl_rel);
+  }
+
+let cpar_scale seed = 1.0 +. seed.dcpar_rel

@@ -1,0 +1,153 @@
+type flavor = Bulk | Soi | Finfet
+
+type t = {
+  name : string;
+  node_nm : int;
+  flavor : flavor;
+  vdd_nom : float;
+  nmos : Mosfet.params;
+  pmos : Mosfet.params;
+  avt : float;
+  sigma_vt_global : float;
+  sigma_kp_rel : float;
+  sigma_l_rel : float;
+  sigma_cpar_rel : float;
+  sin_range : float * float;
+  cload_range : float * float;
+  vdd_range : float * float;
+}
+
+let fF_per_um = 1e-9 (* 1 fF/um expressed in F/m *)
+
+let ps = 1e-12
+
+let fF = 1e-15
+
+let make_node ~name ~node_nm ~flavor ~vdd_nom ~l ~w_min ~vt_n ~vt_p ~kp_n
+    ~kp_p ~alpha ~lambda ~cg ~cj ~avt ~sigma_vt_global ~sin_range ~cload_range
+    ~vdd_range =
+  let base polarity vt kp : Mosfet.params =
+    {
+      polarity;
+      w = w_min;
+      l;
+      vt;
+      kp;
+      alpha;
+      theta = 0.035;
+      vsat_frac = 0.55;
+      lambda;
+      cg;
+      cj;
+    }
+  in
+  {
+    name;
+    node_nm;
+    flavor;
+    vdd_nom;
+    nmos = base Mosfet.Nmos vt_n kp_n;
+    pmos = base Mosfet.Pmos vt_p kp_p;
+    avt;
+    sigma_vt_global;
+    sigma_kp_rel = 0.05;
+    sigma_l_rel = 0.025;
+    sigma_cpar_rel = 0.05;
+    sin_range;
+    cload_range;
+    vdd_range;
+  }
+
+let n14 =
+  make_node ~name:"n14" ~node_nm:14 ~flavor:Finfet ~vdd_nom:0.80 ~l:20e-9
+    ~w_min:100e-9 ~vt_n:0.32 ~vt_p:0.34 ~kp_n:4.0e-5 ~kp_p:3.0e-5 ~alpha:1.25
+    ~lambda:0.06
+    ~cg:(1.25 *. fF_per_um)
+    ~cj:(0.85 *. fF_per_um)
+    ~avt:1.4e-9 ~sigma_vt_global:0.018
+    ~sin_range:(1.0 *. ps, 15.0 *. ps)
+    ~cload_range:(0.5 *. fF, 6.0 *. fF)
+    ~vdd_range:(0.65, 1.0)
+
+let n20 =
+  make_node ~name:"n20" ~node_nm:20 ~flavor:Bulk ~vdd_nom:0.90 ~l:24e-9
+    ~w_min:120e-9 ~vt_n:0.34 ~vt_p:0.36 ~kp_n:3.2e-5 ~kp_p:2.4e-5 ~alpha:1.30
+    ~lambda:0.07
+    ~cg:(1.15 *. fF_per_um)
+    ~cj:(0.80 *. fF_per_um)
+    ~avt:1.6e-9 ~sigma_vt_global:0.020
+    ~sin_range:(1.5 *. ps, 18.0 *. ps)
+    ~cload_range:(0.6 *. fF, 7.0 *. fF)
+    ~vdd_range:(0.72, 1.08)
+
+let n28 =
+  make_node ~name:"n28" ~node_nm:28 ~flavor:Bulk ~vdd_nom:1.00 ~l:30e-9
+    ~w_min:150e-9 ~vt_n:0.38 ~vt_p:0.40 ~kp_n:2.6e-5 ~kp_p:1.9e-5 ~alpha:1.35
+    ~lambda:0.08
+    ~cg:(1.05 *. fF_per_um)
+    ~cj:(0.75 *. fF_per_um)
+    ~avt:1.9e-9 ~sigma_vt_global:0.022
+    ~sin_range:(2.0 *. ps, 20.0 *. ps)
+    ~cload_range:(0.8 *. fF, 8.0 *. fF)
+    ~vdd_range:(0.70, 1.05)
+
+let n32 =
+  make_node ~name:"n32" ~node_nm:32 ~flavor:Soi ~vdd_nom:1.00 ~l:34e-9
+    ~w_min:170e-9 ~vt_n:0.36 ~vt_p:0.39 ~kp_n:2.4e-5 ~kp_p:1.8e-5 ~alpha:1.40
+    ~lambda:0.05 (* SOI: better output resistance, lower junction cap *)
+    ~cg:(1.00 *. fF_per_um)
+    ~cj:(0.45 *. fF_per_um)
+    ~avt:2.0e-9 ~sigma_vt_global:0.021
+    ~sin_range:(2.0 *. ps, 22.0 *. ps)
+    ~cload_range:(0.8 *. fF, 9.0 *. fF)
+    ~vdd_range:(0.72, 1.10)
+
+let n40 =
+  make_node ~name:"n40" ~node_nm:40 ~flavor:Bulk ~vdd_nom:1.10 ~l:45e-9
+    ~w_min:200e-9 ~vt_n:0.42 ~vt_p:0.44 ~kp_n:2.0e-5 ~kp_p:1.5e-5 ~alpha:1.45
+    ~lambda:0.09
+    ~cg:(0.95 *. fF_per_um)
+    ~cj:(0.70 *. fF_per_um)
+    ~avt:2.4e-9 ~sigma_vt_global:0.024
+    ~sin_range:(2.5 *. ps, 25.0 *. ps)
+    ~cload_range:(1.0 *. fF, 10.0 *. fF)
+    ~vdd_range:(0.80, 1.20)
+
+let n45 =
+  make_node ~name:"n45" ~node_nm:45 ~flavor:Bulk ~vdd_nom:1.10 ~l:50e-9
+    ~w_min:220e-9 ~vt_n:0.45 ~vt_p:0.47 ~kp_n:1.8e-5 ~kp_p:1.35e-5 ~alpha:1.50
+    ~lambda:0.10
+    ~cg:(0.90 *. fF_per_um)
+    ~cj:(0.68 *. fF_per_um)
+    ~avt:2.6e-9 ~sigma_vt_global:0.025
+    ~sin_range:(2.5 *. ps, 28.0 *. ps)
+    ~cload_range:(1.0 *. fF, 11.0 *. fF)
+    ~vdd_range:(0.80, 1.21)
+
+let all = [ n14; n20; n28; n32; n40; n45 ]
+
+let by_name name =
+  match List.find_opt (fun t -> String.equal t.name name) all with
+  | Some t -> t
+  | None -> raise Not_found
+
+let at_temperature t ~celsius =
+  {
+    t with
+    name = Printf.sprintf "%s@%gC" t.name celsius;
+    nmos = Mosfet.at_temperature t.nmos ~celsius;
+    pmos = Mosfet.at_temperature t.pmos ~celsius;
+  }
+
+let vt_variant t ~shift ~suffix =
+  {
+    t with
+    name = t.name ^ suffix;
+    nmos = { t.nmos with Mosfet.vt = t.nmos.Mosfet.vt +. shift };
+    pmos = { t.pmos with Mosfet.vt = t.pmos.Mosfet.vt +. shift };
+  }
+
+let historical_for target =
+  List.filter (fun t -> not (String.equal t.name target.name)) all
+
+let input_box t = [| t.sin_range; t.cload_range; t.vdd_range |]

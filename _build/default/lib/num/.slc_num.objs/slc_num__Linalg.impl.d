@@ -1,0 +1,1 @@
+lib/num/linalg.ml: Array Float Mat

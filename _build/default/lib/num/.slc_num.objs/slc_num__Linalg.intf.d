@@ -1,0 +1,1 @@
+lib/num/linalg.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/num/optimize.mli: Mat Vec

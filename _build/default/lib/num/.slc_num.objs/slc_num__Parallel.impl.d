@@ -1,0 +1,1 @@
+lib/num/parallel.ml: Array Domain Sys

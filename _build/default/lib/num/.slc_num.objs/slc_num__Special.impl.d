@@ -1,0 +1,1 @@
+lib/num/special.ml: Array Float

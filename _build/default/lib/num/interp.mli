@@ -1,0 +1,31 @@
+(** Interpolation on rectilinear grids: 1-D linear, 2-D bilinear and 3-D
+    trilinear, with linear extrapolation outside the grid.  These are the
+    interpolation schemes used by NLDM-style timing look-up tables. *)
+
+val locate : Vec.t -> float -> int
+(** [locate axis x] returns the index [i] of the cell such that
+    [axis.(i) <= x <= axis.(i+1)], clamped to [0 .. dim axis - 2] (this
+    clamping yields linear extrapolation at the ends).  The axis must be
+    strictly increasing with at least two points. *)
+
+val is_strictly_increasing : Vec.t -> bool
+
+val linear1d : Vec.t -> Vec.t -> float -> float
+(** [linear1d xs ys x]: piecewise-linear interpolation of the samples
+    [(xs, ys)] at [x], linearly extrapolating outside [xs]. *)
+
+type grid2 = { xs : Vec.t; ys : Vec.t; values : Mat.t }
+(** [values] has [dim xs] rows and [dim ys] columns. *)
+
+val make_grid2 : xs:Vec.t -> ys:Vec.t -> f:(float -> float -> float) -> grid2
+
+val bilinear : grid2 -> float -> float -> float
+
+type grid3 = { axes : Vec.t * Vec.t * Vec.t; values3 : float array array array }
+(** [values3.(i).(j).(k)] corresponds to [(xs.(i), ys.(j), zs.(k))]. *)
+
+val make_grid3 :
+  xs:Vec.t -> ys:Vec.t -> zs:Vec.t -> f:(float -> float -> float -> float) ->
+  grid3
+
+val trilinear : grid3 -> float -> float -> float -> float

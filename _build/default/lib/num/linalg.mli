@@ -1,0 +1,57 @@
+(** Direct dense linear algebra: Cholesky and LU factorizations, solves,
+    inverses.  Sized for the small systems this project needs (circuit
+    Jacobians and 4x4 parameter covariances), not for large-scale work. *)
+
+exception Singular of string
+(** Raised when a factorization meets a (numerically) singular or, for
+    Cholesky, non-positive-definite matrix. *)
+
+val cholesky : Mat.t -> Mat.t
+(** [cholesky a] returns the lower-triangular [l] with [l * l^T = a] for a
+    symmetric positive-definite [a].  Raises {!Singular} otherwise. *)
+
+val cholesky_solve : Mat.t -> Vec.t -> Vec.t
+(** [cholesky_solve l b] solves [l l^T x = b] given the Cholesky factor
+    [l]. *)
+
+val solve_spd : Mat.t -> Vec.t -> Vec.t
+(** [solve_spd a b] solves [a x = b] for symmetric positive-definite [a]. *)
+
+val spd_inverse : Mat.t -> Mat.t
+(** Inverse of a symmetric positive-definite matrix via Cholesky. *)
+
+val spd_log_det : Mat.t -> float
+(** Log-determinant of a symmetric positive-definite matrix. *)
+
+type lu
+(** LU factorization with partial pivoting. *)
+
+val lu_decompose : Mat.t -> lu
+(** Raises {!Singular} on singular input. *)
+
+val lu_solve : lu -> Vec.t -> Vec.t
+
+val lu_det : lu -> float
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** General square solve via LU with partial pivoting. *)
+
+val inverse : Mat.t -> Mat.t
+
+val det : Mat.t -> float
+
+val lower_solve : Mat.t -> Vec.t -> Vec.t
+(** Forward substitution with a lower-triangular matrix. *)
+
+val upper_solve : Mat.t -> Vec.t -> Vec.t
+(** Back substitution with an upper-triangular matrix. *)
+
+val expm : Mat.t -> Mat.t
+(** Matrix exponential by scaling-and-squaring with a (6,6) Padé
+    approximant — used to compute exact linear-circuit responses when
+    validating the transient integrators. *)
+
+val solve_least_squares : Mat.t -> Vec.t -> Vec.t
+(** [solve_least_squares a b] minimizes [||a x - b||_2] via the normal
+    equations with a tiny ridge for robustness.  Requires
+    [rows a >= cols a]. *)

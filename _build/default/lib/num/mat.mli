@@ -1,0 +1,73 @@
+(** Dense row-major matrices of floats. *)
+
+type t
+
+val create : int -> int -> t
+(** [create r c] is the [r x c] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val of_rows : float array array -> t
+(** Takes ownership of a copy of the given rows; all rows must have equal
+    length. *)
+
+val to_rows : t -> float array array
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product; raises [Invalid_argument] on inner-dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m v] is [m * v]. *)
+
+val tmul_vec : t -> Vec.t -> Vec.t
+(** [tmul_vec m v] is [m^T * v] without forming the transpose. *)
+
+val outer : Vec.t -> Vec.t -> t
+(** [outer u v] is the rank-one matrix [u v^T]. *)
+
+val diag : Vec.t -> t
+(** Diagonal matrix from a vector. *)
+
+val diagonal : t -> Vec.t
+(** Diagonal of a square matrix. *)
+
+val trace : t -> float
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val sym_part : t -> t
+(** [(m + m^T) / 2]. *)
+
+val add_ridge : t -> float -> t
+(** [add_ridge m lambda] adds [lambda] to each diagonal entry (Tikhonov
+    regularization); the input is not modified. *)
+
+val frobenius : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

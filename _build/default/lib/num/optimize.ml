@@ -1,0 +1,221 @@
+type lm_result = {
+  x : Vec.t;
+  cost : float;
+  iterations : int;
+  converged : bool;
+  residual_norm : float;
+}
+
+let numeric_jacobian ?(rel_step = 1e-6) f x =
+  let r0 = f x in
+  let m = Array.length r0 and n = Array.length x in
+  let jac = Mat.create m n in
+  for j = 0 to n - 1 do
+    let h = rel_step *. Float.max 1.0 (Float.abs x.(j)) in
+    let xj = x.(j) in
+    x.(j) <- xj +. h;
+    let r1 = f x in
+    x.(j) <- xj;
+    for i = 0 to m - 1 do
+      Mat.set jac i j ((r1.(i) -. r0.(i)) /. h)
+    done
+  done;
+  jac
+
+let half_sq_norm r = 0.5 *. Vec.dot r r
+
+let levenberg_marquardt ?(max_iter = 200) ?(xtol = 1e-12) ?(ftol = 1e-14)
+    ?(lambda0 = 1e-3) ?jacobian ~residuals ~x0 () =
+  let jac_of =
+    match jacobian with
+    | Some j -> j
+    | None -> fun x -> numeric_jacobian residuals x
+  in
+  let x = Vec.copy x0 in
+  let lambda = ref lambda0 in
+  let cost = ref (half_sq_norm (residuals x)) in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let r = residuals x in
+    let j = jac_of x in
+    let jtj = Mat.mul (Mat.transpose j) j in
+    let jtr = Mat.tmul_vec j r in
+    (* Try a damped step; increase damping until the cost decreases. *)
+    let stepped = ref false in
+    let attempts = ref 0 in
+    while (not !stepped) && !attempts < 25 do
+      incr attempts;
+      let a = Mat.add_ridge jtj !lambda in
+      let step =
+        try Some (Linalg.solve_spd a (Vec.neg jtr)) with Linalg.Singular _ -> None
+      in
+      match step with
+      | None -> lambda := !lambda *. 10.0
+      | Some dx ->
+        let x_try = Vec.add x dx in
+        let cost_try = half_sq_norm (residuals x_try) in
+        if cost_try < !cost then begin
+          (* Accept; relax the damping. *)
+          let step_rel =
+            Vec.norm2 dx /. Float.max 1e-30 (Vec.norm2 x)
+          in
+          let cost_rel = (!cost -. cost_try) /. Float.max 1e-300 !cost in
+          Array.blit x_try 0 x 0 (Array.length x);
+          cost := cost_try;
+          lambda := Float.max 1e-12 (!lambda /. 3.0);
+          stepped := true;
+          if step_rel < xtol || cost_rel < ftol then converged := true
+        end
+        else lambda := !lambda *. 10.0
+    done;
+    if not !stepped then converged := true
+  done;
+  let r = residuals x in
+  {
+    x;
+    cost = half_sq_norm r;
+    iterations = !iter;
+    converged = !converged;
+    residual_norm = Vec.norm2 r;
+  }
+
+type nm_result = {
+  nm_x : Vec.t;
+  nm_f : float;
+  nm_iterations : int;
+  nm_converged : bool;
+}
+
+let nelder_mead ?(max_iter = 2000) ?(tol = 1e-10) ?(init_step = 0.1) ~f ~x0 () =
+  let n = Array.length x0 in
+  let simplex =
+    Array.init (n + 1) (fun i ->
+        let p = Vec.copy x0 in
+        if i > 0 then begin
+          let j = i - 1 in
+          let h = init_step *. Float.max 1.0 (Float.abs p.(j)) in
+          p.(j) <- p.(j) +. h
+        end;
+        p)
+  in
+  let fv = Array.map f simplex in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare fv.(a) fv.(b)) idx;
+    let s = Array.map (fun i -> simplex.(i)) idx in
+    let v = Array.map (fun i -> fv.(i)) idx in
+    Array.blit s 0 simplex 0 (n + 1);
+    Array.blit v 0 fv 0 (n + 1)
+  in
+  let centroid () =
+    let c = Vec.create n in
+    for i = 0 to n - 1 do
+      Vec.axpy 1.0 simplex.(i) c
+    done;
+    Vec.scale (1.0 /. float_of_int n) c
+  in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    order ();
+    if Float.abs (fv.(n) -. fv.(0)) <= tol *. (1.0 +. Float.abs fv.(0)) then
+      converged := true
+    else begin
+      let c = centroid () in
+      let reflect alpha =
+        Vec.init n (fun i -> c.(i) +. (alpha *. (c.(i) -. simplex.(n).(i))))
+      in
+      let xr = reflect 1.0 in
+      let fr = f xr in
+      if fr < fv.(0) then begin
+        let xe = reflect 2.0 in
+        let fe = f xe in
+        if fe < fr then begin
+          simplex.(n) <- xe;
+          fv.(n) <- fe
+        end
+        else begin
+          simplex.(n) <- xr;
+          fv.(n) <- fr
+        end
+      end
+      else if fr < fv.(n - 1) then begin
+        simplex.(n) <- xr;
+        fv.(n) <- fr
+      end
+      else begin
+        let xc = reflect (-0.5) in
+        let fc = f xc in
+        if fc < fv.(n) then begin
+          simplex.(n) <- xc;
+          fv.(n) <- fc
+        end
+        else
+          (* Shrink towards the best vertex. *)
+          for i = 1 to n do
+            simplex.(i) <-
+              Vec.init n (fun j ->
+                  simplex.(0).(j)
+                  +. (0.5 *. (simplex.(i).(j) -. simplex.(0).(j))));
+            fv.(i) <- f simplex.(i)
+          done
+      end
+    end
+  done;
+  order ();
+  { nm_x = simplex.(0); nm_f = fv.(0); nm_iterations = !iter; nm_converged = !converged }
+
+let golden_ratio = (sqrt 5.0 -. 1.0) /. 2.0
+
+let golden_section ?(tol = 1e-10) ~f ~lo ~hi () =
+  if lo >= hi then invalid_arg "Optimize.golden_section: lo >= hi";
+  let a = ref lo and b = ref hi in
+  let c = ref (!b -. (golden_ratio *. (!b -. !a))) in
+  let d = ref (!a +. (golden_ratio *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  while !b -. !a > tol *. (1.0 +. Float.abs !a +. Float.abs !b) do
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (golden_ratio *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (golden_ratio *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  0.5 *. (!a +. !b)
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let fa = f lo and fb = f hi in
+  if fa = 0.0 then lo
+  else if fb = 0.0 then hi
+  else if fa *. fb > 0.0 then
+    invalid_arg "Optimize.bisect: interval does not bracket a root"
+  else begin
+    let a = ref lo and b = ref hi and fa = ref fa in
+    let i = ref 0 in
+    while !b -. !a > tol *. (1.0 +. Float.abs !a) && !i < max_iter do
+      incr i;
+      let m = 0.5 *. (!a +. !b) in
+      let fm = f m in
+      if fm = 0.0 then begin
+        a := m;
+        b := m
+      end
+      else if !fa *. fm < 0.0 then b := m
+      else begin
+        a := m;
+        fa := fm
+      end
+    done;
+    0.5 *. (!a +. !b)
+  end

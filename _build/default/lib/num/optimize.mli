@@ -1,0 +1,58 @@
+(** Local optimization: Levenberg–Marquardt nonlinear least squares,
+    Nelder–Mead simplex, golden-section line search, and scalar root
+    finding.  These cover parameter extraction (LM on model residuals),
+    MAP estimation (LM on prior-augmented residuals) and the odd scalar
+    solve. *)
+
+type lm_result = {
+  x : Vec.t;            (** optimal parameter vector *)
+  cost : float;         (** 0.5 * ||r(x)||^2 at the optimum *)
+  iterations : int;
+  converged : bool;
+  residual_norm : float;
+}
+
+val numeric_jacobian :
+  ?rel_step:float -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
+(** Forward-difference Jacobian of a residual function; [rel_step]
+    defaults to [1e-6] of each component's magnitude (floored). *)
+
+val levenberg_marquardt :
+  ?max_iter:int ->
+  ?xtol:float ->
+  ?ftol:float ->
+  ?lambda0:float ->
+  ?jacobian:(Vec.t -> Mat.t) ->
+  residuals:(Vec.t -> Vec.t) ->
+  x0:Vec.t ->
+  unit ->
+  lm_result
+(** Minimizes [0.5 * ||residuals x||^2] starting from [x0].
+
+    Uses a damped Gauss–Newton step with multiplicative damping update
+    (Marquardt's strategy).  When [jacobian] is omitted a forward-difference
+    Jacobian is used.  Defaults: [max_iter = 200], [xtol = 1e-12]
+    (step-size tolerance relative to parameter norm), [ftol = 1e-14]
+    (relative cost decrease), [lambda0 = 1e-3]. *)
+
+type nm_result = { nm_x : Vec.t; nm_f : float; nm_iterations : int; nm_converged : bool }
+
+val nelder_mead :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?init_step:float ->
+  f:(Vec.t -> float) ->
+  x0:Vec.t ->
+  unit ->
+  nm_result
+(** Derivative-free simplex minimization of [f] starting at [x0]. *)
+
+val golden_section :
+  ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Minimizer of a unimodal scalar function on [lo, hi]. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> float
+(** Root of [f] on a bracketing interval ([f lo] and [f hi] must have
+    opposite signs; raises [Invalid_argument] otherwise). *)

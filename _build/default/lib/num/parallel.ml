@@ -1,0 +1,46 @@
+let domain_count () =
+  match Sys.getenv_opt "SLC_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+exception Task_failed of exn
+
+let map ?domains f xs =
+  let n = Array.length xs in
+  let d = match domains with Some d -> max 1 d | None -> domain_count () in
+  if d <= 1 || n < 2 then Array.map f xs
+  else begin
+    let d = min d n in
+    let results = Array.make n None in
+    (* Block-cyclic assignment: worker w handles indices w, w+d, ... *)
+    let worker w () =
+      let i = ref w in
+      (try
+         while !i < n do
+           results.(!i) <- Some (f xs.(!i));
+           i := !i + d
+         done
+       with e -> raise (Task_failed e))
+    in
+    let handles = Array.init (d - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    let first_error = ref None in
+    (try worker 0 () with Task_failed e -> first_error := Some e);
+    Array.iter
+      (fun h ->
+        match Domain.join h with
+        | () -> ()
+        | exception Task_failed e ->
+          if !first_error = None then first_error := Some e)
+      handles;
+    (match !first_error with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Parallel.map: missing result")
+      results
+  end
+
+let map_list ?domains f xs = Array.to_list (map ?domains f (Array.of_list xs))

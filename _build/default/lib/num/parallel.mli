@@ -1,0 +1,18 @@
+(** Deterministic data-parallel maps over OCaml 5 domains.
+
+    Tasks must be pure (or touch only atomic/thread-safe state — the
+    simulator's run counter is atomic).  Results are positionally
+    identical to a sequential map regardless of scheduling.
+
+    The domain count comes from [SLC_DOMAINS] when set ([1] disables
+    parallelism entirely), else [Domain.recommended_domain_count],
+    capped at 8. *)
+
+val domain_count : unit -> int
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Chunked parallel map.  Falls back to [Array.map] for small inputs
+    or a single domain.  Exceptions raised by tasks are re-raised in
+    the caller. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

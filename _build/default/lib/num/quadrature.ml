@@ -1,0 +1,46 @@
+let trapezoid f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Quadrature.trapezoid: n must be >= 1";
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref (0.5 *. (f lo +. f hi)) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (lo +. (float_of_int i *. h))
+  done;
+  !acc *. h
+
+let simpson f ~lo ~hi ~n =
+  let n = if n mod 2 = 0 then n else n + 1 in
+  let n = max n 2 in
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref (f lo +. f hi) in
+  for i = 1 to n - 1 do
+    let w = if i mod 2 = 1 then 4.0 else 2.0 in
+    acc := !acc +. (w *. f (lo +. (float_of_int i *. h)))
+  done;
+  !acc *. h /. 3.0
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 30) f ~lo ~hi () =
+  let simpson3 a b fa fm fb = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
+  let rec go a b fa fm fb whole tol depth =
+    let m = 0.5 *. (a +. b) in
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson3 a m fa flm fm in
+    let right = simpson3 m b fm frm fb in
+    let delta = left +. right -. whole in
+    if depth >= max_depth || Float.abs delta <= 15.0 *. tol then
+      left +. right +. (delta /. 15.0)
+    else
+      go a m fa flm fm left (tol /. 2.0) (depth + 1)
+      +. go m b fm frm fb right (tol /. 2.0) (depth + 1)
+  in
+  let fa = f lo and fb = f hi and fm = f (0.5 *. (lo +. hi)) in
+  go lo hi fa fm fb (simpson3 lo hi fa fm fb) tol 0
+
+let trapezoid_samples ~xs ~ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Quadrature.trapezoid_samples: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 2 do
+    acc := !acc +. (0.5 *. (ys.(i) +. ys.(i + 1)) *. (xs.(i + 1) -. xs.(i)))
+  done;
+  !acc

@@ -1,0 +1,15 @@
+(** Scalar numerical integration. *)
+
+val trapezoid : (float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite trapezoid rule with [n >= 1] panels. *)
+
+val simpson : (float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite Simpson rule; [n] is rounded up to the next even panel
+    count. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> (float -> float) -> lo:float -> hi:float ->
+  unit -> float
+
+val trapezoid_samples : xs:Vec.t -> ys:Vec.t -> float
+(** Trapezoid rule over tabulated samples (axis must be increasing). *)

@@ -1,0 +1,19 @@
+(** Special functions for probability computations. *)
+
+val erf : float -> float
+(** Error function, accurate to about 1.2e-7 (Abramowitz–Stegun 7.1.26
+    refined by a rational approximation). *)
+
+val erfc : float -> float
+
+val normal_cdf : ?mu:float -> ?sigma:float -> float -> float
+(** Standard parameters default to [mu = 0], [sigma = 1]. *)
+
+val normal_pdf : ?mu:float -> ?sigma:float -> float -> float
+
+val normal_quantile : ?mu:float -> ?sigma:float -> float -> float
+(** Inverse normal CDF (Acklam's algorithm, |rel err| < 1.2e-9).  The
+    probability argument must lie strictly inside (0, 1). *)
+
+val log_gamma : float -> float
+(** Lanczos approximation, valid for positive arguments. *)

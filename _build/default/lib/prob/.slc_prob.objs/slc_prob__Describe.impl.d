@@ -1,0 +1,1 @@
+lib/prob/describe.ml: Array Float Slc_num

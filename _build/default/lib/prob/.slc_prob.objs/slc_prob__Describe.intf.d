@@ -1,0 +1,1 @@
+lib/prob/describe.mli: Slc_num

@@ -1,0 +1,1 @@
+lib/prob/dist.ml: Float Rng Slc_num

@@ -1,0 +1,1 @@
+lib/prob/kde.ml: Array Describe Float Slc_num

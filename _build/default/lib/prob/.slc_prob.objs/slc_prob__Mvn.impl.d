@@ -1,0 +1,1 @@
+lib/prob/mvn.ml: Array Describe Dist Float Slc_num

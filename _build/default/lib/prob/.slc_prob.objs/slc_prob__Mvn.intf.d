@@ -1,0 +1,1 @@
+lib/prob/mvn.mli: Rng Slc_num

@@ -1,0 +1,1 @@
+lib/prob/sampling.ml: Array Rng Slc_num

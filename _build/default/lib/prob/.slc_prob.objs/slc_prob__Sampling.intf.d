@@ -1,0 +1,1 @@
+lib/prob/sampling.mli: Rng Slc_num

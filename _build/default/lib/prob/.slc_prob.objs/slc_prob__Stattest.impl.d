@@ -1,0 +1,1 @@
+lib/prob/stattest.ml: Array Describe Float Histogram

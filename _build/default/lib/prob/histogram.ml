@@ -1,0 +1,43 @@
+type t = { lo : float; hi : float; counts : int array; total : int }
+
+let build_range ~bins ~lo ~hi xs =
+  if bins < 1 then invalid_arg "Histogram.build_range: bins must be >= 1";
+  if lo >= hi then invalid_arg "Histogram.build_range: empty range";
+  let counts = Array.make bins 0 in
+  let w = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      if x >= lo && x <= hi then begin
+        let b = int_of_float ((x -. lo) /. w) in
+        let b = if b >= bins then bins - 1 else b in
+        counts.(b) <- counts.(b) + 1
+      end)
+    xs;
+  { lo; hi; counts; total = Array.length xs }
+
+let build ?(bins = 30) xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.build: empty sample";
+  let lo, hi = Describe.min_max xs in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  build_range ~bins ~lo ~hi xs
+
+let bin_width h = (h.hi -. h.lo) /. float_of_int (Array.length h.counts)
+
+let centers h =
+  let w = bin_width h in
+  Array.init (Array.length h.counts) (fun i ->
+      h.lo +. ((float_of_int i +. 0.5) *. w))
+
+let density h =
+  let w = bin_width h in
+  let n = float_of_int h.total in
+  Array.map (fun c -> float_of_int c /. (n *. w)) h.counts
+
+let count_in h x =
+  if x < h.lo || x > h.hi then 0
+  else begin
+    let w = bin_width h in
+    let b = int_of_float ((x -. h.lo) /. w) in
+    let b = if b >= Array.length h.counts then Array.length h.counts - 1 else b in
+    h.counts.(b)
+  end

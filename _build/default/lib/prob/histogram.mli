@@ -1,0 +1,26 @@
+(** Fixed-bin histograms, normalizable to probability densities. *)
+
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  total : int;
+}
+
+val build : ?bins:int -> float array -> t
+(** Histogram over [min, max] of the sample with [bins] (default 30)
+    equal-width bins; the top edge is inclusive. *)
+
+val build_range : bins:int -> lo:float -> hi:float -> float array -> t
+(** Histogram over an explicit range; samples outside are dropped (but
+    still counted in [total]). *)
+
+val bin_width : t -> float
+
+val centers : t -> float array
+
+val density : t -> float array
+(** Per-bin density so that [sum density * width ≈ included fraction]. *)
+
+val count_in : t -> float -> int
+(** Count of the bin containing the value, 0 outside the range. *)

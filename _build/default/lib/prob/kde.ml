@@ -1,0 +1,49 @@
+type t = { samples : float array; h : float }
+
+let silverman_bandwidth xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Kde.silverman_bandwidth: need >= 2 samples";
+  let s = Describe.std xs in
+  let iqr = Describe.quantile xs 0.75 -. Describe.quantile xs 0.25 in
+  let spread =
+    if iqr > 0.0 then Float.min s (iqr /. 1.34)
+    else if s > 0.0 then s
+    else 1e-12
+  in
+  0.9 *. spread *. (float_of_int n ** (-0.2))
+
+let fit ?bandwidth xs =
+  if Array.length xs < 2 then invalid_arg "Kde.fit: need >= 2 samples";
+  let h =
+    match bandwidth with
+    | Some h when h > 0.0 -> h
+    | Some _ -> invalid_arg "Kde.fit: bandwidth must be > 0"
+    | None -> silverman_bandwidth xs
+  in
+  { samples = Array.copy xs; h }
+
+let bandwidth t = t.h
+
+let pdf t x =
+  let n = float_of_int (Array.length t.samples) in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun xi ->
+      let z = (x -. xi) /. t.h in
+      acc := !acc +. exp (-0.5 *. z *. z))
+    t.samples;
+  !acc /. (n *. t.h *. sqrt (2.0 *. Float.pi))
+
+let cdf t x =
+  let n = float_of_int (Array.length t.samples) in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun xi -> acc := !acc +. Slc_num.Special.normal_cdf ((x -. xi) /. t.h))
+    t.samples;
+  !acc /. n
+
+let evaluate t xs = Array.map (pdf t) xs
+
+let grid t ?(pad = 3.0) n =
+  let lo, hi = Describe.min_max t.samples in
+  Slc_num.Vec.linspace (lo -. (pad *. t.h)) (hi +. (pad *. t.h)) n

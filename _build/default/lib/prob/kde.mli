@@ -1,0 +1,23 @@
+(** Gaussian kernel density estimation — used to compare predicted and
+    Monte-Carlo delay distributions (paper Fig. 9). *)
+
+type t
+
+val silverman_bandwidth : float array -> float
+(** Silverman's rule of thumb [0.9 * min(std, iqr/1.34) * n^(-1/5)]. *)
+
+val fit : ?bandwidth:float -> float array -> t
+(** Builds a KDE over the sample; [bandwidth] defaults to Silverman. *)
+
+val bandwidth : t -> float
+
+val pdf : t -> float -> float
+
+val cdf : t -> float -> float
+
+val evaluate : t -> Slc_num.Vec.t -> Slc_num.Vec.t
+(** Density at each grid point. *)
+
+val grid : t -> ?pad:float -> int -> Slc_num.Vec.t
+(** Evaluation grid spanning the sample range padded by [pad] bandwidths
+    (default 3). *)

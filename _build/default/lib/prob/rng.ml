@@ -1,0 +1,63 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used only to expand the user seed into the xoshiro state. *)
+let splitmix_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let copy r = { s0 = r.s0; s1 = r.s1; s2 = r.s2; s3 = r.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let uint64 r =
+  let result = Int64.add (rotl (Int64.add r.s0 r.s3) 23) r.s0 in
+  let t = Int64.shift_left r.s1 17 in
+  r.s2 <- Int64.logxor r.s2 r.s0;
+  r.s3 <- Int64.logxor r.s3 r.s1;
+  r.s1 <- Int64.logxor r.s1 r.s2;
+  r.s0 <- Int64.logxor r.s0 r.s3;
+  r.s2 <- Int64.logxor r.s2 t;
+  r.s3 <- rotl r.s3 45;
+  result
+
+let split r =
+  let state = ref (uint64 r) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let float r =
+  (* Top 53 bits scaled into [0,1). *)
+  let bits = Int64.shift_right_logical (uint64 r) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform r ~lo ~hi = lo +. ((hi -. lo) *. float r)
+
+let int r n =
+  if n <= 0 then invalid_arg "Rng.int: n must be > 0";
+  (* Modulo of a 63-bit draw: the bias is below n/2^63, irrelevant for
+     the shuffle/stratification uses in this project. *)
+  let x = Int64.shift_right_logical (uint64 r) 1 in
+  Int64.to_int (Int64.rem x (Int64.of_int n))
+
+let shuffle r a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int r (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generation.
+
+    xoshiro256++ seeded through splitmix64.  Every stochastic routine in
+    this project takes an explicit [Rng.t] so that all experiments are
+    reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed (any value,
+    including 0, is fine — the state is expanded through splitmix64). *)
+
+val copy : t -> t
+
+val split : t -> t
+(** [split rng] derives an independent generator and advances [rng];
+    useful to hand sub-streams to sub-experiments. *)
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53-bit resolution. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [0, n-1]; requires [n > 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,58 @@
+let ks_two_sample xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx = 0 || ny = 0 then invalid_arg "Stattest.ks_two_sample: empty sample";
+  let sx = Array.copy xs and sy = Array.copy ys in
+  Array.sort compare sx;
+  Array.sort compare sy;
+  let rec go i j best =
+    if i >= nx || j >= ny then best
+    else begin
+      let xi = sx.(i) and yj = sy.(j) in
+      let i', j' =
+        if xi < yj then (i + 1, j)
+        else if yj < xi then (i, j + 1)
+        else (i + 1, j + 1)
+      in
+      let d =
+        Float.abs
+          ((float_of_int i' /. float_of_int nx)
+          -. (float_of_int j' /. float_of_int ny))
+      in
+      go i' j' (Float.max best d)
+    end
+  in
+  go 0 0 0.0
+
+let ks_against_cdf xs cdf =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stattest.ks_against_cdf: empty sample";
+  let s = Array.copy xs in
+  Array.sort compare s;
+  let best = ref 0.0 in
+  for i = 0 to n - 1 do
+    let c = cdf s.(i) in
+    let lo = float_of_int i /. float_of_int n in
+    let hi = float_of_int (i + 1) /. float_of_int n in
+    best := Float.max !best (Float.max (Float.abs (c -. lo)) (Float.abs (hi -. c)))
+  done;
+  !best
+
+let total_variation_binned ~bins xs ys =
+  if Array.length xs = 0 || Array.length ys = 0 then
+    invalid_arg "Stattest.total_variation_binned: empty sample";
+  let lo1, hi1 = Describe.min_max xs and lo2, hi2 = Describe.min_max ys in
+  let lo = Float.min lo1 lo2 and hi = Float.max hi1 hi2 in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  let hx = Histogram.build_range ~bins ~lo ~hi xs in
+  let hy = Histogram.build_range ~bins ~lo ~hi ys in
+  let nx = float_of_int hx.Histogram.total
+  and ny = float_of_int hy.Histogram.total in
+  let acc = ref 0.0 in
+  for b = 0 to bins - 1 do
+    acc :=
+      !acc
+      +. Float.abs
+           ((float_of_int hx.Histogram.counts.(b) /. nx)
+           -. (float_of_int hy.Histogram.counts.(b) /. ny))
+  done;
+  0.5 *. !acc

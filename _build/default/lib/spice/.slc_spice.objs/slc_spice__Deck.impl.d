@@ -1,0 +1,1 @@
+lib/spice/deck.ml: Char Format Hashtbl List Netlist Option Printf Slc_device Stimulus String

@@ -1,0 +1,1 @@
+lib/spice/netlist.ml: List Slc_device Stimulus

@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Array Float List Netlist Slc_device Slc_num Stimulus Waveform

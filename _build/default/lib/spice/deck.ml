@@ -1,0 +1,231 @@
+type source = Dc of float | Pwl of (float * float) list
+
+type card =
+  | Mosfet_card of {
+      name : string;
+      d : string;
+      g : string;
+      s : string;
+      model : string;
+      w : float;
+      l : float;
+    }
+  | Cap_card of { name : string; a : string; b : string; value : float }
+  | Res_card of { name : string; a : string; b : string; value : float }
+  | Vsource_card of { name : string; plus : string; source : source }
+
+type t = { title : string; cards : card list; tran : (float * float) option }
+
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+let suffixes =
+  [
+    ("meg", 1e6); ("f", 1e-15); ("p", 1e-12); ("n", 1e-9); ("u", 1e-6);
+    ("m", 1e-3); ("k", 1e3); ("g", 1e9); ("t", 1e12);
+  ]
+
+let parse_number text =
+  let lower = String.lowercase_ascii (String.trim text) in
+  let try_suffix (suf, mult) =
+    let ls = String.length suf and ll = String.length lower in
+    if ll > ls && String.sub lower (ll - ls) ls = suf then
+      Option.map
+        (fun f -> f *. mult)
+        (float_of_string_opt (String.sub lower 0 (ll - ls)))
+    else None
+  in
+  match float_of_string_opt lower with
+  | Some f -> f
+  | None -> (
+    match List.find_map try_suffix suffixes with
+    | Some f -> f
+    | None -> raise (Parse_error (Printf.sprintf "bad number %S" text)))
+
+let split_fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* key=value field, e.g. w=200n *)
+let keyed field =
+  match String.index_opt field '=' with
+  | Some i ->
+    Some
+      ( String.lowercase_ascii (String.sub field 0 i),
+        String.sub field (i + 1) (String.length field - i - 1) )
+  | None -> None
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let title = match lines with t :: _ -> String.trim t | [] -> "" in
+  let cards = ref [] in
+  let tran = ref None in
+  let ended = ref false in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line = String.trim line in
+      if idx = 0 || line = "" || line.[0] = '*' || !ended then ()
+      else begin
+        let fields = split_fields line in
+        match fields with
+        | [] -> ()
+        | head :: rest -> (
+          let first = Char.lowercase_ascii head.[0] in
+          match first with
+          | '.' -> (
+            match String.lowercase_ascii head with
+            | ".end" -> ended := true
+            | ".tran" -> (
+              match rest with
+              | [ dt; tstop ] ->
+                tran := Some (parse_number dt, parse_number tstop)
+              | _ -> fail lineno ".tran needs two fields")
+            | other -> fail lineno ("unsupported directive " ^ other))
+          | 'm' -> (
+            (* Mname d g s [b] model w=... l=... — bulk is optional and
+               ignored (the simulator ties bulk internally). *)
+            let pos, kv =
+              List.partition (fun f -> keyed f = None) rest
+            in
+            let kvs = List.filter_map keyed kv in
+            let w = List.assoc_opt "w" kvs and l = List.assoc_opt "l" kvs in
+            match (pos, w, l) with
+            | ([ d; g; s; model ] | [ d; g; s; _; model ]), Some w, Some l ->
+              cards :=
+                Mosfet_card
+                  {
+                    name = head;
+                    d;
+                    g;
+                    s;
+                    model;
+                    w = parse_number w;
+                    l = parse_number l;
+                  }
+                :: !cards
+            | _ -> fail lineno "malformed M card")
+          | 'c' -> (
+            match rest with
+            | [ a; b; v ] ->
+              cards :=
+                Cap_card { name = head; a; b; value = parse_number v }
+                :: !cards
+            | _ -> fail lineno "malformed C card")
+          | 'r' -> (
+            match rest with
+            | [ a; b; v ] ->
+              cards :=
+                Res_card { name = head; a; b; value = parse_number v }
+                :: !cards
+            | _ -> fail lineno "malformed R card")
+          | 'v' -> (
+            match rest with
+            | [ plus; minus; v ] when String.lowercase_ascii minus = "0" ->
+              cards :=
+                Vsource_card
+                  { name = head; plus; source = Dc (parse_number v) }
+                :: !cards
+            | plus :: minus :: spec :: args
+              when String.lowercase_ascii minus = "0"
+                   && String.length spec >= 4
+                   && String.lowercase_ascii (String.sub spec 0 4) = "pwl(" ->
+              (* PWL(t1 v1 t2 v2 ...) possibly split across fields;
+                 reassemble and strip the wrapper. *)
+              let joined = String.concat " " (spec :: args) in
+              let inner =
+                let no_prefix =
+                  String.sub joined 4 (String.length joined - 4)
+                in
+                match String.index_opt no_prefix ')' with
+                | Some i -> String.sub no_prefix 0 i
+                | None -> fail lineno "unterminated PWL("
+              in
+              let nums = List.map parse_number (split_fields inner) in
+              let rec pair = function
+                | [] -> []
+                | t :: v :: rest -> (t, v) :: pair rest
+                | [ _ ] -> fail lineno "odd PWL value count"
+              in
+              cards :=
+                Vsource_card { name = head; plus; source = Pwl (pair nums) }
+                :: !cards
+            | _ -> fail lineno "malformed V card (ground-referenced only)")
+          | c -> fail lineno (Printf.sprintf "unsupported card %C" c))
+      end)
+    lines;
+  { title; cards = List.rev !cards; tran = !tran }
+
+let to_netlist t ~models =
+  let net = Netlist.create () in
+  let nodes : (string, Netlist.node) Hashtbl.t = Hashtbl.create 16 in
+  let node_of name =
+    let key = String.lowercase_ascii name in
+    if key = "0" || key = "gnd" then Netlist.ground
+    else
+      match Hashtbl.find_opt nodes key with
+      | Some n -> n
+      | None ->
+        let n = Netlist.fresh_node net name in
+        Hashtbl.add nodes key n;
+        n
+  in
+  List.iter
+    (fun card ->
+      match card with
+      | Mosfet_card { d; g; s; model; w; l; _ } ->
+        let template = models model in
+        let params = { template with Slc_device.Mosfet.w; l } in
+        Netlist.add_mosfet net params ~g:(node_of g) ~d:(node_of d)
+          ~s:(node_of s)
+      | Cap_card { a; b; value; _ } ->
+        Netlist.add_capacitor net value ~a:(node_of a) ~b:(node_of b)
+      | Res_card { a; b; value; _ } ->
+        Netlist.add_resistor net value ~a:(node_of a) ~b:(node_of b)
+      | Vsource_card { plus; source; _ } ->
+        let stim =
+          match source with
+          | Dc v -> Stimulus.dc v
+          | Pwl pts -> Stimulus.pwl pts
+        in
+        Netlist.add_vsource net stim (node_of plus))
+    t.cards;
+  let resolver name =
+    let key = String.lowercase_ascii name in
+    if key = "0" || key = "gnd" then Netlist.ground
+    else
+      match Hashtbl.find_opt nodes key with
+      | Some n -> n
+      | None -> invalid_arg ("Deck.to_netlist: unknown node " ^ name)
+  in
+  (net, resolver)
+
+let write ppf t =
+  Format.fprintf ppf "%s@." t.title;
+  List.iter
+    (fun card ->
+      match card with
+      | Mosfet_card { name; d; g; s; model; w; l } ->
+        Format.fprintf ppf "%s %s %s %s %s w=%g l=%g@." name d g s model w l
+      | Cap_card { name; a; b; value } ->
+        Format.fprintf ppf "%s %s %s %g@." name a b value
+      | Res_card { name; a; b; value } ->
+        Format.fprintf ppf "%s %s %s %g@." name a b value
+      | Vsource_card { name; plus; source = Dc v } ->
+        Format.fprintf ppf "%s %s 0 %g@." name plus v
+      | Vsource_card { name; plus; source = Pwl pts } ->
+        Format.fprintf ppf "%s %s 0 PWL(%s)@." name plus
+          (String.concat " "
+             (List.concat_map
+                (fun (tm, v) ->
+                  [ Printf.sprintf "%g" tm; Printf.sprintf "%g" v ])
+                pts)))
+    t.cards;
+  (match t.tran with
+  | Some (dt, tstop) -> Format.fprintf ppf ".tran %g %g@." dt tstop
+  | None -> ());
+  Format.fprintf ppf ".end@."
+
+let to_string t = Format.asprintf "%a" write t

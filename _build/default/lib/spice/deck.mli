@@ -1,0 +1,49 @@
+(** SPICE-deck interchange: write a netlist as a classic .sp deck and
+    parse the subset this project emits.
+
+    Supported cards: [M] (MOSFET with a model name bound through a
+    model table), [C], [R], [V] (DC or PWL), [.tran], [.end], [*]
+    comments, and engineering suffixes (f, p, n, u, m, k, meg, g) on
+    numbers.  Node 0 is ground; other nodes are named and allocated in
+    first-appearance order. *)
+
+type source = Dc of float | Pwl of (float * float) list
+
+type card =
+  | Mosfet_card of {
+      name : string;
+      d : string;
+      g : string;
+      s : string;
+      model : string;
+      w : float;
+      l : float;
+    }
+  | Cap_card of { name : string; a : string; b : string; value : float }
+  | Res_card of { name : string; a : string; b : string; value : float }
+  | Vsource_card of { name : string; plus : string; source : source }
+
+type t = {
+  title : string;
+  cards : card list;
+  tran : (float * float) option;  (** (dt suggestion, tstop) *)
+}
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} with a line number on malformed input. *)
+
+val parse_number : string -> float
+(** Engineering notation: ["2.5p"] = 2.5e-12, ["1meg"] = 1e6, ... *)
+
+val to_netlist :
+  t -> models:(string -> Slc_device.Mosfet.params) -> Netlist.t * (string -> Netlist.node)
+(** Builds a solvable netlist; [models] resolves a model name to device
+    parameters (width/length from the card override the template).
+    Returns the netlist and a name→node resolver.
+    Raises [Invalid_argument] on unknown nodes only at query time. *)
+
+val write : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,38 @@
+type t = float -> float
+
+let dc v _ = v
+
+let ramp ~t0 ~duration ~v_from ~v_to =
+  if duration <= 0.0 then invalid_arg "Stimulus.ramp: duration must be > 0";
+  fun t ->
+    if t <= t0 then v_from
+    else if t >= t0 +. duration then v_to
+    else v_from +. ((v_to -. v_from) *. (t -. t0) /. duration)
+
+let pwl points =
+  match points with
+  | [] -> invalid_arg "Stimulus.pwl: need at least one point"
+  | (t0, _) :: rest ->
+    let rec check prev = function
+      | [] -> ()
+      | (t, _) :: tl ->
+        if t <= prev then invalid_arg "Stimulus.pwl: times must increase";
+        check t tl
+    in
+    check t0 rest;
+    let pts = Array.of_list points in
+    let n = Array.length pts in
+    fun t ->
+      if t <= fst pts.(0) then snd pts.(0)
+      else if t >= fst pts.(n - 1) then snd pts.(n - 1)
+      else begin
+        (* Linear scan is fine: stimuli have a handful of points. *)
+        let rec go i =
+          let t1, v1 = pts.(i) and t2, v2 = pts.(i + 1) in
+          if t <= t2 then v1 +. ((v2 -. v1) *. (t -. t1) /. (t2 -. t1))
+          else go (i + 1)
+        in
+        go 0
+      end
+
+let breakpoints ~t0 ~duration = [ t0; t0 +. duration ]

@@ -1,0 +1,18 @@
+(** Time-domain voltage stimuli for independent sources. *)
+
+type t = float -> float
+(** A stimulus is simply voltage as a function of time. *)
+
+val dc : float -> t
+
+val ramp : t0:float -> duration:float -> v_from:float -> v_to:float -> t
+(** Linear transition from [v_from] to [v_to] starting at [t0]; constant
+    before and after.  [duration] must be > 0. *)
+
+val pwl : (float * float) list -> t
+(** Piecewise-linear waveform through the given (time, value) points
+    (times strictly increasing, at least one point); constant
+    extrapolation outside. *)
+
+val breakpoints : t0:float -> duration:float -> float list
+(** Suggested solver breakpoints (corner times) of a ramp. *)

@@ -1,0 +1,367 @@
+module Mosfet = Slc_device.Mosfet
+module Mat = Slc_num.Mat
+module Linalg = Slc_num.Linalg
+
+type integrator = Backward_euler | Trapezoidal
+
+type options = {
+  integrator : integrator;
+  tstop : float;
+  dt_init : float;
+  dt_min : float;
+  dt_max : float;
+  abstol : float;
+  dxtol : float;
+  max_newton : int;
+  gmin : float;
+  breakpoints : float list;
+}
+
+let default_options ~tstop =
+  if tstop <= 0.0 then invalid_arg "Transient.default_options: tstop <= 0";
+  {
+    integrator = Trapezoidal;
+    tstop;
+    dt_init = tstop /. 400.0;
+    dt_min = tstop *. 1e-7;
+    dt_max = tstop /. 100.0;
+    abstol = 1e-12;
+    dxtol = 1e-7;
+    max_newton = 40;
+    gmin = 1e-12;
+    breakpoints = [];
+  }
+
+exception No_convergence of string
+
+(* Compiled view of the netlist for fast stamping. *)
+type compiled = {
+  n_nodes : int;
+  free_index : int array; (* node id -> solver index, or -1 if pinned *)
+  free_nodes : int array; (* solver index -> node id *)
+  mosfets : (Mosfet.params * int * int * int) array;
+  caps : (float * int * int) array;
+  resistors : (float * int * int) array;
+  srcs : (int * Stimulus.t) array;
+}
+
+let compile net =
+  Netlist.validate net;
+  let n_nodes = Netlist.node_count net in
+  let free_index = Array.make n_nodes (-1) in
+  let free = ref [] in
+  for n = n_nodes - 1 downto 1 do
+    if not (Netlist.pinned net n) then free := n :: !free
+  done;
+  let free_nodes = Array.of_list !free in
+  Array.iteri (fun i n -> free_index.(n) <- i) free_nodes;
+  let mosfets = ref [] and caps = ref [] and resistors = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Mosfet { params; g; d; s } ->
+        mosfets := (params, g, d, s) :: !mosfets
+      | Netlist.Capacitor { c; a; b } -> caps := (c, a, b) :: !caps
+      | Netlist.Resistor { r; a; b } -> resistors := (r, a, b) :: !resistors)
+    (Netlist.elements net);
+  {
+    n_nodes;
+    free_index;
+    free_nodes;
+    mosfets = Array.of_list (List.rev !mosfets);
+    caps = Array.of_list (List.rev !caps);
+    resistors = Array.of_list (List.rev !resistors);
+    srcs = Array.of_list (Netlist.sources net);
+  }
+
+let apply_sources c v t =
+  Array.iter (fun (n, stim) -> v.(n) <- stim t) c.srcs
+
+(* Stamp static (resistive + device + gmin) contributions into residual f
+   and Jacobian jac.  v is the full node-voltage array. *)
+let stamp_static c ~gmin v f jac =
+  let fi = c.free_index in
+  let add_f n x = if fi.(n) >= 0 then f.(fi.(n)) <- f.(fi.(n)) +. x in
+  let add_j n m x =
+    if fi.(n) >= 0 && fi.(m) >= 0 then
+      Mat.set jac fi.(n) fi.(m) (Mat.get jac fi.(n) fi.(m) +. x)
+  in
+  Array.iter
+    (fun (r, a, b) ->
+      let g = 1.0 /. r in
+      let i = g *. (v.(a) -. v.(b)) in
+      add_f a i;
+      add_f b (-.i);
+      add_j a a g;
+      add_j a b (-.g);
+      add_j b b g;
+      add_j b a (-.g))
+    c.resistors;
+  Array.iter
+    (fun (p, g, d, s) ->
+      let e = Mosfet.eval p ~vg:v.(g) ~vd:v.(d) ~vs:v.(s) in
+      (* e.id enters the drain terminal: it leaves node d and enters
+         node s. *)
+      add_f d e.id;
+      add_f s (-.e.id);
+      add_j d g e.d_vg;
+      add_j d d e.d_vd;
+      add_j d s e.d_vs;
+      add_j s g (-.e.d_vg);
+      add_j s d (-.e.d_vd);
+      add_j s s (-.e.d_vs))
+    c.mosfets;
+  (* gmin keeps isolated or floating nodes well-conditioned. *)
+  Array.iteri
+    (fun i n ->
+      f.(i) <- f.(i) +. (gmin *. v.(n));
+      Mat.set jac i i (Mat.get jac i i +. gmin))
+    c.free_nodes
+
+(* Capacitor current for the chosen integration method.  For
+   trapezoidal integration the companion model needs the capacitor
+   current at the previous accepted step (icap_prev). *)
+let cap_current ~method_ ~dt cap dv dv_prev i_prev =
+  match method_ with
+  | Backward_euler -> cap /. dt *. (dv -. dv_prev)
+  | Trapezoidal -> (2.0 *. cap /. dt *. (dv -. dv_prev)) -. i_prev
+
+let cap_conductance ~method_ ~dt cap =
+  match method_ with
+  | Backward_euler -> cap /. dt
+  | Trapezoidal -> 2.0 *. cap /. dt
+
+let stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jac =
+  let fi = c.free_index in
+  let add_f n x = if fi.(n) >= 0 then f.(fi.(n)) <- f.(fi.(n)) +. x in
+  let add_j n m x =
+    if fi.(n) >= 0 && fi.(m) >= 0 then
+      Mat.set jac fi.(n) fi.(m) (Mat.get jac fi.(n) fi.(m) +. x)
+  in
+  Array.iteri
+    (fun idx (cap, a, b) ->
+      let geq = cap_conductance ~method_ ~dt cap in
+      let i =
+        cap_current ~method_ ~dt cap
+          (v.(a) -. v.(b))
+          (v_prev.(a) -. v_prev.(b))
+          icap_prev.(idx)
+      in
+      add_f a i;
+      add_f b (-.i);
+      add_j a a geq;
+      add_j a b (-.geq);
+      add_j b b geq;
+      add_j b a (-.geq))
+    c.caps
+
+(* Damped Newton on the free nodes.  [with_caps] selects transient vs DC
+   residuals.  Returns the number of iterations or None on failure;
+   v is updated in place on success (and left modified on failure). *)
+let newton c opts ~gmin ~caps ~v_prev v =
+  let n = Array.length c.free_nodes in
+  let f = Array.make n 0.0 in
+  let rec iterate k =
+    if k > opts.max_newton then None
+    else begin
+      Array.fill f 0 n 0.0;
+      let jac = Mat.create n n in
+      stamp_static c ~gmin v f jac;
+      (match caps with
+      | Some (method_, dt, icap_prev) ->
+        stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jac
+      | None -> ());
+      let fnorm = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 f in
+      let dx =
+        try Some (Linalg.solve jac (Array.map (fun x -> -.x) f))
+        with Linalg.Singular _ -> None
+      in
+      match dx with
+      | None -> None
+      | Some dx ->
+        (* Voltage-step damping: cap updates at 0.3 V per iteration. *)
+        let dmax =
+          Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 dx
+        in
+        let scale = if dmax > 0.3 then 0.3 /. dmax else 1.0 in
+        Array.iteri
+          (fun i node -> v.(node) <- v.(node) +. (scale *. dx.(i)))
+          c.free_nodes;
+        if fnorm < opts.abstol && dmax *. scale < opts.dxtol then Some k
+        else iterate (k + 1)
+    end
+  in
+  iterate 1
+
+let dc_solve c opts ~at v =
+  apply_sources c v at;
+  let v_prev = Array.copy v in
+  (* Direct attempt, then gmin stepping from strongly damped to the
+     target gmin. *)
+  match newton c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
+  | Some _ -> ()
+  | None ->
+    let ok = ref false in
+    let attempt gmin_start =
+      if not !ok then begin
+        (* Reset the guess to mid-rail before each continuation run. *)
+        let vmax =
+          Array.fold_left (fun m (_, stim) -> Float.max m (stim at)) 0.0 c.srcs
+        in
+        Array.iter (fun nfree -> v.(nfree) <- 0.5 *. vmax) c.free_nodes;
+        apply_sources c v at;
+        let g = ref gmin_start in
+        let all_ok = ref true in
+        while !all_ok && !g >= opts.gmin do
+          (match newton c opts ~gmin:!g ~caps:None ~v_prev v with
+          | Some _ -> ()
+          | None -> all_ok := false);
+          g := !g /. 100.0
+        done;
+        if !all_ok then ok := true
+      end
+    in
+    attempt 1e-3;
+    attempt 1e-1;
+    if not !ok then raise (No_convergence "dc_solve: gmin stepping failed")
+
+let dc_operating_point net ~at =
+  let c = compile net in
+  let v = Array.make c.n_nodes 0.0 in
+  let opts = default_options ~tstop:1.0 in
+  let vmax = Array.fold_left (fun m (_, stim) -> Float.max m (stim at)) 0.0 c.srcs in
+  Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
+  dc_solve c opts ~at v;
+  v
+
+let dc_sweep net ~node ~values =
+  let c = compile net in
+  if c.free_index.(node) >= 0 || node = 0 then
+    invalid_arg "Transient.dc_sweep: node must be driven by a source";
+  let opts = default_options ~tstop:1.0 in
+  let v = Array.make c.n_nodes 0.0 in
+  let vmax =
+    Array.fold_left (fun m (_, stim) -> Float.max m (stim 0.0)) 0.0 c.srcs
+  in
+  Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
+  apply_sources c v 0.0;
+  Array.map
+    (fun value ->
+      v.(node) <- value;
+      let v_prev = Array.copy v in
+      (match newton c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
+      | Some _ -> ()
+      | None ->
+        (* Fall back to a full solve from scratch for this point. *)
+        Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
+        apply_sources c v 0.0;
+        v.(node) <- value;
+        dc_solve c opts ~at:0.0 v;
+        v.(node) <- value;
+        (match newton c opts ~gmin:opts.gmin ~caps:None ~v_prev:(Array.copy v) v with
+        | Some _ -> ()
+        | None -> raise (No_convergence "dc_sweep")));
+      Array.copy v)
+    values
+
+type result = {
+  r_times : float array;
+  r_volts : float array array; (* per step, full node vector *)
+  r_newton : int;
+  r_steps : int;
+}
+
+let run opts net =
+  if opts.tstop <= 0.0 then invalid_arg "Transient.run: tstop <= 0";
+  let c = compile net in
+  let v = Array.make c.n_nodes 0.0 in
+  let vmax = Array.fold_left (fun m (_, stim) -> Float.max m (stim 0.0)) 0.0 c.srcs in
+  Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
+  dc_solve c opts ~at:0.0 v;
+  let break_times =
+    List.sort_uniq compare
+      (List.filter (fun t -> t > 0.0 && t < opts.tstop) opts.breakpoints)
+  in
+  let times = ref [ 0.0 ] in
+  let volts = ref [ Array.copy v ] in
+  let newton_total = ref 0 in
+  let steps = ref 0 in
+  (* Per-capacitor branch current at the last accepted time point
+     (zero at the DC operating point). *)
+  let icap = ref (Array.map (fun _ -> 0.0) c.caps) in
+  let t = ref 0.0 in
+  let dt = ref opts.dt_init in
+  let pending_breaks = ref break_times in
+  while !t < opts.tstop -. (1e-9 *. opts.tstop) do
+    (* Clip the step to the next breakpoint or tstop. *)
+    let next_limit =
+      match !pending_breaks with
+      | b :: _ when b > !t +. (1e-12 *. opts.tstop) -> Float.min b opts.tstop
+      | _ -> opts.tstop
+    in
+    let dt_eff = Float.min !dt (next_limit -. !t) in
+    let t_new = !t +. dt_eff in
+    let v_prev = Array.copy v in
+    apply_sources c v t_new;
+    (* Trapezoidal needs a valid previous cap current; take the very
+       first step with backward Euler. *)
+    let method_ =
+      match opts.integrator with
+      | Backward_euler -> Backward_euler
+      | Trapezoidal -> if !steps = 0 then Backward_euler else Trapezoidal
+    in
+    (match
+       newton c opts ~gmin:opts.gmin
+         ~caps:(Some (method_, dt_eff, !icap))
+         ~v_prev v
+     with
+    | Some iters ->
+      (* Commit the capacitor-current state for the accepted step. *)
+      let icap_new =
+        Array.mapi
+          (fun idx (cap, a, b) ->
+            cap_current ~method_ ~dt:dt_eff cap
+              (v.(a) -. v.(b))
+              (v_prev.(a) -. v_prev.(b))
+              !icap.(idx))
+          c.caps
+      in
+      icap := icap_new;
+      newton_total := !newton_total + iters;
+      incr steps;
+      t := t_new;
+      times := t_new :: !times;
+      volts := Array.copy v :: !volts;
+      (match !pending_breaks with
+      | b :: rest when t_new >= b -. (1e-12 *. opts.tstop) ->
+        pending_breaks := rest
+      | _ -> ());
+      (* Grow the step after quick convergence. *)
+      if iters <= 5 then dt := Float.min opts.dt_max (!dt *. 1.4)
+      else if iters > 15 then dt := Float.max opts.dt_min (!dt *. 0.7)
+    | None ->
+      (* Reject: restore state and halve the step. *)
+      Array.blit v_prev 0 v 0 c.n_nodes;
+      dt := dt_eff /. 2.0;
+      if !dt < opts.dt_min then
+        raise (No_convergence "run: step size underflow"))
+  done;
+  {
+    r_times = Array.of_list (List.rev !times);
+    r_volts = Array.of_list (List.rev !volts);
+    r_newton = !newton_total;
+    r_steps = !steps;
+  }
+
+let times r = r.r_times
+
+let waveform r node =
+  if Array.length r.r_volts = 0 then invalid_arg "Transient.waveform: empty";
+  if node < 0 || node >= Array.length r.r_volts.(0) then
+    invalid_arg "Transient.waveform: unknown node";
+  let values = Array.map (fun v -> v.(node)) r.r_volts in
+  Waveform.make ~times:r.r_times ~values
+
+let newton_iterations_total r = r.r_newton
+
+let steps_taken r = r.r_steps

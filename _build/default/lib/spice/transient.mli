@@ -1,0 +1,62 @@
+(** Nonlinear transient circuit simulation.
+
+    Nodal analysis with ground-referenced voltage sources eliminated
+    (their nodes are pinned), backward-Euler time integration and a
+    damped Newton solve at every step.  Adaptive step control: the step
+    is halved when Newton fails and grown after easy steps; stimulus
+    breakpoints are always hit exactly.
+
+    This is the "SPICE" of the reproduction — the gold-standard engine
+    every characterization method is measured against. *)
+
+type integrator = Backward_euler | Trapezoidal
+(** Backward Euler is robustly damped (first order); trapezoidal is
+    second-order accurate and preferred when waveform fidelity matters
+    (it is started with one BE step and falls back to BE on rejected
+    steps). *)
+
+type options = {
+  integrator : integrator;
+  tstop : float;        (** simulation end time, s *)
+  dt_init : float;      (** first step size, s *)
+  dt_min : float;       (** giving-up threshold for step halving *)
+  dt_max : float;       (** cap on step growth *)
+  abstol : float;       (** Newton residual tolerance, A *)
+  dxtol : float;        (** Newton update tolerance, V *)
+  max_newton : int;     (** Newton iterations per attempt *)
+  gmin : float;         (** conductance to ground on every node, S *)
+  breakpoints : float list;  (** times the grid must include *)
+}
+
+val default_options : tstop:float -> options
+(** Sensible defaults for picosecond-scale digital transients:
+    trapezoidal integration, [dt_init = tstop/400],
+    [dt_max = tstop/100], [dt_min = tstop*1e-7], [abstol = 1e-12],
+    [dxtol = 1e-7], [max_newton = 40], [gmin = 1e-12]. *)
+
+exception No_convergence of string
+
+val dc_operating_point : Netlist.t -> at:float -> float array
+(** DC solution with sources evaluated at time [at]; returns the full
+    node-voltage vector (index = node id).  Uses gmin stepping as a
+    fallback.  Raises {!No_convergence} if everything fails. *)
+
+val dc_sweep :
+  Netlist.t -> node:Netlist.node -> values:float array -> float array array
+(** Replaces the stimulus of the pinned [node] by each value in turn
+    and returns the DC solution per value (continuation: each solve
+    starts from the previous solution).  Used for transfer curves. *)
+
+type result
+
+val run : options -> Netlist.t -> result
+(** Simulates from a DC operating point at [t = 0] to [tstop]. *)
+
+val times : result -> float array
+
+val waveform : result -> Netlist.node -> Waveform.t
+
+val newton_iterations_total : result -> int
+(** Total Newton iterations spent — a proxy for simulation cost. *)
+
+val steps_taken : result -> int

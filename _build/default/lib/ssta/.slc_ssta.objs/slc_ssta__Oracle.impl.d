@@ -1,0 +1,1 @@
+lib/ssta/oracle.ml: Hashtbl Printf Slc_cell Slc_core

@@ -1,0 +1,1 @@
+lib/ssta/oracle.mli: Slc_cell Slc_core Slc_device

@@ -1,0 +1,1 @@
+lib/ssta/path.ml: Array Hashtbl List Oracle Slc_cell Slc_core

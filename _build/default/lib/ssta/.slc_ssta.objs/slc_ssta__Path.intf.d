@@ -1,0 +1,1 @@
+lib/ssta/path.mli: Oracle Slc_cell Slc_core Slc_device

@@ -1,0 +1,1 @@
+lib/ssta/sdag.ml: Array Float Hashtbl List Option Oracle Printf Slc_cell Slc_device String

@@ -1,0 +1,1 @@
+lib/ssta/sdag.mli: Oracle Slc_cell Slc_device

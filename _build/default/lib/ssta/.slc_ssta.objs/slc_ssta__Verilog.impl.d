@@ -1,0 +1,1 @@
+lib/ssta/verilog.ml: Hashtbl List Printf Sdag Slc_cell String

@@ -1,0 +1,1 @@
+lib/ssta/verilog.mli: Sdag Slc_device

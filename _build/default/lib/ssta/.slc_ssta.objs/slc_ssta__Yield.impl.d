@@ -1,0 +1,1 @@
+lib/ssta/yield.ml: Array Float Format Hashtbl List Oracle Path Sdag Slc_cell Slc_core Slc_prob

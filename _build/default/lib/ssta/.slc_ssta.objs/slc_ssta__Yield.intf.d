@@ -1,0 +1,1 @@
+lib/ssta/yield.mli: Format Sdag Slc_cell Slc_core Slc_device

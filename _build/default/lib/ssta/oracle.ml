@@ -1,0 +1,59 @@
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Library = Slc_cell.Library
+module Nldm = Slc_cell.Nldm
+module Char_flow = Slc_core.Char_flow
+
+type t = {
+  query : Arc.t -> Harness.point -> float * float;
+  label : string;
+}
+
+let memo_by_arc build =
+  let table : (string, 'a) Hashtbl.t = Hashtbl.create 16 in
+  fun arc ->
+    let key = Arc.name arc in
+    match Hashtbl.find_opt table key with
+    | Some v -> v
+    | None ->
+      let v = build arc in
+      Hashtbl.add table key v;
+      v
+
+let of_predictors ~label build =
+  let get = memo_by_arc build in
+  {
+    label;
+    query =
+      (fun arc point ->
+        let p = get arc in
+        (p.Char_flow.predict_td point, p.Char_flow.predict_sout point));
+  }
+
+let of_library lib =
+  {
+    label = "nldm-library";
+    query =
+      (fun arc point ->
+        match
+          Library.find lib ~cell:arc.Arc.cell.Slc_cell.Cells.name
+            ~pin:arc.Arc.pin ~out_dir:arc.Arc.out_dir
+        with
+        | Some e ->
+          (Nldm.lookup_td e.Library.table point,
+           Nldm.lookup_sout e.Library.table point)
+        | None -> raise Not_found);
+  }
+
+let of_simulator ?seed tech =
+  {
+    label = "simulator";
+    query =
+      (fun arc point ->
+        let m = Harness.simulate ?seed tech arc point in
+        (m.Harness.td, m.Harness.sout));
+  }
+
+let bayes_bank ?seed ~prior tech ~k =
+  of_predictors ~label:(Printf.sprintf "bayes-k%d" k) (fun arc ->
+      Char_flow.train_bayes ?seed ~prior tech arc ~k)

@@ -1,0 +1,35 @@
+(** Delay/slew oracles: the interface between timing analysis and a
+    characterized library.  An oracle answers "delay and output slew of
+    this arc at this input condition" — from the compact Bayesian
+    model, from an NLDM table, or straight from the simulator (for
+    validation). *)
+
+type t = {
+  query : Slc_cell.Arc.t -> Slc_cell.Harness.point -> float * float;
+      (** [(delay, output slew)] *)
+  label : string;
+}
+
+val of_predictors :
+  label:string ->
+  (Slc_cell.Arc.t -> Slc_core.Char_flow.predictor) ->
+  t
+(** Backed by per-arc predictors (e.g. {!Slc_core.Char_flow.train_bayes});
+    the function is called once per distinct arc and memoized. *)
+
+val of_library : Slc_cell.Library.t -> t
+(** Backed by interpolated NLDM tables; raises [Not_found] when queried
+    for an arc the library does not contain. *)
+
+val of_simulator :
+  ?seed:Slc_device.Process.seed -> Slc_device.Tech.t -> t
+(** Ground truth: every query is one transient simulation. *)
+
+val bayes_bank :
+  ?seed:Slc_device.Process.seed ->
+  prior:Slc_core.Prior.pair ->
+  Slc_device.Tech.t ->
+  k:int ->
+  t
+(** Convenience: an oracle that trains a Bayesian/MAP predictor with
+    [k] simulations for each arc on first use. *)

@@ -1,0 +1,42 @@
+(** Model-based path timing: propagate delay and slew through a chain
+    of cells using a characterized oracle instead of simulating the
+    chain — the standard way a library is consumed by a timing
+    engine.  Validated against {!Slc_cell.Chain} transistor-level
+    simulation. *)
+
+type stage_timing = {
+  arc_name : string;
+  delay : float;
+  out_slew : float;
+  load : float;  (** capacitive load seen by this stage, F *)
+}
+
+type timing = {
+  total_delay : float;
+  out_slew : float;
+  stages : stage_timing list;
+}
+
+val propagate :
+  Oracle.t ->
+  Slc_cell.Chain.t ->
+  sin:float ->
+  vdd:float ->
+  in_rises:bool ->
+  timing
+(** Walks the chain front to back: stage [i]'s load is the gate
+    capacitance of stage [i+1]'s switching pin plus its wire cap (the
+    final stage drives the chain's [final_load]); stage [i]'s output
+    slew becomes stage [i+1]'s input slew. *)
+
+val statistical :
+  population:(Slc_cell.Arc.t -> Slc_core.Statistical.population) ->
+  seeds:Slc_device.Process.seed array ->
+  Slc_cell.Chain.t ->
+  sin:float ->
+  vdd:float ->
+  in_rises:bool ->
+  float array
+(** Per-seed total path delays: for each Monte-Carlo seed, the path is
+    propagated with that seed's extracted per-arc models (Monte-Carlo
+    SSTA on the compact models — zero additional simulations). *)

@@ -1,0 +1,197 @@
+module Arc = Slc_cell.Arc
+module Cells = Slc_cell.Cells
+module Equivalent = Slc_cell.Equivalent
+module Harness = Slc_cell.Harness
+module Tech = Slc_device.Tech
+
+type net = int
+
+type gate_inst = {
+  cell : Cells.t;
+  pins : (string * net) list;
+  out : net;
+}
+
+type t = {
+  tech : Tech.t;
+  vdd : float;
+  mutable nets : (string * [ `Input | `Gate of int ]) list; (* reversed *)
+  mutable n_nets : int;
+  mutable gates : gate_inst list; (* reversed; index = position *)
+  mutable n_gates : int;
+  loads : (net, float) Hashtbl.t;
+}
+
+let create tech ~vdd =
+  if vdd <= 0.0 then invalid_arg "Sdag.create: vdd must be > 0";
+  {
+    tech;
+    vdd;
+    nets = [];
+    n_nets = 0;
+    gates = [];
+    n_gates = 0;
+    loads = Hashtbl.create 8;
+  }
+
+let fresh_net t name origin =
+  let id = t.n_nets in
+  t.n_nets <- t.n_nets + 1;
+  t.nets <- (name, origin) :: t.nets;
+  id
+
+let input t name = fresh_net t name `Input
+
+let check_net t n =
+  if n < 0 || n >= t.n_nets then invalid_arg "Sdag: unknown net"
+
+let gate t cell ~pins ?(wire_cap = 0.0) name =
+  let expected = List.sort compare cell.Cells.inputs in
+  let given = List.sort compare (List.map fst pins) in
+  if expected <> given then
+    invalid_arg
+      (Printf.sprintf "Sdag.gate: %s needs pins {%s}, got {%s}"
+         cell.Cells.name
+         (String.concat "," expected)
+         (String.concat "," given));
+  List.iter (fun (_, n) -> check_net t n) pins;
+  let idx = t.n_gates in
+  let out = fresh_net t name (`Gate idx) in
+  t.gates <- { cell; pins; out } :: t.gates;
+  t.n_gates <- t.n_gates + 1;
+  if wire_cap > 0.0 then Hashtbl.replace t.loads out wire_cap;
+  out
+
+let set_load t net load =
+  check_net t net;
+  if load < 0.0 then invalid_arg "Sdag.set_load: negative load";
+  Hashtbl.replace t.loads net
+    (load +. Option.value ~default:0.0 (Hashtbl.find_opt t.loads net))
+
+let net_name t n =
+  check_net t n;
+  fst (List.nth (List.rev t.nets) n)
+
+(* Total capacitance on a net: explicit loads plus the gate caps of all
+   fanout pins. *)
+let net_cap t net =
+  let explicit = Option.value ~default:0.0 (Hashtbl.find_opt t.loads net) in
+  let fanin_caps =
+    List.fold_left
+      (fun acc g ->
+        List.fold_left
+          (fun acc (pin, n) ->
+            if n = net then
+              acc +. Equivalent.input_cap t.tech g.cell ~pin
+            else acc)
+          acc g.pins)
+      0.0 (List.rev t.gates)
+  in
+  explicit +. fanin_caps
+
+type edge_arrival = { at : float; slew : float }
+
+type arrival = { rise : edge_arrival option; fall : edge_arrival option }
+
+let none = { rise = None; fall = None }
+
+let at_edge a ~rises = if rises then a.rise else a.fall
+
+let input_edge ~at ~slew ~rises =
+  let e = Some { at; slew } in
+  if rises then { rise = e; fall = None } else { none with fall = e }
+
+let later a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> if x.at >= y.at then Some x else Some y
+
+(* Shared forward pass: arrivals for every net plus, per gate, the
+   candidate (pin, out_edge, delay, chosen input edge arrival time)
+   tuples actually used — needed by the backward required-time pass. *)
+let forward t (oracle : Oracle.t) ~input_arrivals =
+  let arrivals = Array.make t.n_nets none in
+  let origins = Array.of_list (List.rev t.nets) in
+  let gates = Array.of_list (List.rev t.gates) in
+  let used = Array.make (Array.length gates) [] in
+  for n = 0 to t.n_nets - 1 do
+    match snd origins.(n) with
+    | `Input -> arrivals.(n) <- input_arrivals (fst origins.(n))
+    | `Gate gi ->
+      let g = gates.(gi) in
+      let cload = net_cap t g.out in
+      let candidate_out out_dir =
+        let input_rises =
+          match out_dir with Arc.Fall -> true | Arc.Rise -> false
+        in
+        List.fold_left
+          (fun best (pin, driver) ->
+            match at_edge arrivals.(driver) ~rises:input_rises with
+            | None -> best
+            | Some e -> (
+              match Arc.find g.cell ~pin ~out_dir with
+              | exception Not_found -> best
+              | arc ->
+                let point = { Harness.sin = e.slew; cload; vdd = t.vdd } in
+                let d, s = oracle.Oracle.query arc point in
+                used.(gi) <- (driver, input_rises, out_dir, d) :: used.(gi);
+                later best (Some { at = e.at +. d; slew = s })))
+          None g.pins
+      in
+      arrivals.(n) <-
+        { rise = candidate_out Arc.Rise; fall = candidate_out Arc.Fall }
+  done;
+  (arrivals, origins, gates, used)
+
+let analyze t (oracle : Oracle.t) ~input_arrivals target =
+  check_net t target;
+  let arrivals, _, _, _ = forward t oracle ~input_arrivals in
+  arrivals.(target)
+
+type slack_row = {
+  net_label : string;
+  arrival_time : float;
+  required_time : float;
+  slack : float;
+}
+
+let worst_arrival a =
+  match (a.rise, a.fall) with
+  | None, None -> None
+  | Some e, None | None, Some e -> Some e.at
+  | Some r, Some f -> Some (Float.max r.at f.at)
+
+let slack_report t oracle ~input_arrivals ~outputs =
+  List.iter (fun (n, _) -> check_net t n) outputs;
+  let arrivals, origins, gates, used = forward t oracle ~input_arrivals in
+  let required = Array.make t.n_nets Float.infinity in
+  List.iter
+    (fun (n, r) -> required.(n) <- Float.min required.(n) r)
+    outputs;
+  (* Backward over gates in reverse construction (reverse topological)
+     order: a driver must arrive early enough for every timing arc it
+     launches. *)
+  for gi = Array.length gates - 1 downto 0 do
+    let g = gates.(gi) in
+    let r_out = required.(g.out) in
+    if r_out < Float.infinity then
+      List.iter
+        (fun (driver, _input_rises, _out_dir, d) ->
+          required.(driver) <- Float.min required.(driver) (r_out -. d))
+        used.(gi)
+  done;
+  let rows = ref [] in
+  for n = 0 to t.n_nets - 1 do
+    match worst_arrival arrivals.(n) with
+    | None -> ()
+    | Some at ->
+      rows :=
+        {
+          net_label = fst origins.(n);
+          arrival_time = at;
+          required_time = required.(n);
+          slack = required.(n) -. at;
+        }
+        :: !rows
+  done;
+  List.sort (fun a b -> compare a.slack b.slack) !rows

@@ -1,0 +1,70 @@
+(** A small static-timing DAG over standard cells.
+
+    Nets carry separate rise and fall arrivals (time + slew).  Each
+    gate input pin contributes candidate arrivals at the output through
+    the corresponding timing arc (all built-in cells are inverting, so
+    an input rise produces an output fall); the latest candidate wins
+    per output edge — ordinary block-based STA, with the delay/slew
+    numbers supplied by any {!Oracle.t}.
+
+    Gates must be added after their driver nets (construction order is
+    the topological order), which the builder enforces. *)
+
+type t
+
+type net
+
+val create : Slc_device.Tech.t -> vdd:float -> t
+
+val input : t -> string -> net
+(** Declares a primary input net. *)
+
+val gate :
+  t -> Slc_cell.Cells.t -> pins:(string * net) list -> ?wire_cap:float ->
+  string -> net
+(** [gate dag cell ~pins name] instantiates [cell] with every input pin
+    connected per [pins] and returns its output net.  Raises
+    [Invalid_argument] on missing/extra pins. *)
+
+val set_load : t -> net -> float -> unit
+(** Extra capacitive load on a net (primary-output load). *)
+
+type edge_arrival = { at : float; slew : float }
+
+type arrival = { rise : edge_arrival option; fall : edge_arrival option }
+
+val analyze :
+  t ->
+  Oracle.t ->
+  input_arrivals:(string -> arrival) ->
+  net ->
+  arrival
+(** Arrival at the given net once every primary input is given its
+    arrival/slew per edge.  Nets driven only by non-arriving edges
+    propagate [None] (e.g. a one-sided input transition yields
+    alternating one-sided arrivals down an inverter chain). *)
+
+type slack_row = {
+  net_label : string;
+  arrival_time : float;   (** worst (latest) arrival over both edges *)
+  required_time : float;  (** earliest requirement propagated backward *)
+  slack : float;          (** required - arrival; negative = violation *)
+}
+
+val slack_report :
+  t ->
+  Oracle.t ->
+  input_arrivals:(string -> arrival) ->
+  outputs:(net * float) list ->
+  slack_row list
+(** Full forward arrival pass plus a backward required-time pass from
+    the given (output net, required time) constraints.  Returns one row
+    per net that has a finite arrival, sorted most-critical first.
+    Nets with no requirement reachable from them get infinite slack. *)
+
+val net_name : t -> net -> string
+
+val at_edge : arrival -> rises:bool -> edge_arrival option
+
+val input_edge : at:float -> slew:float -> rises:bool -> arrival
+(** Convenience constructor for a single-edge input arrival. *)

@@ -1,0 +1,274 @@
+module Cells = Slc_cell.Cells
+
+type instance = {
+  cell_name : string;
+  instance_name : string;
+  connections : (string * string) list;
+}
+
+type t = {
+  module_name : string;
+  inputs : string list;
+  outputs : string list;
+  wires : string list;
+  instances : instance list;
+}
+
+exception Parse_error of string
+
+let fail msg = raise (Parse_error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer: identifiers and the punctuation ( ) . , ;  — comments and
+   whitespace dropped. *)
+
+type token = Id of string | Lp | Rp | Dot | Comma | Semi
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_id c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\\' || c = '[' || c = ']'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (tokens := Lp :: !tokens; incr i)
+    else if c = ')' then (tokens := Rp :: !tokens; incr i)
+    else if c = '.' then (tokens := Dot :: !tokens; incr i)
+    else if c = ',' then (tokens := Comma :: !tokens; incr i)
+    else if c = ';' then (tokens := Semi :: !tokens; incr i)
+    else if is_id c then begin
+      let j = ref !i in
+      while !j < n && is_id src.[!j] do
+        incr j
+      done;
+      tokens := Id (String.sub src !i (!j - !i)) :: !tokens;
+      i := !j
+    end
+    else fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let parse src =
+  let toks = ref (tokenize src) in
+  let next () =
+    match !toks with
+    | [] -> fail "unexpected end of input"
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let expect_id () =
+    match next () with Id s -> s | _ -> fail "expected an identifier"
+  in
+  let expect tok what =
+    if next () <> tok then fail ("expected " ^ what)
+  in
+  let id_list_until_semi () =
+    (* id (, id)* ; *)
+    let rec go acc =
+      let name = expect_id () in
+      match next () with
+      | Comma -> go (name :: acc)
+      | Semi -> List.rev (name :: acc)
+      | _ -> fail "expected , or ; in declaration"
+    in
+    go []
+  in
+  (match next () with
+  | Id "module" -> ()
+  | _ -> fail "expected module");
+  let module_name = expect_id () in
+  expect Lp "(";
+  (* port list *)
+  let rec ports acc =
+    match next () with
+    | Id name -> (
+      match next () with
+      | Comma -> ports (name :: acc)
+      | Rp -> List.rev (name :: acc)
+      | _ -> fail "expected , or ) in port list")
+    | Rp -> List.rev acc
+    | _ -> fail "bad port list"
+  in
+  let port_names = ports [] in
+  expect Semi ";";
+  let inputs = ref [] and outputs = ref [] and wires = ref [] in
+  let instances = ref [] in
+  let declare kind names =
+    List.iter
+      (fun name ->
+        if
+          List.mem name !inputs || List.mem name !outputs
+          || List.mem name !wires
+        then fail (Printf.sprintf "net %s declared twice" name);
+        match kind with
+        | `Input -> inputs := name :: !inputs
+        | `Output -> outputs := name :: !outputs
+        | `Wire -> wires := name :: !wires)
+      names
+  in
+  let parse_instance cell_name =
+    let instance_name = expect_id () in
+    expect Lp "(";
+    let rec conns acc =
+      expect Dot ".";
+      let pin = expect_id () in
+      expect Lp "(";
+      let net = expect_id () in
+      expect Rp ")";
+      match next () with
+      | Comma -> conns ((pin, net) :: acc)
+      | Rp -> List.rev ((pin, net) :: acc)
+      | _ -> fail "expected , or ) in connection list"
+    in
+    let connections = conns [] in
+    expect Semi ";";
+    instances := { cell_name; instance_name; connections } :: !instances
+  in
+  let rec body () =
+    match peek () with
+    | None -> fail "missing endmodule"
+    | Some (Id "endmodule") ->
+      toks := List.tl !toks
+    | Some (Id "input") ->
+      toks := List.tl !toks;
+      declare `Input (id_list_until_semi ());
+      body ()
+    | Some (Id "output") ->
+      toks := List.tl !toks;
+      declare `Output (id_list_until_semi ());
+      body ()
+    | Some (Id "wire") ->
+      toks := List.tl !toks;
+      declare `Wire (id_list_until_semi ());
+      body ()
+    | Some (Id cell_name) ->
+      toks := List.tl !toks;
+      parse_instance cell_name;
+      body ()
+    | Some _ -> fail "unexpected token in module body"
+  in
+  body ();
+  let inputs = List.rev !inputs and outputs = List.rev !outputs in
+  let wires = List.rev !wires in
+  (* Every port must be declared; every referenced net must exist. *)
+  List.iter
+    (fun p ->
+      if not (List.mem p inputs || List.mem p outputs) then
+        fail (Printf.sprintf "port %s lacks an input/output declaration" p))
+    port_names;
+  let known net =
+    List.mem net inputs || List.mem net outputs || List.mem net wires
+  in
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun (_, net) ->
+          if not (known net) then
+            fail
+              (Printf.sprintf "instance %s references undeclared net %s"
+                 inst.instance_name net))
+        inst.connections)
+    !instances;
+  {
+    module_name;
+    inputs;
+    outputs;
+    wires;
+    instances = List.rev !instances;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* DAG construction with topological ordering of instances. *)
+
+let to_sdag t tech ~vdd =
+  let dag = Sdag.create tech ~vdd in
+  (* Output net of each instance. *)
+  let out_net inst =
+    match List.assoc_opt "Y" inst.connections with
+    | Some net -> net
+    | None ->
+      fail (Printf.sprintf "instance %s has no .Y output" inst.instance_name)
+  in
+  (* Multiply-driven check. *)
+  let driven = Hashtbl.create 16 in
+  List.iter
+    (fun inst ->
+      let net = out_net inst in
+      if Hashtbl.mem driven net then
+        fail (Printf.sprintf "net %s driven more than once" net);
+      if List.mem net t.inputs then
+        fail (Printf.sprintf "primary input %s driven by %s" net
+                inst.instance_name);
+      Hashtbl.add driven net inst.instance_name)
+    t.instances;
+  let nets : (string, Sdag.net) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun name -> Hashtbl.add nets name (Sdag.input dag name))
+    t.inputs;
+  (* Repeatedly place instances whose input nets are all defined. *)
+  let remaining = ref t.instances in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun inst ->
+        let ins =
+          List.filter (fun (pin, _) -> not (String.equal pin "Y"))
+            inst.connections
+        in
+        if List.for_all (fun (_, net) -> Hashtbl.mem nets net) ins then begin
+          let cell =
+            match Cells.by_name inst.cell_name with
+            | c -> c
+            | exception Not_found ->
+              fail (Printf.sprintf "unknown cell type %s" inst.cell_name)
+          in
+          let pins =
+            List.map (fun (pin, net) -> (pin, Hashtbl.find nets net)) ins
+          in
+          let out =
+            match Sdag.gate dag cell ~pins (out_net inst) with
+            | net -> net
+            | exception Invalid_argument msg -> fail msg
+          in
+          Hashtbl.replace nets (out_net inst) out;
+          progress := true
+        end
+        else still := inst :: !still)
+      !remaining;
+    remaining := List.rev !still
+  done;
+  (match !remaining with
+  | [] -> ()
+  | inst :: _ ->
+    fail
+      (Printf.sprintf
+         "combinational loop or undriven net involving instance %s"
+         inst.instance_name));
+  (* Undriven internal nets used as gate inputs would have been caught
+     above; undriven outputs are reported here. *)
+  let lookup name =
+    match Hashtbl.find_opt nets name with
+    | Some n -> n
+    | None -> fail (Printf.sprintf "output %s is never driven" name)
+  in
+  let ins = List.map (fun n -> (n, Hashtbl.find nets n)) t.inputs in
+  let outs = List.map (fun n -> (n, lookup n)) t.outputs in
+  (dag, ins, outs)

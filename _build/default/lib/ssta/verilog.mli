@@ -1,0 +1,49 @@
+(** Structural-Verilog (subset) reader for the timing DAG.
+
+    Supported: one module with scalar ports, [input]/[output]/[wire]
+    declarations, and named-port instantiations of the built-in cells
+    whose output pin is [Y]:
+
+    {v
+    module top (a, b, out);
+      input a, b;
+      output out;
+      wire n1;
+      NAND2 u1 (.A(a), .B(b), .Y(n1));
+      INV   u2 (.A(n1), .Y(out));
+    endmodule
+    v}
+
+    Instances may appear in any order; they are sorted topologically
+    when the DAG is built.  [//] line comments and arbitrary whitespace
+    are accepted. *)
+
+type instance = {
+  cell_name : string;
+  instance_name : string;
+  connections : (string * string) list;  (** pin -> net name, incl. Y *)
+}
+
+type t = {
+  module_name : string;
+  inputs : string list;
+  outputs : string list;
+  wires : string list;
+  instances : instance list;
+}
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} on syntax errors, undeclared nets, or ports
+    declared more than once. *)
+
+val to_sdag :
+  t ->
+  Slc_device.Tech.t ->
+  vdd:float ->
+  Sdag.t * (string * Sdag.net) list * (string * Sdag.net) list
+(** Builds the timing DAG; returns it with the (name, net) pairs of the
+    primary inputs and outputs.  Raises {!Parse_error} on unknown cell
+    types, missing pins, multiply-driven nets, undriven internal nets,
+    or combinational loops. *)

@@ -1,0 +1,48 @@
+(** Timing yield: the fraction of process seeds whose worst path meets
+    a clock constraint — the quantity SSTA exists to compute, evaluated
+    here by pushing per-seed compact models through a path or DAG. *)
+
+type result = {
+  clock_period : float;
+  n_seeds : int;
+  n_pass : int;
+  yield : float;             (** n_pass / n_seeds *)
+  delays : float array;      (** per-seed worst arrival, s *)
+  mean_delay : float;
+  sigma_delay : float;
+  worst_delay : float;
+}
+
+val of_delays : clock_period:float -> float array -> result
+(** Classify pre-computed per-seed delays against a clock period. *)
+
+val of_path :
+  population:(Slc_cell.Arc.t -> Slc_core.Statistical.population) ->
+  seeds:Slc_device.Process.seed array ->
+  clock_period:float ->
+  Slc_cell.Chain.t ->
+  sin:float ->
+  vdd:float ->
+  in_rises:bool ->
+  result
+(** Monte-Carlo SSTA over a path using per-seed extracted models (no
+    additional simulation per seed). *)
+
+val of_dag :
+  population:(Slc_cell.Arc.t -> Slc_core.Statistical.population) ->
+  seeds:Slc_device.Process.seed array ->
+  clock_period:float ->
+  Sdag.t ->
+  input_arrivals:(string -> Sdag.arrival) ->
+  outputs:Sdag.net list ->
+  result
+(** Monte-Carlo SSTA over a DAG: per seed, the worst arrival over all
+    listed outputs and both edges is classified against the clock.
+    Raises [Invalid_argument] when some seed produces no arrival at any
+    output. *)
+
+val required_period : result -> target_yield:float -> float
+(** The clock period that would achieve [target_yield] (empirical
+    quantile of the per-seed delays). *)
+
+val pp : Format.formatter -> result -> unit

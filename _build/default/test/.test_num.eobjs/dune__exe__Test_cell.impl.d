@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Arc Array Cells Equivalent Float Format Harness Library List Nldm Printf QCheck QCheck_alcotest Ring Slc_cell Slc_device Slc_prob String Topology

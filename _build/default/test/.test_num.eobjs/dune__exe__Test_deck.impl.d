@@ -1,0 +1,1 @@
+test/test_deck.ml: Alcotest Deck Float List Netlist Slc_device Slc_spice String Transient Waveform

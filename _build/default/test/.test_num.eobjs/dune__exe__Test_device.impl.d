@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Float List Mosfet Process QCheck QCheck_alcotest Slc_device Slc_prob Tech

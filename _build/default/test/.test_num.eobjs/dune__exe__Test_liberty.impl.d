@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest Arc Array Cells Float Lazy Liberty Library List Nldm Option Printf Slc_cell Slc_device String

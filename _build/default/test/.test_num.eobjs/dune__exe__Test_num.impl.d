@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Array Float Interp Linalg List Mat Parallel Printf QCheck QCheck_alcotest Quadrature Slc_num Slc_prob Special Vec

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Describe Dist Float Histogram Kde List Mvn Printf QCheck QCheck_alcotest Rng Sampling Slc_num Slc_prob Stattest

@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Printf Seq Slc_cell Slc_device

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Float Format List Netlist Printf QCheck QCheck_alcotest Slc_device Slc_num Slc_prob Slc_spice Stimulus String Transient Waveform

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Cells List Oracle Sdag Slc_cell Slc_device Slc_ssta Verilog

@@ -1,0 +1,824 @@
+(* Tests for the core characterization library: the compact timing
+   model, LSE extraction, prior learning, MAP estimation, belief
+   propagation and the flow plumbing. *)
+
+open Slc_core
+module Tech = Slc_device.Tech
+module Cells = Slc_cell.Cells
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Equivalent = Slc_cell.Equivalent
+module Vec = Slc_num.Vec
+module Mat = Slc_num.Mat
+module Mvn = Slc_prob.Mvn
+
+let tech = Tech.n14
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let inv_fall = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall
+
+let ieff_at (p : Harness.point) =
+  Equivalent.ieff (Equivalent.of_arc tech inv_fall) ~vdd:p.Harness.vdd
+
+(* Synthetic observations drawn exactly from the model: extraction
+   must recover the generating parameters. *)
+let synthetic_obs params k =
+  let points = Input_space.fitting_points tech ~k in
+  Array.map
+    (fun pt ->
+      let ieff = ieff_at pt in
+      {
+        Extract_lse.point = pt;
+        ieff;
+        value = Timing_model.eval params ~ieff pt;
+      })
+    points
+
+let p_true =
+  { Timing_model.kd = 0.35; cpar = 1.2; v_off = -0.22; alpha = 0.08 }
+
+(* ------------------------------------------------------------------ *)
+(* Timing_model *)
+
+let test_eval_formula () =
+  let p = { Timing_model.kd = 0.4; cpar = 1.0; v_off = -0.2; alpha = 0.1 } in
+  let pt = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 } in
+  (* cap term: (2 + 1 + 0.1*5) fF = 3.5 fF; charge = 0.6 V * 3.5 fF. *)
+  let expected = 0.4 *. 0.6 *. 3.5e-15 /. 40e-6 in
+  check_close ~tol:1e-18 "closed form" expected
+    (Timing_model.eval p ~ieff:40e-6 pt);
+  check_close ~tol:1e-28 "charge (Eq 5)" (0.6 *. 3.5e-15)
+    (Timing_model.charge p pt)
+
+let test_vec_roundtrip () =
+  let v = Timing_model.to_vec p_true in
+  Alcotest.(check int) "4 params" 4 (Array.length v);
+  Alcotest.(check bool) "roundtrip" true (Timing_model.of_vec v = p_true)
+
+let test_grad_matches_numeric () =
+  let pt = { Harness.sin = 8e-12; cload = 3e-15; vdd = 0.75 } in
+  let ieff = 35e-6 in
+  let g = Timing_model.grad p_true ~ieff pt in
+  let v0 = Timing_model.to_vec p_true in
+  Array.iteri
+    (fun j gj ->
+      let h = 1e-6 *. Float.max 1.0 (Float.abs v0.(j)) in
+      let vp = Vec.copy v0 and vm = Vec.copy v0 in
+      vp.(j) <- vp.(j) +. h;
+      vm.(j) <- vm.(j) -. h;
+      let fp = Timing_model.eval (Timing_model.of_vec vp) ~ieff pt in
+      let fm = Timing_model.eval (Timing_model.of_vec vm) ~ieff pt in
+      let num = (fp -. fm) /. (2.0 *. h) in
+      Alcotest.(check bool)
+        (Printf.sprintf "grad[%d]" j)
+        true
+        (Float.abs (gj -. num) < 1e-6 *. Float.max (Float.abs num) 1e-15))
+    g
+
+let test_rel_residual () =
+  let pt = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 } in
+  let f = Timing_model.eval p_true ~ieff:40e-6 pt in
+  check_close ~tol:1e-12 "zero at truth" 0.0
+    (Timing_model.rel_residual p_true ~ieff:40e-6 pt ~observed:f);
+  check_close ~tol:1e-12 "relative scale" (-0.5)
+    (Timing_model.rel_residual p_true ~ieff:40e-6 pt ~observed:(2.0 *. f))
+
+let test_eval_rejects_bad_ieff () =
+  let pt = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 } in
+  Alcotest.check_raises "ieff <= 0"
+    (Invalid_argument "Timing_model.eval: ieff must be > 0") (fun () ->
+      ignore (Timing_model.eval p_true ~ieff:0.0 pt))
+
+(* ------------------------------------------------------------------ *)
+(* Input_space *)
+
+let test_normalize_roundtrip () =
+  let pt = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 } in
+  let u = Input_space.normalize tech pt in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in unit cube" true (x >= 0.0 && x <= 1.0))
+    u;
+  let q = Input_space.denormalize tech u in
+  check_close ~tol:1e-20 "sin" pt.Harness.sin q.Harness.sin;
+  check_close ~tol:1e-22 "cload" pt.Harness.cload q.Harness.cload;
+  check_close ~tol:1e-12 "vdd" pt.Harness.vdd q.Harness.vdd
+
+let test_validation_set_deterministic () =
+  let a = Input_space.validation_set ~n:50 ~seed:1 tech in
+  let b = Input_space.validation_set ~n:50 ~seed:1 tech in
+  Alcotest.(check bool) "same" true (a = b);
+  let c = Input_space.validation_set ~n:50 ~seed:2 tech in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_fitting_points_properties () =
+  let box = Input_space.box tech in
+  let inside (p : Harness.point) =
+    let v = Harness.vec_of_point p in
+    Array.for_all2 (fun (lo, hi) x -> x >= lo && x <= hi) box v
+  in
+  let pts = Input_space.fitting_points tech ~k:12 in
+  Alcotest.(check int) "count" 12 (Array.length pts);
+  Array.iter (fun p -> Alcotest.(check bool) "inside box" true (inside p)) pts;
+  (* Prefix property: the k-point design is a prefix of the k+1 one. *)
+  let p5 = Input_space.fitting_points tech ~k:5 in
+  let p8 = Input_space.fitting_points tech ~k:8 in
+  for i = 0 to 4 do
+    Alcotest.(check bool) "prefix" true (p5.(i) = p8.(i))
+  done
+
+let test_unit_grid_shape () =
+  let g = Input_space.unit_grid ~levels:[| 2; 3; 2 |] in
+  Alcotest.(check int) "count" 12 (Array.length g);
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun x ->
+          Alcotest.(check bool) "margin bounds" true (x >= 0.05 && x <= 0.95))
+        u)
+    g
+
+(* ------------------------------------------------------------------ *)
+(* Extract_lse *)
+
+let test_lse_recovers_synthetic () =
+  let obs = synthetic_obs p_true 12 in
+  let p = Extract_lse.fit obs in
+  check_close ~tol:1e-4 "kd" p_true.Timing_model.kd p.Timing_model.kd;
+  check_close ~tol:1e-3 "cpar" p_true.Timing_model.cpar p.Timing_model.cpar;
+  check_close ~tol:1e-3 "v_off" p_true.Timing_model.v_off p.Timing_model.v_off;
+  check_close ~tol:1e-3 "alpha" p_true.Timing_model.alpha p.Timing_model.alpha;
+  Alcotest.(check bool) "zero residual" true
+    (Extract_lse.avg_abs_rel_error p obs < 1e-8)
+
+let test_lse_weighted () =
+  (* Corrupt one observation; a zero weight on it restores recovery. *)
+  let obs = synthetic_obs p_true 10 in
+  obs.(3) <- { obs.(3) with Extract_lse.value = obs.(3).Extract_lse.value *. 2.0 };
+  let weights = Array.make 10 1.0 in
+  weights.(3) <- 0.0;
+  let p = Extract_lse.fit ~weights obs in
+  check_close ~tol:1e-3 "kd recovered despite outlier" p_true.Timing_model.kd
+    p.Timing_model.kd
+
+let test_lse_rejects_empty_and_bad () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Extract_lse.fit: no observations") (fun () ->
+      ignore (Extract_lse.fit [||]));
+  let obs = synthetic_obs p_true 3 in
+  obs.(0) <- { obs.(0) with Extract_lse.value = -1.0 };
+  Alcotest.check_raises "negative observation"
+    (Invalid_argument "Extract_lse.fit: non-positive observation") (fun () ->
+      ignore (Extract_lse.fit obs))
+
+let test_max_abs_rel_error () =
+  let obs = synthetic_obs p_true 5 in
+  Alcotest.(check bool) "max >= avg" true
+    (Extract_lse.max_abs_rel_error p_true obs
+     >= Extract_lse.avg_abs_rel_error p_true obs)
+
+(* ------------------------------------------------------------------ *)
+(* Prior (tiny learning run) *)
+
+let tiny_prior_pair =
+  lazy
+    (Prior.learn_pair ~cells:[ Cells.inv ] ~grid_levels:[| 2; 2; 2 |]
+       ~historical:[ Tech.n20; Tech.n28 ] ())
+
+let test_prior_structure () =
+  let pair = Lazy.force tiny_prior_pair in
+  let p = pair.Prior.delay in
+  Alcotest.(check int) "4-dim prior" 4 (Mvn.dim p.Prior.mvn);
+  (* 2 techs x 2 INV arcs. *)
+  Alcotest.(check int) "provenance" 4 (List.length p.Prior.provenance);
+  Alcotest.(check bool) "cost counted" true (p.Prior.learn_cost > 0);
+  List.iter
+    (fun (f : Prior.fitted_arc) ->
+      Alcotest.(check bool)
+        (f.Prior.tech_name ^ "/" ^ f.Prior.arc_name ^ " fit good")
+        true
+        (f.Prior.fit_error < 0.06))
+    p.Prior.provenance
+
+let test_prior_mean_plausible () =
+  let pair = Lazy.force tiny_prior_pair in
+  let mu = Timing_model.of_vec (pair.Prior.delay.Prior.mvn : Mvn.t).Mvn.mu in
+  Alcotest.(check bool) "kd in range" true
+    (mu.Timing_model.kd > 0.1 && mu.Timing_model.kd < 0.8);
+  Alcotest.(check bool) "cpar positive" true (mu.Timing_model.cpar > 0.0);
+  Alcotest.(check bool) "v_off negative" true (mu.Timing_model.v_off < 0.0)
+
+let test_beta_positive_everywhere () =
+  let pair = Lazy.force tiny_prior_pair in
+  let pts = Input_space.validation_set ~n:40 ~seed:3 tech in
+  Array.iter
+    (fun pt ->
+      let b = Prior.beta_at pair.Prior.delay tech pt in
+      Alcotest.(check bool) "beta positive finite" true
+        (b > 0.0 && Float.is_finite b))
+    pts
+
+let test_beta_floor_caps_precision () =
+  let pair = Lazy.force tiny_prior_pair in
+  let pts = Input_space.validation_set ~n:40 ~seed:4 tech in
+  Array.iter
+    (fun pt ->
+      let b = Prior.beta_at pair.Prior.delay tech pt in
+      (* floor 0.01 relative sigma -> beta <= 1e4 *)
+      Alcotest.(check bool) "beta bounded by floor" true (b <= 1e4 +. 1e-6))
+    pts
+
+let test_constant_beta_flattens () =
+  let pair = Lazy.force tiny_prior_pair in
+  let flat = Prior.constant_beta pair.Prior.delay in
+  let p1 = { Harness.sin = 2e-12; cload = 1e-15; vdd = 0.7 } in
+  let p2 = { Harness.sin = 14e-12; cload = 5e-15; vdd = 0.95 } in
+  check_close ~tol:1e-9 "same beta everywhere"
+    (Prior.beta_at flat tech p1) (Prior.beta_at flat tech p2)
+
+let test_prior_requires_history () =
+  Alcotest.check_raises "no nodes"
+    (Invalid_argument "Prior.learn: no historical nodes") (fun () ->
+      ignore (Prior.learn ~historical:[] Prior.Delay))
+
+(* ------------------------------------------------------------------ *)
+(* Map_fit *)
+
+let test_map_no_observations_returns_prior_mean () =
+  let pair = Lazy.force tiny_prior_pair in
+  let prior = pair.Prior.delay in
+  let r = Map_fit.fit ~prior ~tech [||] in
+  let mu = (prior.Prior.mvn : Mvn.t).Mvn.mu in
+  Alcotest.(check bool) "params = prior mean" true
+    (Vec.approx_equal ~tol:1e-6 (Timing_model.to_vec r.Map_fit.params) mu);
+  check_close ~tol:1e-9 "no data cost" 0.0 r.Map_fit.data_cost
+
+let test_map_converges_to_truth_with_data () =
+  let pair = Lazy.force tiny_prior_pair in
+  let prior = pair.Prior.delay in
+  let obs = synthetic_obs p_true 30 in
+  let r = Map_fit.fit ~prior ~tech obs in
+  (* With plenty of noiseless data, MAP should sit near the truth even
+     if the prior mean is elsewhere. *)
+  check_close ~tol:0.02 "kd" p_true.Timing_model.kd r.Map_fit.params.Timing_model.kd;
+  check_close ~tol:0.15 "cpar" p_true.Timing_model.cpar
+    r.Map_fit.params.Timing_model.cpar
+
+let test_map_beats_lse_at_small_k () =
+  (* Real simulated data, k = 2: MAP should predict held-out delays
+     better than LSE thanks to the prior. *)
+  let pair = Lazy.force tiny_prior_pair in
+  let ds =
+    Char_flow.simulate_dataset tech inv_fall
+      (Input_space.validation_set ~n:25 ~seed:5 tech)
+  in
+  let bayes = Char_flow.train_bayes ~prior:pair tech inv_fall ~k:2 in
+  let lse = Char_flow.train_lse tech inv_fall ~k:2 in
+  let e_bayes = (Char_flow.evaluate bayes ds).Char_flow.td_err in
+  let e_lse = (Char_flow.evaluate lse ds).Char_flow.td_err in
+  Alcotest.(check bool)
+    (Printf.sprintf "bayes (%.3f) <= lse (%.3f)" e_bayes e_lse)
+    true (e_bayes <= e_lse +. 1e-6)
+
+let test_map_posterior_decomposition () =
+  let pair = Lazy.force tiny_prior_pair in
+  let obs = synthetic_obs p_true 5 in
+  let r = Map_fit.fit ~prior:pair.Prior.delay ~tech obs in
+  check_close ~tol:1e-6 "cost = (prior + data)/2" r.Map_fit.posterior_cost
+    (0.5 *. (r.Map_fit.prior_mahalanobis +. r.Map_fit.data_cost))
+
+(* ------------------------------------------------------------------ *)
+(* Belief *)
+
+let test_belief_observe_shrinks_cov () =
+  let msg = Belief.diffuse 4 in
+  let rows = Array.init 10 (fun i -> Timing_model.to_vec
+    { Timing_model.kd = 0.3 +. (0.001 *. float_of_int i); cpar = 1.0;
+      v_off = -0.2; alpha = 0.1 }) in
+  let post = Belief.observe msg rows in
+  Alcotest.(check bool) "variance shrinks" true
+    (Mat.get post.Belief.cov 0 0 < Mat.get msg.Belief.cov 0 0);
+  (* Mean moves towards the data. *)
+  Alcotest.(check bool) "mean near data" true
+    (Float.abs (post.Belief.mu.(0) -. 0.3045) < 0.05)
+
+let test_belief_drift_grows_cov () =
+  let msg = Belief.diffuse ~scale:1.0 4 in
+  let q = Belief.default_drift 4 in
+  let after = Belief.drift msg q in
+  Alcotest.(check bool) "cov grows" true
+    (Mat.get after.Belief.cov 0 0 > Mat.get msg.Belief.cov 0 0)
+
+let test_belief_chain_and_prior () =
+  let pair = Lazy.force tiny_prior_pair in
+  let ordered = [ "n28"; "n20" ] in
+  let chained = Belief.chain_prior pair.Prior.delay ~ordered in
+  Alcotest.(check int) "still 4-dim" 4 (Mvn.dim chained.Prior.mvn);
+  let mu = (chained.Prior.mvn : Mvn.t).Mvn.mu in
+  Alcotest.(check bool) "kd plausible" true (mu.(0) > 0.1 && mu.(0) < 0.8)
+
+let test_belief_empty_chain_rejected () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Belief.chain: empty chain") (fun () ->
+      ignore (Belief.chain []))
+
+(* ------------------------------------------------------------------ *)
+(* Char_flow helpers *)
+
+let test_budget_to_reach () =
+  let curve = [ (1, 0.5); (10, 0.05); (100, 0.01) ] in
+  (match Char_flow.budget_to_reach ~curve ~target:0.05 with
+  | Some b -> check_close ~tol:1e-9 "exact point" 10.0 b
+  | None -> Alcotest.fail "expected reach");
+  (match Char_flow.budget_to_reach ~curve ~target:0.3 with
+  | Some b -> Alcotest.(check bool) "interpolated" true (b > 1.0 && b < 10.0)
+  | None -> Alcotest.fail "expected reach");
+  Alcotest.(check bool) "unreachable" true
+    (Char_flow.budget_to_reach ~curve ~target:0.001 = None)
+
+let test_speedup_vs () =
+  let curve = [ (1, 0.5); (10, 0.05) ] in
+  (match Char_flow.speedup_vs ~budget:2.0 ~curve ~target:0.05 with
+  | Char_flow.Reached s -> check_close ~tol:1e-9 "5x" 5.0 s
+  | Char_flow.At_least _ -> Alcotest.fail "should reach");
+  match Char_flow.speedup_vs ~budget:2.0 ~curve ~target:0.001 with
+  | Char_flow.At_least s -> check_close ~tol:1e-9 "lower bound" 5.0 s
+  | Char_flow.Reached _ -> Alcotest.fail "should not reach"
+
+let test_train_lut_cost_within_budget () =
+  let p = Char_flow.train_lut tech inv_fall ~budget:10 in
+  Alcotest.(check bool) "cost <= 10" true (p.Char_flow.train_cost <= 10);
+  Alcotest.(check bool) "cost > 4" true (p.Char_flow.train_cost > 4)
+
+let test_predictor_positive () =
+  let pair = Lazy.force tiny_prior_pair in
+  let p = Char_flow.train_bayes ~prior:pair tech inv_fall ~k:3 in
+  let pt = { Harness.sin = 6e-12; cload = 3e-15; vdd = 0.9 } in
+  Alcotest.(check bool) "td positive" true (p.Char_flow.predict_td pt > 0.0);
+  Alcotest.(check bool) "sout positive" true (p.Char_flow.predict_sout pt > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Model_ext *)
+
+let test_model_ext_reduces_to_base () =
+  let p5 = Model_ext.of_base p_true in
+  let pt = { Harness.sin = 6e-12; cload = 3e-15; vdd = 0.8 } in
+  check_close ~tol:1e-20 "gamma=0 equals base"
+    (Timing_model.eval p_true ~ieff:40e-6 pt)
+    (Model_ext.eval p5 ~ieff:40e-6 pt)
+
+let test_model_ext_grad_matches_numeric () =
+  let p5 = { Model_ext.base = p_true; gamma = 0.05 } in
+  let pt = { Harness.sin = 8e-12; cload = 3e-15; vdd = 0.75 } in
+  let ieff = 35e-6 in
+  let g = Model_ext.grad p5 ~ieff pt in
+  let v0 = Model_ext.to_vec p5 in
+  Array.iteri
+    (fun j gj ->
+      let h = 1e-6 *. Float.max 1.0 (Float.abs v0.(j)) in
+      let vp = Vec.copy v0 and vm = Vec.copy v0 in
+      vp.(j) <- vp.(j) +. h;
+      vm.(j) <- vm.(j) -. h;
+      let fp = Model_ext.eval (Model_ext.of_vec vp) ~ieff pt in
+      let fm = Model_ext.eval (Model_ext.of_vec vm) ~ieff pt in
+      let num = (fp -. fm) /. (2.0 *. h) in
+      Alcotest.(check bool)
+        (Printf.sprintf "ext grad[%d]" j)
+        true
+        (Float.abs (gj -. num) < 1e-6 *. Float.max (Float.abs num) 1e-15))
+    g
+
+let test_model_ext_fit_recovers_gamma () =
+  let truth = { Model_ext.base = p_true; gamma = 0.04 } in
+  let points = Input_space.fitting_points tech ~k:20 in
+  let obs =
+    Array.map
+      (fun pt ->
+        let ieff = ieff_at pt in
+        {
+          Extract_lse.point = pt;
+          ieff;
+          value = Model_ext.eval truth ~ieff pt;
+        })
+      points
+  in
+  let fitted = Model_ext.fit obs in
+  check_close ~tol:5e-3 "gamma recovered" 0.04 fitted.Model_ext.gamma;
+  Alcotest.(check bool) "tiny residual" true
+    (Model_ext.avg_abs_rel_error fitted obs < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Random fitting designs / point overrides *)
+
+let test_random_fitting_points () =
+  let box = Input_space.box tech in
+  let a = Input_space.random_fitting_points tech ~k:10 ~seed:3 in
+  let b = Input_space.random_fitting_points tech ~k:10 ~seed:3 in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  let c = Input_space.random_fitting_points tech ~k:10 ~seed:4 in
+  Alcotest.(check bool) "seed-dependent" true (a <> c);
+  Array.iter
+    (fun p ->
+      let v = Harness.vec_of_point p in
+      Array.iteri
+        (fun d x ->
+          let lo, hi = box.(d) in
+          Alcotest.(check bool) "inside box" true (x >= lo && x <= hi))
+        v)
+    a
+
+let test_points_override_length_checked () =
+  let pts = Input_space.fitting_points tech ~k:3 in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Char_flow: points override must have length k")
+    (fun () -> ignore (Char_flow.train_lse ~points:pts tech inv_fall ~k:2))
+
+(* ------------------------------------------------------------------ *)
+(* Statistical (tiny run) *)
+
+let test_statistical_tiny () =
+  let pair = Lazy.force tiny_prior_pair in
+  let rng = Slc_prob.Rng.create 99 in
+  let seeds = Slc_device.Process.sample_batch rng tech 4 in
+  let points = Input_space.validation_set ~n:3 ~seed:6 tech in
+  let base =
+    Statistical.monte_carlo_baseline ~tech ~arc:inv_fall ~seeds ~points
+  in
+  Alcotest.(check int) "baseline cost" 12 base.Statistical.cost;
+  let pop =
+    Statistical.extract_population ~method_:(Statistical.Bayes pair) ~tech
+      ~arc:inv_fall ~seeds ~budget:2
+  in
+  Alcotest.(check int) "train cost = seeds*k" 8 pop.Statistical.train_cost;
+  let e = Statistical.evaluate pop base in
+  Alcotest.(check bool) "mu error sane" true
+    (e.Statistical.e_mu_td >= 0.0 && e.Statistical.e_mu_td < 0.5);
+  let samples = Statistical.predict_samples pop points.(0) ~td:true in
+  Alcotest.(check int) "per-seed predictions" 4 (Array.length samples);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "positive" true (s > 0.0))
+    samples
+
+(* ------------------------------------------------------------------ *)
+(* Bayes_library *)
+
+let test_bayes_library () =
+  let prior = Lazy.force tiny_prior_pair in
+  Harness.reset_sim_count ();
+  let lib =
+    Bayes_library.characterize ~cells:[ Cells.inv; Cells.nor2 ] ~prior tech
+      ~k:2
+  in
+  (* 6 arcs x 2 sims (window retries would add more). *)
+  Alcotest.(check int) "entries" 6 (List.length lib.Bayes_library.entries);
+  Alcotest.(check bool) "cost about k per arc" true
+    (lib.Bayes_library.sim_runs >= 12 && lib.Bayes_library.sim_runs <= 24);
+  let pt = { Harness.sin = 6e-12; cload = 3e-15; vdd = 0.85 } in
+  let d = Bayes_library.delay lib inv_fall pt in
+  let s_ = Bayes_library.slew lib inv_fall pt in
+  Alcotest.(check bool) "delay positive" true (d > 0.0);
+  Alcotest.(check bool) "slew positive" true (s_ > 0.0);
+  let d2, s2 = Bayes_library.oracle_query lib inv_fall pt in
+  Alcotest.(check (float 1e-18)) "oracle delay" d d2;
+  Alcotest.(check (float 1e-18)) "oracle slew" s_ s2;
+  (* Unknown arc. *)
+  let foreign = Arc.find Cells.nand3 ~pin:"B" ~out_dir:Arc.Rise in
+  Alcotest.(check bool) "missing arc" true
+    (Bayes_library.find lib foreign = None);
+  Alcotest.check_raises "missing delay raises" Not_found (fun () ->
+      ignore (Bayes_library.delay lib foreign pt));
+  (* Validation report has a row per arc with sane errors. *)
+  let report = Bayes_library.validate ~n:10 lib in
+  Alcotest.(check int) "report rows" 6 (List.length report);
+  List.iter
+    (fun (name, e) ->
+      Alcotest.(check bool)
+        (name ^ " error sane")
+        true
+        (e.Char_flow.td_err >= 0.0 && e.Char_flow.td_err < 0.3))
+    report;
+  Alcotest.(check bool) "summary renders" true
+    (String.length (Format.asprintf "%a" Bayes_library.summary lib) > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Config / Report *)
+
+let test_config_scaling () =
+  let c1 = Config.with_scale 1.0 and c2 = Config.with_scale 2.0 in
+  Alcotest.(check int) "validation doubles" (2 * c1.Config.n_validation)
+    c2.Config.n_validation;
+  Alcotest.check_raises "bad scale"
+    (Invalid_argument "Config.with_scale: scale must be > 0") (fun () ->
+      ignore (Config.with_scale 0.0))
+
+let test_report_series_and_formats () =
+  let s =
+    Format.asprintf "%a"
+      (fun ppf () ->
+        Report.series ppf ~title:"demo" ~x_label:"k" ~xs:[| 1.0; 2.0 |]
+          [ ("a", [| 0.1; 0.2 |]); ("b", [| 0.3 |]) ])
+      ()
+  in
+  Alcotest.(check bool) "renders title" true (String.length s > 20);
+  (* Short series pads with a dash. *)
+  Alcotest.(check bool) "dash for missing" true
+    (String.contains s '-');
+  Alcotest.(check string) "ps format" "12.00ps" (Report.ps 12e-12)
+
+let test_prior_summary_renders () =
+  let pair = Lazy.force tiny_prior_pair in
+  let s = Format.asprintf "%a" Prior.pp_summary pair.Prior.delay in
+  Alcotest.(check bool) "mentions provenance" true (String.length s > 200)
+
+let test_belief_to_mvn () =
+  let msg = Belief.diffuse ~scale:2.0 4 in
+  let m = Belief.to_mvn msg in
+  Alcotest.(check int) "dim" 4 (Slc_prob.Mvn.dim m)
+
+let test_of_vec_wrong_length () =
+  Alcotest.check_raises "3 coords"
+    (Invalid_argument "Timing_model.of_vec: need 4 coords") (fun () ->
+      ignore (Timing_model.of_vec [| 1.0; 2.0; 3.0 |]));
+  Alcotest.check_raises "6 coords"
+    (Invalid_argument "Model_ext.of_vec: need 5 coords") (fun () ->
+      ignore (Model_ext.of_vec (Array.make 6 0.0)))
+
+let test_prior_io_rejects_future_version () =
+  let pair = Lazy.force tiny_prior_pair in
+  let text = Prior_io.to_string pair in
+  let v2 = "slc-prior 2" ^ String.sub text 11 (String.length text - 11) in
+  match Prior_io.parse v2 with
+  | exception Prior_io.Format_error _ -> ()
+  | _ -> Alcotest.fail "version 2 should be rejected"
+
+let test_report_table_and_bar () =
+  let s =
+    Format.asprintf "%a"
+      (fun ppf () ->
+        Report.table ppf ~header:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333"; "4" ] ])
+      ()
+  in
+  Alcotest.(check bool) "renders rows" true (String.length s > 10);
+  Alcotest.(check string) "full bar" "####" (Report.bar ~width:4 1.0 1.0);
+  Alcotest.(check string) "empty bar" "    " (Report.bar ~width:4 0.0 1.0);
+  Alcotest.(check string) "pct" "12.34%" (Report.pct 0.1234)
+
+(* ------------------------------------------------------------------ *)
+(* Rsm *)
+
+let test_rsm_degree_adapts () =
+  let mk n =
+    let pts = Input_space.fitting_points tech ~k:n in
+    Array.map (fun p -> (p, 1e-11 +. (1e-12 *. p.Harness.vdd))) pts
+  in
+  Alcotest.(check int) "constant" 0 (Rsm.degree (Rsm.fit tech (mk 2)));
+  Alcotest.(check int) "linear" 1 (Rsm.degree (Rsm.fit tech (mk 5)));
+  Alcotest.(check int) "quadratic" 2 (Rsm.degree (Rsm.fit tech (mk 12)));
+  Alcotest.(check int) "coeff counts" 10 (Rsm.n_coeffs ~degree:2)
+
+let test_rsm_exact_on_polynomial_data () =
+  (* Quadratic RSM recovers data generated by a quadratic in the
+     normalized coordinates. *)
+  let f u = 1e-11 *. (1.0 +. (0.5 *. u.(0)) +. (0.3 *. u.(1) *. u.(1)) -. (0.2 *. u.(0) *. u.(2))) in
+  let pts = Input_space.fitting_points tech ~k:20 in
+  let samples =
+    Array.map (fun p -> (p, f (Input_space.normalize tech p))) pts
+  in
+  let r = Rsm.fit tech samples in
+  Alcotest.(check bool) "exact fit" true (Rsm.avg_abs_rel_error r samples < 1e-8)
+
+let test_rsm_predictor_runs () =
+  let p = Char_flow.train_rsm tech inv_fall ~k:10 in
+  let pt = { Harness.sin = 6e-12; cload = 3e-15; vdd = 0.85 } in
+  Alcotest.(check bool) "positive delay" true (p.Char_flow.predict_td pt > 0.0);
+  Alcotest.(check int) "cost" 10 p.Char_flow.train_cost
+
+let test_rsm_rejects_bad_input () =
+  Alcotest.check_raises "empty" (Invalid_argument "Rsm.fit: no samples")
+    (fun () -> ignore (Rsm.fit tech [||]));
+  let pts = Input_space.fitting_points tech ~k:2 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Rsm.fit: non-positive value") (fun () ->
+      ignore (Rsm.fit tech (Array.map (fun p -> (p, -1.0)) pts)))
+
+(* ------------------------------------------------------------------ *)
+(* Prior_io *)
+
+let test_prior_roundtrip () =
+  let pair = Lazy.force tiny_prior_pair in
+  let text = Prior_io.to_string pair in
+  let back = Prior_io.parse text in
+  (* Mean and covariance survive bit-exactly (printed with %.17g). *)
+  Alcotest.(check bool) "mu" true
+    (Vec.approx_equal ~tol:0.0
+       (pair.Prior.delay.Prior.mvn : Mvn.t).Mvn.mu
+       (back.Prior.delay.Prior.mvn : Mvn.t).Mvn.mu);
+  Alcotest.(check bool) "cov" true
+    (Mat.approx_equal ~tol:1e-18 pair.Prior.delay.Prior.mvn.Mvn.cov
+       back.Prior.delay.Prior.mvn.Mvn.cov);
+  Alcotest.(check int) "provenance count"
+    (List.length pair.Prior.delay.Prior.provenance)
+    (List.length back.Prior.delay.Prior.provenance);
+  Alcotest.(check int) "cost" pair.Prior.delay.Prior.learn_cost
+    back.Prior.delay.Prior.learn_cost;
+  (* beta lookups agree at arbitrary points. *)
+  let pt = { Harness.sin = 6e-12; cload = 3e-15; vdd = 0.85 } in
+  Alcotest.(check (float 1e-9)) "beta"
+    (Prior.beta_at pair.Prior.delay tech pt)
+    (Prior.beta_at back.Prior.delay tech pt);
+  (* A MAP fit from the reloaded prior matches the original. *)
+  let obs = synthetic_obs p_true 3 in
+  let a = Map_fit.fit_params ~prior:pair.Prior.delay ~tech obs in
+  let b = Map_fit.fit_params ~prior:back.Prior.delay ~tech obs in
+  Alcotest.(check bool) "same MAP result" true
+    (Vec.approx_equal ~tol:1e-9 (Timing_model.to_vec a) (Timing_model.to_vec b))
+
+let test_prior_io_errors () =
+  let bad s =
+    match Prior_io.parse s with
+    | exception Prior_io.Format_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "bad header" true (bad "nope");
+  Alcotest.(check bool) "truncated" true (bad "slc-prior 1\nmetric delay\n");
+  let pair = Lazy.force tiny_prior_pair in
+  let text = Prior_io.to_string pair in
+  (* Corrupt the first mu value. *)
+  let idx =
+    let rec find i =
+      if String.sub text i 3 = "mu " then i else find (i + 1)
+    in
+    find 0
+  in
+  let corrupted =
+    String.sub text 0 (idx + 3) ^ "zz "
+    ^ String.sub text (idx + 3) (String.length text - idx - 3)
+  in
+  Alcotest.(check bool) "corrupted float" true (bad corrupted)
+
+let test_prior_io_file () =
+  let pair = Lazy.force tiny_prior_pair in
+  let path = Filename.temp_file "slc_prior" ".txt" in
+  Prior_io.save path pair;
+  let back = Prior_io.load path in
+  Sys.remove path;
+  Alcotest.(check int) "provenance"
+    (List.length pair.Prior.slew.Prior.provenance)
+    (List.length back.Prior.slew.Prior.provenance)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_model_monotone_in_cload =
+  QCheck.Test.make ~name:"model delay monotone in cload" ~count:100
+    QCheck.(pair (float_range 0.5 6.0) (float_range 0.7 1.0))
+    (fun (cl_fF, vdd) ->
+      let p1 = { Harness.sin = 5e-12; cload = cl_fF *. 1e-15; vdd } in
+      let p2 = { p1 with Harness.cload = (cl_fF +. 1.0) *. 1e-15 } in
+      Timing_model.eval p_true ~ieff:40e-6 p2
+      > Timing_model.eval p_true ~ieff:40e-6 p1)
+
+let prop_model_scales_inversely_with_ieff =
+  QCheck.Test.make ~name:"model delay inversely proportional to ieff"
+    ~count:100
+    QCheck.(float_range 1.0 100.0)
+    (fun scale ->
+      let pt = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 } in
+      let base = Timing_model.eval p_true ~ieff:1e-5 pt in
+      let scaled = Timing_model.eval p_true ~ieff:(1e-5 *. scale) pt in
+      Float.abs ((scaled *. scale) -. base) < 1e-12 *. base +. 1e-22)
+
+let prop_lse_exact_on_model_data =
+  QCheck.Test.make ~name:"LSE recovers random generating parameters"
+    ~count:20
+    QCheck.(quad (float_range 0.2 0.6) (float_range 0.3 2.0)
+              (float_range (-0.3) (-0.05)) (float_range 0.01 0.2))
+    (fun (kd, cpar, v_off, alpha) ->
+      let truth = { Timing_model.kd; cpar; v_off; alpha } in
+      let obs = synthetic_obs truth 12 in
+      let fit = Extract_lse.fit obs in
+      Extract_lse.avg_abs_rel_error fit obs < 1e-5)
+
+let () =
+  Alcotest.run "slc_core"
+    [
+      ( "timing_model",
+        [
+          Alcotest.test_case "closed form" `Quick test_eval_formula;
+          Alcotest.test_case "vec roundtrip" `Quick test_vec_roundtrip;
+          Alcotest.test_case "gradient matches numeric" `Quick
+            test_grad_matches_numeric;
+          Alcotest.test_case "relative residual" `Quick test_rel_residual;
+          Alcotest.test_case "rejects bad ieff" `Quick test_eval_rejects_bad_ieff;
+        ] );
+      ( "input_space",
+        [
+          Alcotest.test_case "normalize roundtrip" `Quick test_normalize_roundtrip;
+          Alcotest.test_case "validation determinism" `Quick
+            test_validation_set_deterministic;
+          Alcotest.test_case "fitting points" `Quick test_fitting_points_properties;
+          Alcotest.test_case "unit grid" `Quick test_unit_grid_shape;
+        ] );
+      ( "extract_lse",
+        [
+          Alcotest.test_case "recovers synthetic parameters" `Quick
+            test_lse_recovers_synthetic;
+          Alcotest.test_case "weights" `Quick test_lse_weighted;
+          Alcotest.test_case "input validation" `Quick
+            test_lse_rejects_empty_and_bad;
+          Alcotest.test_case "max error" `Quick test_max_abs_rel_error;
+        ] );
+      ( "prior",
+        [
+          Alcotest.test_case "structure" `Slow test_prior_structure;
+          Alcotest.test_case "mean plausible" `Slow test_prior_mean_plausible;
+          Alcotest.test_case "beta positive" `Slow test_beta_positive_everywhere;
+          Alcotest.test_case "beta floored" `Slow test_beta_floor_caps_precision;
+          Alcotest.test_case "constant beta ablation" `Slow
+            test_constant_beta_flattens;
+          Alcotest.test_case "requires history" `Quick test_prior_requires_history;
+        ] );
+      ( "map_fit",
+        [
+          Alcotest.test_case "no data = prior mean" `Slow
+            test_map_no_observations_returns_prior_mean;
+          Alcotest.test_case "lots of data = truth" `Slow
+            test_map_converges_to_truth_with_data;
+          Alcotest.test_case "beats LSE at k=2" `Slow test_map_beats_lse_at_small_k;
+          Alcotest.test_case "posterior decomposition" `Slow
+            test_map_posterior_decomposition;
+        ] );
+      ( "belief",
+        [
+          Alcotest.test_case "observe shrinks covariance" `Quick
+            test_belief_observe_shrinks_cov;
+          Alcotest.test_case "drift grows covariance" `Quick
+            test_belief_drift_grows_cov;
+          Alcotest.test_case "chain prior" `Slow test_belief_chain_and_prior;
+          Alcotest.test_case "empty chain" `Quick test_belief_empty_chain_rejected;
+        ] );
+      ( "char_flow",
+        [
+          Alcotest.test_case "budget_to_reach" `Quick test_budget_to_reach;
+          Alcotest.test_case "speedup_vs" `Quick test_speedup_vs;
+          Alcotest.test_case "lut cost within budget" `Quick
+            test_train_lut_cost_within_budget;
+          Alcotest.test_case "predictor positive" `Slow test_predictor_positive;
+        ] );
+      ( "model_ext",
+        [
+          Alcotest.test_case "reduces to base model" `Quick
+            test_model_ext_reduces_to_base;
+          Alcotest.test_case "gradient matches numeric" `Quick
+            test_model_ext_grad_matches_numeric;
+          Alcotest.test_case "fit recovers cross term" `Quick
+            test_model_ext_fit_recovers_gamma;
+        ] );
+      ( "designs",
+        [
+          Alcotest.test_case "random fitting points" `Quick
+            test_random_fitting_points;
+          Alcotest.test_case "points override checked" `Slow
+            test_points_override_length_checked;
+        ] );
+      ( "statistical",
+        [ Alcotest.test_case "tiny statistical flow" `Slow test_statistical_tiny ] );
+      ( "rsm",
+        [
+          Alcotest.test_case "degree adapts to budget" `Quick
+            test_rsm_degree_adapts;
+          Alcotest.test_case "exact on polynomial data" `Quick
+            test_rsm_exact_on_polynomial_data;
+          Alcotest.test_case "predictor runs" `Slow test_rsm_predictor_runs;
+          Alcotest.test_case "input validation" `Quick
+            test_rsm_rejects_bad_input;
+        ] );
+      ( "prior_io",
+        [
+          Alcotest.test_case "roundtrip" `Slow test_prior_roundtrip;
+          Alcotest.test_case "errors" `Slow test_prior_io_errors;
+          Alcotest.test_case "file save/load" `Slow test_prior_io_file;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_model_monotone_in_cload;
+          QCheck_alcotest.to_alcotest prop_model_scales_inversely_with_ieff;
+          QCheck_alcotest.to_alcotest prop_lse_exact_on_model_data;
+        ] );
+      ( "bayes_library",
+        [ Alcotest.test_case "whole-library flow" `Slow test_bayes_library ] );
+      ( "config_report",
+        [
+          Alcotest.test_case "config scaling" `Quick test_config_scaling;
+          Alcotest.test_case "report rendering" `Quick test_report_table_and_bar;
+          Alcotest.test_case "series rendering" `Quick
+            test_report_series_and_formats;
+          Alcotest.test_case "prior summary" `Slow test_prior_summary_renders;
+          Alcotest.test_case "belief to_mvn" `Quick test_belief_to_mvn;
+          Alcotest.test_case "of_vec length checks" `Quick
+            test_of_vec_wrong_length;
+          Alcotest.test_case "prior_io version check" `Slow
+            test_prior_io_rejects_future_version;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Tests for SPICE-deck parsing, number notation and deck-to-netlist
+   simulation. *)
+
+open Slc_spice
+module Tech = Slc_device.Tech
+
+let check_close ?(tol = 1e-12) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let inverter_deck =
+  "* inverter testbench\n\
+   vdd vdd 0 0.8\n\
+   vin in 0 PWL(0 0 1p 0 6p 0.8)\n\
+   mn1 out in 0 nmos w=100n l=20n\n\
+   mp1 out in vdd pmos w=200n l=20n\n\
+   cl out 0 2f\n\
+   .tran 0.1p 60p\n\
+   .end\n"
+
+let models name =
+  match String.lowercase_ascii name with
+  | "nmos" -> Tech.n14.Tech.nmos
+  | "pmos" -> Tech.n14.Tech.pmos
+  | other -> invalid_arg ("unknown model " ^ other)
+
+(* ------------------------------------------------------------------ *)
+
+let test_parse_number () =
+  check_close "femto" 2.5e-15 (Deck.parse_number "2.5f");
+  check_close "pico" 1e-12 (Deck.parse_number "1p");
+  check_close "nano" 1.5e-9 (Deck.parse_number "1.5n");
+  check_close "micro" 3e-6 (Deck.parse_number "3u");
+  check_close "milli" 2e-3 (Deck.parse_number "2m");
+  check_close ~tol:1e-6 "kilo" 4e3 (Deck.parse_number "4k");
+  check_close ~tol:1.0 "meg" 2e6 (Deck.parse_number "2meg");
+  check_close "plain" 0.8 (Deck.parse_number "0.8");
+  check_close "scientific" 5e-12 (Deck.parse_number "5e-12");
+  Alcotest.check_raises "garbage" (Deck.Parse_error "bad number \"xyz\"")
+    (fun () -> ignore (Deck.parse_number "xyz"))
+
+let test_parse_structure () =
+  let d = Deck.parse inverter_deck in
+  Alcotest.(check string) "title" "* inverter testbench" d.Deck.title;
+  Alcotest.(check int) "cards" 5 (List.length d.Deck.cards);
+  (match d.Deck.tran with
+  | Some (dt, tstop) ->
+    check_close "dt" 1e-13 dt;
+    check_close "tstop" 6e-11 tstop
+  | None -> Alcotest.fail "missing .tran");
+  (* The MOSFET card carries its size. *)
+  let m =
+    List.find_map
+      (function
+        | Deck.Mosfet_card { name = "mp1"; w; model; _ } -> Some (w, model)
+        | _ -> None)
+      d.Deck.cards
+  in
+  match m with
+  | Some (w, model) ->
+    check_close ~tol:1e-12 "w" 200e-9 w;
+    Alcotest.(check string) "model" "pmos" model
+  | None -> Alcotest.fail "mp1 missing"
+
+let test_parse_errors () =
+  let bad s =
+    match Deck.parse s with
+    | exception Deck.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "bad card" true (bad "t\nq x y z\n");
+  Alcotest.(check bool) "malformed M" true (bad "t\nm1 a b\n");
+  Alcotest.(check bool) "non-grounded V" true (bad "t\nv1 a b 1.0\n");
+  Alcotest.(check bool) "odd PWL" true (bad "t\nv1 a 0 PWL(0 1 2)\n");
+  Alcotest.(check bool) "bad directive" true (bad "t\n.options foo\n")
+
+let test_cards_after_end_ignored () =
+  let d = Deck.parse "t\nr1 a 0 1k\n.end\nr2 b 0 1k\n" in
+  Alcotest.(check int) "only one card" 1 (List.length d.Deck.cards)
+
+let test_deck_simulates_like_builder () =
+  (* The parsed inverter deck must reproduce the hand-built testbench. *)
+  let d = Deck.parse inverter_deck in
+  let net, resolve = Deck.to_netlist d ~models in
+  let nout = resolve "out" and nin = resolve "in" in
+  let opts =
+    {
+      (Transient.default_options ~tstop:6e-11) with
+      breakpoints = [ 1e-12; 6e-12 ];
+    }
+  in
+  let res = Transient.run opts net in
+  let wout = Transient.waveform res nout in
+  let win = Transient.waveform res nin in
+  Alcotest.(check bool) "output falls" true
+    (Waveform.final_value wout < 0.05 *. 0.8);
+  match
+    Waveform.measure_delay ~input:win ~output:wout ~vdd:0.8
+      ~out_dir:Waveform.Falling
+  with
+  | Some d ->
+    (* Same circuit as the smoke inverter: delay in the ~5-20 ps range. *)
+    Alcotest.(check bool) "plausible delay" true (d > 2e-12 && d < 3e-11)
+  | None -> Alcotest.fail "no delay measured"
+
+let test_roundtrip () =
+  let d = Deck.parse inverter_deck in
+  let text = Deck.to_string d in
+  let d2 = Deck.parse text in
+  Alcotest.(check int) "same cards" (List.length d.Deck.cards)
+    (List.length d2.Deck.cards);
+  Alcotest.(check bool) "same tran" true (d.Deck.tran = d2.Deck.tran);
+  (* Values survive to within float-printing precision (suffix parsing
+     multiplies, so bit-exact equality is not guaranteed). *)
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | Deck.Mosfet_card { w = wa; _ }, Deck.Mosfet_card { w = wb; _ } ->
+        Alcotest.(check bool) "widths close" true (Float.abs (wa -. wb) < 1e-15)
+      | Deck.Cap_card { value = va; _ }, Deck.Cap_card { value = vb; _ } ->
+        Alcotest.(check bool) "caps close" true (Float.abs (va -. vb) < 1e-20)
+      | x, y -> Alcotest.(check bool) "same shape" true (x = y))
+    d.Deck.cards d2.Deck.cards
+
+let test_ground_aliases () =
+  let d = Deck.parse "t\nr1 a b 1k\nr2 b gnd 1k\nr3 b 0 1k\nv1 a 0 1.0\n.end\n" in
+  let net, resolve = Deck.to_netlist d ~models in
+  Netlist.validate net;
+  Alcotest.(check int) "gnd is node 0" Netlist.ground (resolve "gnd");
+  Alcotest.(check int) "0 is node 0" Netlist.ground (resolve "0")
+
+let test_unknown_node_rejected () =
+  let d = Deck.parse inverter_deck in
+  let _, resolve = Deck.to_netlist d ~models in
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Deck.to_netlist: unknown node nowhere") (fun () ->
+      ignore (resolve "nowhere"))
+
+let () =
+  Alcotest.run "deck"
+    [
+      ( "numbers",
+        [ Alcotest.test_case "engineering notation" `Quick test_parse_number ] );
+      ( "parser",
+        [
+          Alcotest.test_case "structure" `Quick test_parse_structure;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "cards after .end" `Quick
+            test_cards_after_end_ignored;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "simulates" `Quick test_deck_simulates_like_builder;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "unknown node" `Quick test_unknown_node_rejected;
+          Alcotest.test_case "ground aliases" `Quick test_ground_aliases;
+        ] );
+    ]

@@ -1,0 +1,425 @@
+(* Tests for the probability / statistics library. *)
+
+open Slc_prob
+module Vec = Slc_num.Vec
+module Mat = Slc_num.Mat
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.uint64 a) (Rng.uint64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different" true (Rng.uint64 a <> Rng.uint64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_uniform_moments () =
+  let rng = Rng.create 6 in
+  let xs = Array.init 40_000 (fun _ -> Rng.uniform rng ~lo:2.0 ~hi:4.0) in
+  check_close ~tol:0.02 "mean" 3.0 (Describe.mean xs);
+  check_close ~tol:0.02 "std" (2.0 /. sqrt 12.0) (Describe.std xs)
+
+let test_rng_int () =
+  let rng = Rng.create 7 in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 25_000 do
+    let i = Rng.int rng 5 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d balanced" i)
+        true
+        (c > 4_500 && c < 5_500))
+    counts
+
+let test_rng_split_independence () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "streams differ" true (Rng.uint64 a <> Rng.uint64 b)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 10 in
+  let a = Array.init 20 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  Array.sort compare b;
+  Alcotest.(check (array int)) "same multiset" a b
+
+(* ------------------------------------------------------------------ *)
+(* Dist *)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 21 in
+  let xs = Array.init 50_000 (fun _ -> Dist.gaussian rng ~mu:5.0 ~sigma:2.0) in
+  check_close ~tol:0.05 "mean" 5.0 (Describe.mean xs);
+  check_close ~tol:0.05 "std" 2.0 (Describe.std xs);
+  check_close ~tol:0.08 "skew" 0.0 (Describe.skewness xs)
+
+let test_gaussian_ks () =
+  let rng = Rng.create 22 in
+  let xs = Array.init 5_000 (fun _ -> Dist.standard_gaussian rng) in
+  let d = Stattest.ks_against_cdf xs (Dist.gaussian_cdf ~mu:0.0 ~sigma:1.0) in
+  Alcotest.(check bool) "KS small" true (d < 0.03)
+
+let test_truncated_gaussian_bounds () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 2_000 do
+    let x = Dist.truncated_gaussian rng ~mu:0.0 ~sigma:1.0 ~lo:(-0.5) ~hi:0.7 in
+    Alcotest.(check bool) "inside" true (x >= -0.5 && x <= 0.7)
+  done
+
+let test_lognormal_positive () =
+  let rng = Rng.create 24 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check bool)
+      "positive" true
+      (Dist.lognormal rng ~mu:0.0 ~sigma:0.5 > 0.0)
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 25 in
+  let xs = Array.init 30_000 (fun _ -> Dist.exponential rng ~rate:2.0) in
+  check_close ~tol:0.02 "mean 1/rate" 0.5 (Describe.mean xs)
+
+(* ------------------------------------------------------------------ *)
+(* Describe *)
+
+let test_describe_basic () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_close "mean" 5.0 (Describe.mean xs);
+  check_close ~tol:1e-9 "variance" (32.0 /. 7.0) (Describe.variance xs);
+  check_close "median" 4.5 (Describe.median xs);
+  check_close "q0" 2.0 (Describe.quantile xs 0.0);
+  check_close "q1" 9.0 (Describe.quantile xs 1.0);
+  let lo, hi = Describe.min_max xs in
+  check_close "min" 2.0 lo;
+  check_close "max" 9.0 hi
+
+let test_describe_quantile_interp () =
+  let xs = [| 0.0; 10.0 |] in
+  check_close "q25" 2.5 (Describe.quantile xs 0.25)
+
+let test_covariance_correlation () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 2.0; 4.0; 6.0; 8.0 |] in
+  check_close ~tol:1e-12 "corr perfect" 1.0 (Describe.correlation xs ys);
+  let zs = [| 8.0; 6.0; 4.0; 2.0 |] in
+  check_close ~tol:1e-12 "corr anti" (-1.0) (Describe.correlation xs zs)
+
+let test_covariance_matrix () =
+  let rows = [| [| 1.0; 0.0 |]; [| 2.0; 1.0 |]; [| 3.0; 2.0 |] |] in
+  let c = Describe.covariance_matrix rows in
+  check_close ~tol:1e-12 "var x" 1.0 (Mat.get c 0 0);
+  check_close ~tol:1e-12 "cov xy" 1.0 (Mat.get c 0 1);
+  let mu = Describe.mean_vector rows in
+  Alcotest.(check bool) "mean" true (Vec.approx_equal mu [| 2.0; 1.0 |])
+
+let test_skewness_sign () =
+  let right = [| 1.0; 1.0; 1.0; 2.0; 2.0; 10.0 |] in
+  Alcotest.(check bool) "right skew positive" true (Describe.skewness right > 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Mvn *)
+
+let test_mvn_sampling_recovers () =
+  let rng = Rng.create 31 in
+  let cov = Mat.of_rows [| [| 2.0; 0.8 |]; [| 0.8; 1.0 |] |] in
+  let m = Mvn.make ~mu:[| 1.0; -1.0 |] ~cov in
+  let samples = Mvn.sample_n m rng 20_000 in
+  let fitted = Mvn.of_samples samples in
+  Alcotest.(check bool)
+    "mean recovered" true
+    (Vec.approx_equal ~tol:0.05 (fitted : Mvn.t).Mvn.mu [| 1.0; -1.0 |]);
+  Alcotest.(check bool)
+    "cov recovered" true
+    (Mat.approx_equal ~tol:0.1 fitted.Mvn.cov cov)
+
+let test_mvn_logpdf () =
+  (* Against the closed form of a standard bivariate normal. *)
+  let m = Mvn.make ~mu:[| 0.0; 0.0 |] ~cov:(Mat.identity 2) in
+  check_close ~tol:1e-9 "at origin"
+    (-.log (2.0 *. Float.pi))
+    (Mvn.logpdf m [| 0.0; 0.0 |]);
+  check_close ~tol:1e-9 "at (1,1)"
+    (-.log (2.0 *. Float.pi) -. 1.0)
+    (Mvn.logpdf m [| 1.0; 1.0 |])
+
+let test_mvn_mahalanobis () =
+  let cov = Mat.of_rows [| [| 4.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let m = Mvn.make ~mu:[| 0.0; 0.0 |] ~cov in
+  check_close ~tol:1e-9 "scaled" 1.0 (Mvn.mahalanobis2 m [| 2.0; 0.0 |])
+
+let test_mvn_marginal () =
+  let cov = Mat.of_rows [| [| 2.0; 0.5 |]; [| 0.5; 3.0 |] |] in
+  let m = Mvn.make ~mu:[| 1.0; 2.0 |] ~cov in
+  let mg = Mvn.marginal m [| 1 |] in
+  check_close "marginal mean" 2.0 (mg : Mvn.t).Mvn.mu.(0);
+  check_close "marginal var" 3.0 (Mat.get mg.Mvn.cov 0 0)
+
+let test_mvn_repairs_borderline () =
+  (* A sample covariance from nearly collinear rows still yields a
+     usable distribution thanks to the automatic ridge. *)
+  let rows =
+    Array.init 6 (fun i ->
+        let t = float_of_int i in
+        [| t; 2.0 *. t +. 1e-9 |])
+  in
+  let m = Mvn.of_samples rows in
+  Alcotest.(check bool) "dim" true (Mvn.dim m = 2)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling *)
+
+let box2 : Sampling.box = [| (0.0, 1.0); (10.0, 20.0) |]
+
+let inside box p =
+  Array.for_all2 (fun (lo, hi) x -> x >= lo && x <= hi) box p
+
+let test_random_box () =
+  let rng = Rng.create 41 in
+  let pts = Sampling.random_box rng box2 200 in
+  Alcotest.(check int) "count" 200 (Array.length pts);
+  Array.iter (fun p -> Alcotest.(check bool) "inside" true (inside box2 p)) pts
+
+let test_latin_hypercube_stratification () =
+  let rng = Rng.create 42 in
+  let n = 16 in
+  let pts = Sampling.latin_hypercube rng box2 n in
+  (* Each dimension: exactly one point per stratum. *)
+  Array.iteri
+    (fun d (lo, hi) ->
+      let counts = Array.make n 0 in
+      Array.iter
+        (fun p ->
+          let u = (p.(d) -. lo) /. (hi -. lo) in
+          let s = min (n - 1) (int_of_float (u *. float_of_int n)) in
+          counts.(s) <- counts.(s) + 1)
+        pts;
+      Array.iter (fun c -> Alcotest.(check int) "one per stratum" 1 c) counts)
+    box2
+
+let test_halton_deterministic_and_spread () =
+  let a = Sampling.halton box2 64 and b = Sampling.halton box2 64 in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Array.iter (fun p -> Alcotest.(check bool) "inside" true (inside box2 p)) a;
+  (* First Halton point in base 2 is 1/2. *)
+  Alcotest.(check (float 1e-12)) "first coord" 0.5 a.(0).(0)
+
+let test_full_factorial () =
+  let pts = Sampling.full_factorial box2 ~levels:[| 3; 2 |] in
+  Alcotest.(check int) "count" 6 (Array.length pts);
+  Alcotest.(check (float 1e-12)) "first" 0.0 pts.(0).(0);
+  Alcotest.(check (float 1e-12)) "last x" 1.0 pts.(5).(0);
+  Alcotest.(check (float 1e-12)) "last y" 20.0 pts.(5).(1);
+  (* Singleton level sits at the center. *)
+  let c = Sampling.full_factorial box2 ~levels:[| 1; 1 |] in
+  Alcotest.(check (float 1e-12)) "center" 0.5 c.(0).(0)
+
+let test_center_and_corners () =
+  let pts = Sampling.center_and_corners box2 in
+  Alcotest.(check int) "count 1+2^2" 5 (Array.length pts);
+  Alcotest.(check (float 1e-12)) "center x" 0.5 pts.(0).(0);
+  Alcotest.(check (float 1e-12)) "center y" 15.0 pts.(0).(1)
+
+let test_unit_mapping_roundtrip () =
+  let p = [| 0.25; 17.5 |] in
+  let u = Sampling.to_unit box2 p in
+  let q = Sampling.scale_unit box2 u in
+  Alcotest.(check bool) "roundtrip" true (Vec.approx_equal ~tol:1e-12 p q)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram / Kde / Stattest *)
+
+let test_histogram_counts () =
+  let xs = [| 0.1; 0.2; 0.6; 0.9; 1.0 |] in
+  let h = Histogram.build_range ~bins:2 ~lo:0.0 ~hi:1.0 xs in
+  Alcotest.(check int) "low bin" 2 h.Histogram.counts.(0);
+  Alcotest.(check int) "high bin" 3 h.Histogram.counts.(1);
+  let d = Histogram.density h in
+  check_close ~tol:1e-12 "density integrates to 1"
+    1.0
+    ((d.(0) +. d.(1)) *. Histogram.bin_width h)
+
+let test_kde_gaussian_recovery () =
+  let rng = Rng.create 51 in
+  let xs = Array.init 4_000 (fun _ -> Dist.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let k = Kde.fit xs in
+  let peak = Kde.pdf k 0.0 in
+  check_close ~tol:0.03 "peak near 1/sqrt(2pi)" 0.3989 peak;
+  check_close ~tol:0.02 "cdf at 0" 0.5 (Kde.cdf k 0.0)
+
+let test_kde_integrates_to_one () =
+  let rng = Rng.create 52 in
+  let xs = Array.init 500 (fun _ -> Dist.gaussian rng ~mu:3.0 ~sigma:0.5) in
+  let k = Kde.fit xs in
+  let grid = Kde.grid k ~pad:6.0 400 in
+  let ys = Kde.evaluate k grid in
+  check_close ~tol:1e-3 "mass" 1.0 (Slc_num.Quadrature.trapezoid_samples ~xs:grid ~ys)
+
+let test_ks_two_sample () =
+  let rng = Rng.create 53 in
+  let xs = Array.init 2_000 (fun _ -> Dist.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let ys = Array.init 2_000 (fun _ -> Dist.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let zs = Array.init 2_000 (fun _ -> Dist.gaussian rng ~mu:1.0 ~sigma:1.0) in
+  Alcotest.(check bool) "same dist small" true (Stattest.ks_two_sample xs ys < 0.06);
+  Alcotest.(check bool) "shifted dist large" true (Stattest.ks_two_sample xs zs > 0.3)
+
+let test_total_variation () =
+  let rng = Rng.create 54 in
+  let xs = Array.init 3_000 (fun _ -> Dist.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let ys = Array.init 3_000 (fun _ -> Dist.gaussian rng ~mu:4.0 ~sigma:1.0) in
+  Alcotest.(check bool)
+    "disjoint ~1" true
+    (Stattest.total_variation_binned ~bins:40 xs ys > 0.9)
+
+let test_gaussian_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      let x = Dist.gaussian_quantile ~mu:2.0 ~sigma:3.0 p in
+      check_close ~tol:1e-6 "roundtrip" p (Dist.gaussian_cdf ~mu:2.0 ~sigma:3.0 x))
+    [ 0.05; 0.5; 0.95 ]
+
+let test_kde_bandwidth_accessor () =
+  let k = Kde.fit ~bandwidth:0.25 [| 1.0; 2.0; 3.0 |] in
+  check_close ~tol:1e-12 "explicit bandwidth" 0.25 (Kde.bandwidth k);
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Kde.fit: bandwidth must be > 0") (fun () ->
+      ignore (Kde.fit ~bandwidth:0.0 [| 1.0; 2.0 |]))
+
+let test_mvn_sample_n () =
+  let rng = Rng.create 77 in
+  let m = Mvn.make ~mu:[| 1.0 |] ~cov:(Mat.identity 1) in
+  let xs = Mvn.sample_n m rng 500 in
+  Alcotest.(check int) "count" 500 (Array.length xs);
+  let flat = Array.map (fun v -> v.(0)) xs in
+  check_close ~tol:0.2 "mean" 1.0 (Describe.mean flat)
+
+let test_histogram_build_auto_range () =
+  let h = Histogram.build ~bins:4 [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "total" 5 h.Histogram.total;
+  Alcotest.(check int) "all included" 5
+    (Array.fold_left ( + ) 0 h.Histogram.counts);
+  Alcotest.(check int) "count_in" 1 (Histogram.count_in h 0.1);
+  Alcotest.(check int) "outside" 0 (Histogram.count_in h 9.0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in p" ~count:100
+    QCheck.(pair (float_bound_exclusive 1.0) (float_bound_exclusive 1.0))
+    (fun (p1, p2) ->
+      let rng = Rng.create 61 in
+      let xs = Array.init 200 (fun _ -> Rng.float rng) in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Describe.quantile xs lo <= Describe.quantile xs hi +. 1e-12)
+
+let prop_lhs_inside_box =
+  QCheck.Test.make ~name:"latin hypercube stays in box" ~count:50
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let rng = Rng.create (n + 100) in
+      let pts = Sampling.latin_hypercube rng box2 n in
+      Array.for_all (inside box2) pts)
+
+let prop_mvn_samples_finite =
+  QCheck.Test.make ~name:"mvn samples are finite" ~count:50
+    QCheck.(int_range 1 5)
+    (fun d ->
+      let rng = Rng.create (d * 7) in
+      let cov = Mat.add_ridge (Mat.identity d) 0.5 in
+      let m = Mvn.make ~mu:(Vec.create d) ~cov in
+      let s = Mvn.sample m rng in
+      Array.for_all Float.is_finite s)
+
+let () =
+  Alcotest.run "slc_prob"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniform moments" `Quick test_rng_uniform_moments;
+          Alcotest.test_case "int buckets" `Quick test_rng_int;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independence;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "gaussian KS" `Quick test_gaussian_ks;
+          Alcotest.test_case "truncated bounds" `Quick
+            test_truncated_gaussian_bounds;
+          Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "quantile roundtrip" `Quick
+            test_gaussian_quantile_roundtrip;
+        ] );
+      ( "describe",
+        [
+          Alcotest.test_case "basic stats" `Quick test_describe_basic;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_describe_quantile_interp;
+          Alcotest.test_case "covariance/correlation" `Quick
+            test_covariance_correlation;
+          Alcotest.test_case "covariance matrix" `Quick test_covariance_matrix;
+          Alcotest.test_case "skewness sign" `Quick test_skewness_sign;
+          QCheck_alcotest.to_alcotest prop_quantile_monotone;
+        ] );
+      ( "mvn",
+        [
+          Alcotest.test_case "sampling recovers parameters" `Quick
+            test_mvn_sampling_recovers;
+          Alcotest.test_case "logpdf closed form" `Quick test_mvn_logpdf;
+          Alcotest.test_case "mahalanobis" `Quick test_mvn_mahalanobis;
+          Alcotest.test_case "marginal" `Quick test_mvn_marginal;
+          Alcotest.test_case "borderline covariance repaired" `Quick
+            test_mvn_repairs_borderline;
+          QCheck_alcotest.to_alcotest prop_mvn_samples_finite;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "random box" `Quick test_random_box;
+          Alcotest.test_case "LHS stratification" `Quick
+            test_latin_hypercube_stratification;
+          Alcotest.test_case "halton" `Quick test_halton_deterministic_and_spread;
+          Alcotest.test_case "full factorial" `Quick test_full_factorial;
+          Alcotest.test_case "center and corners" `Quick test_center_and_corners;
+          Alcotest.test_case "unit mapping roundtrip" `Quick
+            test_unit_mapping_roundtrip;
+          QCheck_alcotest.to_alcotest prop_lhs_inside_box;
+        ] );
+      ( "density",
+        [
+          Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+          Alcotest.test_case "kde recovers gaussian" `Quick
+            test_kde_gaussian_recovery;
+          Alcotest.test_case "kde integrates to one" `Quick
+            test_kde_integrates_to_one;
+          Alcotest.test_case "kde bandwidth accessor" `Quick
+            test_kde_bandwidth_accessor;
+          Alcotest.test_case "mvn sample_n" `Quick test_mvn_sample_n;
+          Alcotest.test_case "histogram auto range" `Quick
+            test_histogram_build_auto_range;
+          Alcotest.test_case "ks two-sample" `Quick test_ks_two_sample;
+          Alcotest.test_case "total variation" `Quick test_total_variation;
+        ] );
+    ]
