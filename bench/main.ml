@@ -176,25 +176,39 @@ let run_benchmarks () =
   Format.fprintf std "%-34s %14s@." "kernel" "time per run";
   let rows = ref [] in
   Hashtbl.iter (fun name v -> rows := (name, v) :: !rows) results;
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  let estimates =
+    List.map
+      (fun (name, v) ->
+        match Analyze.OLS.estimates v with
+        | Some [ ns ] -> (name, Some ns)
+        | _ -> (name, None))
+      rows
+  in
   List.iter
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some [ ns ] ->
+    (fun (name, est) ->
+      match est with
+      | Some ns ->
         let pretty =
           if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
           else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
           else Printf.sprintf "%8.0f ns" ns
         in
         Format.fprintf std "%-34s %14s@." name pretty
-      | _ -> Format.fprintf std "%-34s %14s@." name "n/a")
-    (List.sort (fun (a, _) (b, _) -> compare a b) !rows);
-  Format.fprintf std "@."
+      | None -> Format.fprintf std "%-34s %14s@." name "n/a")
+    estimates;
+  Format.fprintf std "@.";
+  estimates
 
 (* ------------------------------------------------------------------ *)
 (* Figure/table regeneration. *)
 
 let section title =
   Format.fprintf std "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* Per-section regeneration stats, collected for the machine-readable
+   trajectory (--json). *)
+let regen_stats : (string * int * float) list ref = ref []
 
 let regenerate () =
   let config = Config.default () in
@@ -205,9 +219,10 @@ let regenerate () =
     let t0 = Unix.gettimeofday () in
     Harness.reset_sim_count ();
     f ();
-    Format.fprintf std "[%s: %d simulator runs, %.1f s]@." name
-      (Harness.sim_count ())
-      (Unix.gettimeofday () -. t0)
+    let sims = Harness.sim_count () in
+    let secs = Unix.gettimeofday () -. t0 in
+    regen_stats := (name, sims, secs) :: !regen_stats;
+    Format.fprintf std "[%s: %d simulator runs, %.1f s]@." name sims secs
   in
   section "Table I";
   timed "table1" (fun () -> Exp_model.print_table1 std (Exp_model.table1 ()));
@@ -299,8 +314,78 @@ let regenerate () =
         *. (t.Slc_ssta.Path.total_delay -. truth.Slc_cell.Chain.total_delay)
         /. truth.Slc_cell.Chain.total_delay))
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable bench trajectory: --json <path> dumps the per-kernel
+   ns/run estimates and the regeneration simulator-run counts, so
+   successive PRs have comparable perf records (BENCH_PR<n>.json). *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~kernels ~regen =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"unix_time\": %.0f,\n" (Unix.time ()));
+  Buffer.add_string b "  \"kernels\": {\n";
+  let n_k = List.length kernels in
+  List.iteri
+    (fun i (name, est) ->
+      let value =
+        match est with
+        | Some ns -> Printf.sprintf "%.6g" ns
+        | None -> "null"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": { \"ns_per_run\": %s }%s\n"
+           (json_escape name) value
+           (if i = n_k - 1 then "" else ",")))
+    kernels;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"regen\": {\n";
+  let n_r = List.length regen in
+  List.iteri
+    (fun i (name, sims, secs) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": { \"sims\": %d, \"seconds\": %.3f }%s\n"
+           (json_escape name) sims secs
+           (if i = n_r - 1 then "" else ",")))
+    regen;
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf std "Wrote bench trajectory to %s@." path
+
 let () =
   let skip_bench = Array.exists (fun a -> a = "--no-bench") Sys.argv in
   let skip_figs = Array.exists (fun a -> a = "--no-figs") Sys.argv in
-  if not skip_bench then run_benchmarks ();
-  if not skip_figs then regenerate ()
+  let json_path =
+    let p = ref None in
+    Array.iteri
+      (fun i a ->
+        if a = "--json" then
+          if i + 1 < Array.length Sys.argv then p := Some Sys.argv.(i + 1)
+          else begin
+            prerr_endline "bench: --json requires a path argument";
+            exit 2
+          end)
+      Sys.argv;
+    !p
+  in
+  let kernels = if not skip_bench then run_benchmarks () else [] in
+  if not skip_figs then regenerate ();
+  match json_path with
+  | Some path -> write_json path ~kernels ~regen:(List.rev !regen_stats)
+  | None -> ()

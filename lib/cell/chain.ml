@@ -85,7 +85,7 @@ let simulate ?(seed = Process.nominal) t ~sin ~vdd ~in_rises =
   let tau_total =
     List.fold_left
       (fun acc (arc : Arc.t) ->
-        let eq = Equivalent.of_arc t.tech arc in
+        let eq = Equivalent.of_arc_cached t.tech arc in
         let ieff = Equivalent.ieff eq ~vdd in
         acc +. (3e-15 *. vdd /. Float.max 1e-12 ieff))
       0.0 arcs

@@ -31,6 +31,34 @@ let of_arc ?(stack_factor = 0.95) (tech : Tech.t) (arc : Arc.t) =
   let width_mult = w_eq *. base_mult *. derate in
   { device = Mosfet.scale_width template width_mult; width_mult }
 
+(* of_arc is deterministic in (tech, arc) and called on every window
+   sizing, so memoize the default-stack-factor case.  Keys are compared
+   structurally (both types are plain data); the table is guarded by a
+   mutex because simulations run concurrently under Slc_num.Parallel. *)
+let memo : (Tech.t * Arc.t, t) Hashtbl.t = Hashtbl.create 32
+
+let memo_lock = Mutex.create ()
+
+let of_arc_cached (tech : Tech.t) (arc : Arc.t) =
+  let key = (tech, arc) in
+  Mutex.lock memo_lock;
+  match Hashtbl.find_opt memo key with
+  | Some eq ->
+    Mutex.unlock memo_lock;
+    eq
+  | None ->
+    (* Compute while holding the lock: of_arc is cheap (pure topology
+       walk) and this keeps the table race-free without double work. *)
+    let result =
+      match of_arc tech arc with
+      | eq ->
+        Hashtbl.replace memo key eq;
+        Ok eq
+      | exception e -> Error e
+    in
+    Mutex.unlock memo_lock;
+    (match result with Ok eq -> eq | Error e -> raise e)
+
 let ieff t ~vdd = Mosfet.ieff t.device ~vdd
 
 let ieff_with_seed tech seed arc ~vdd =

@@ -17,6 +17,11 @@ val of_arc :
     account for the body effect of inner devices; applied once per
     series level below the top. *)
 
+val of_arc_cached : Slc_device.Tech.t -> Arc.t -> t
+(** [of_arc] with the default stack factor, memoized per (tech, arc).
+    Domain-safe; use in hot paths that re-derive the same equivalent
+    inverter on every call. *)
+
 val ieff : t -> vdd:float -> float
 
 val ieff_with_seed :

@@ -48,7 +48,19 @@ let ramp_start = 1e-12
    current from the node-voltage difference without precision loss. *)
 let r_sense = 1.0
 
-let instantiate ?(seed = Process.nominal) (tech : Tech.t) net
+(* Where each capacitor's value comes from, in netlist insertion order:
+   a fraction of device [i]'s gate cap, device [i]'s junction cap, or
+   the external load.  Recorded when the template netlist is built so
+   later calls can recompute values for a new seed/point without
+   rebuilding the netlist. *)
+type cap_source = Cap_gd of int | Cap_gs of int | Cap_j of int | Cap_load
+
+type recorder = {
+  mutable rec_bases : Mosfet.params list; (* reversed *)
+  mutable rec_caps : cap_source list;     (* reversed *)
+}
+
+let instantiate_impl ?(seed = Process.nominal) ?recorder (tech : Tech.t) net
     (cell : Cells.t) ~gate_node ~out ~vdd_node =
   let cpar_scale = Process.cpar_scale seed in
   let add_device template width_mult ~g ~d ~s ~bulk =
@@ -58,6 +70,18 @@ let instantiate ?(seed = Process.nominal) (tech : Tech.t) net
     Netlist.add_mosfet net dev ~g ~d ~s;
     let cgate = Mosfet.cgate dev *. cpar_scale in
     let cj = Mosfet.cjunction dev *. cpar_scale in
+    (match recorder with
+    | Some r ->
+      r.rec_bases <- base :: r.rec_bases;
+      (* Mirror Netlist.add_capacitor's skip rule so the recorded slots
+         stay aligned with the compiled capacitor order. *)
+      let reg src c a b =
+        if c > 0.0 && a <> b then r.rec_caps <- src :: r.rec_caps
+      in
+      reg (Cap_gd index) (cgd_frac *. cgate) g d;
+      reg (Cap_gs index) (cgs_frac *. cgate) g s;
+      reg (Cap_j index) cj d bulk
+    | None -> ());
     Netlist.add_capacitor net (cgd_frac *. cgate) ~a:g ~b:d;
     Netlist.add_capacitor net (cgs_frac *. cgate) ~a:g ~b:s;
     Netlist.add_capacitor net cj ~a:d ~b:bulk
@@ -91,7 +115,11 @@ let instantiate ?(seed = Process.nominal) (tech : Tech.t) net
   expand cell.Cells.pull_up tech.Tech.pmos cell.Cells.wp_mult ~bulk:vdd_node
     ~top:out ~bottom:vdd_node
 
-let build_netlist ?(seed = Process.nominal) (tech : Tech.t) (arc : Arc.t) point =
+let instantiate ?seed tech net cell ~gate_node ~out ~vdd_node =
+  instantiate_impl ?seed tech net cell ~gate_node ~out ~vdd_node
+
+let build_netlist_impl ?(seed = Process.nominal) ?recorder (tech : Tech.t)
+    (arc : Arc.t) point =
   if point.sin <= 0.0 || point.cload < 0.0 || point.vdd <= 0.0 then
     invalid_arg "Harness.build_netlist: invalid input condition";
   let cell = arc.Arc.cell in
@@ -118,21 +146,119 @@ let build_netlist ?(seed = Process.nominal) (tech : Tech.t) (arc : Arc.t) point 
   let gate_node pin =
     if String.equal pin arc.Arc.pin then nin else side_node pin
   in
-  instantiate ~seed tech net cell ~gate_node ~out:nout ~vdd_node:nrail;
+  instantiate_impl ~seed ?recorder tech net cell ~gate_node ~out:nout
+    ~vdd_node:nrail;
+  (match recorder with
+  | Some r when point.cload > 0.0 -> r.rec_caps <- Cap_load :: r.rec_caps
+  | _ -> ());
   Netlist.add_capacitor net point.cload ~a:nout ~b:Netlist.ground;
   (net, nin, nout)
 
-let transition_scale tech arc point =
-  (* Crude RC time scale used only to size the simulation window. *)
-  let eq = Equivalent.of_arc tech arc in
-  let ieff = Equivalent.ieff eq ~vdd:point.vdd in
-  let cpar = Equivalent.parasitic_cap tech arc in
-  (point.cload +. cpar) *. point.vdd /. Float.max 1e-12 ieff
+let build_netlist ?seed tech arc point = build_netlist_impl ?seed tech arc point
 
 (* Node ids assigned by build_netlist, in order. *)
 let node_vdd = 1
 
 let node_rail = 2
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-template cache.
+
+   The netlist topology of an arc testbench is a function of
+   (tech, arc) only: seeds perturb device parameters and capacitance
+   values, points change the load capacitance and the source stimuli,
+   but never the circuit structure.  We therefore compile the netlist
+   once per (tech, arc) and, per simulate call, restamp only parameter
+   values via Transient.respecialize.  Simulation *results* are never
+   cached — Harness.sim_count accounting is unchanged. *)
+
+type template = {
+  t_compiled : Transient.compiled;
+  t_bases : Mosfet.params array; (* pre-variation params; index = device index *)
+  t_caps : cap_source array;     (* aligned with compiled capacitor order *)
+  t_nin : Netlist.node;
+  t_nout : Netlist.node;
+  t_record : int array;          (* the only nodes simulate measures *)
+  t_eq : Equivalent.t;           (* equivalent inverter, for window sizing *)
+  t_cpar : float;
+}
+
+(* Reference condition used only to build the template topology; every
+   parameter it influences is overwritten per call.  cload must be > 0
+   so the load-capacitor slot exists (a per-call value of 0 is then
+   stamped as an exact zero, which is numerically identical to omitting
+   the capacitor). *)
+let template_point = { sin = 1e-12; cload = 1e-15; vdd = 1.0 }
+
+let templates : (Tech.t * Arc.t, template) Hashtbl.t = Hashtbl.create 32
+
+let templates_lock = Mutex.create ()
+
+let build_template (tech : Tech.t) (arc : Arc.t) =
+  let r = { rec_bases = []; rec_caps = [] } in
+  let net, nin, nout =
+    build_netlist_impl ~seed:Process.nominal ~recorder:r tech arc template_point
+  in
+  let compiled = Transient.compile net in
+  {
+    t_compiled = compiled;
+    t_bases = Array.of_list (List.rev r.rec_bases);
+    t_caps = Array.of_list (List.rev r.rec_caps);
+    t_nin = nin;
+    t_nout = nout;
+    t_record = [| nin; nout; node_vdd; node_rail |];
+    t_eq = Equivalent.of_arc_cached tech arc;
+    t_cpar = Equivalent.parasitic_cap tech arc;
+  }
+
+let template tech arc =
+  let key = (tech, arc) in
+  Mutex.lock templates_lock;
+  match Hashtbl.find_opt templates key with
+  | Some t ->
+    Mutex.unlock templates_lock;
+    t
+  | None ->
+    let result =
+      match build_template tech arc with
+      | t ->
+        Hashtbl.replace templates key t;
+        Ok t
+      | exception e -> Error e
+    in
+    Mutex.unlock templates_lock;
+    (match result with Ok t -> t | Error e -> raise e)
+
+(* Fresh parameter values for one (seed, point): same arithmetic, in the
+   same element order, as building the netlist from scratch. *)
+let specialize tmpl (tech : Tech.t) (arc : Arc.t) ~seed point =
+  let cpar_scale = Process.cpar_scale seed in
+  let devices =
+    Array.mapi
+      (fun i base -> Process.apply seed tech ~device_index:i base)
+      tmpl.t_bases
+  in
+  let caps =
+    Array.map
+      (function
+        | Cap_gd i -> cgd_frac *. (Mosfet.cgate devices.(i) *. cpar_scale)
+        | Cap_gs i -> cgs_frac *. (Mosfet.cgate devices.(i) *. cpar_scale)
+        | Cap_j i -> Mosfet.cjunction devices.(i) *. cpar_scale
+        | Cap_load -> point.cload)
+      tmpl.t_caps
+  in
+  let input_rises = Arc.input_rises arc in
+  let v_from = if input_rises then 0.0 else point.vdd in
+  let v_to = if input_rises then point.vdd else 0.0 in
+  (* Source order matches build_netlist: the supply first, then the
+     switching input. *)
+  let sources =
+    [|
+      Stimulus.dc point.vdd;
+      Stimulus.ramp ~t0:ramp_start ~duration:point.sin ~v_from ~v_to;
+    |]
+  in
+  Transient.respecialize tmpl.t_compiled ~mosfets:devices ~caps ~sources
 
 let supply_energy res ~vdd =
   (* E = Vdd * integral of (leakage-corrected) supply current. *)
@@ -151,14 +277,21 @@ let supply_energy res ~vdd =
   vdd *. !q
 
 let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
-  let net, nin, nout = build_netlist ~seed tech arc point in
+  if point.sin <= 0.0 || point.cload < 0.0 || point.vdd <= 0.0 then
+    invalid_arg "Harness.build_netlist: invalid input condition";
+  let tmpl = template tech arc in
+  let compiled = specialize tmpl tech arc ~seed point in
+  let workspace = Transient.make_workspace compiled in
   let out_dir =
     match arc.Arc.out_dir with
     | Arc.Fall -> Waveform.Falling
     | Arc.Rise -> Waveform.Rising
   in
   let target = match arc.Arc.out_dir with Arc.Fall -> 0.0 | Arc.Rise -> point.vdd in
-  let tau = transition_scale tech arc point in
+  let tau =
+    let ieff = Equivalent.ieff tmpl.t_eq ~vdd:point.vdd in
+    (point.cload +. tmpl.t_cpar) *. point.vdd /. Float.max 1e-12 ieff
+  in
   let rec attempt retries window =
     if retries > 3 then
       raise
@@ -177,9 +310,11 @@ let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
       }
     in
     Atomic.incr sims;
-    let res = Transient.run opts net in
-    let win = Transient.waveform res nin in
-    let wout = Transient.waveform res nout in
+    let res =
+      Transient.run_compiled ~workspace ~record:tmpl.t_record opts compiled
+    in
+    let win = Transient.waveform res tmpl.t_nin in
+    let wout = Transient.waveform res tmpl.t_nout in
     let ok_settled = Waveform.settled wout ~vdd:point.vdd ~target ~tol_frac:0.02 in
     let td = Waveform.measure_delay ~input:win ~output:wout ~vdd:point.vdd ~out_dir in
     let sout = Waveform.measure_slew wout ~vdd:point.vdd out_dir in

@@ -40,7 +40,7 @@ let simulate ?(seed = Process.nominal) ?(stages = 5) ?(extra_load = 0.0)
   (* Rough period estimate from the equivalent inverter to size the
      window for ~12 cycles. *)
   let arc = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall in
-  let eq = Equivalent.of_arc tech arc in
+  let eq = Equivalent.of_arc_cached tech arc in
   let ieff = Equivalent.ieff eq ~vdd in
   let cap_per_node =
     Equivalent.input_cap tech Cells.inv ~pin:"A"

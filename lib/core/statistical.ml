@@ -66,26 +66,26 @@ let monte_carlo_baseline ~tech ~arc ~seeds ~points =
   if Array.length seeds < 2 then
     invalid_arg "Statistical.monte_carlo_baseline: need >= 2 seeds";
   let before = Harness.sim_count () in
-  let n = Array.length points in
-  (* Simulate each (point, seed) once, reading both metrics; points
-     run in parallel (each task is pure). *)
-  let per_point =
+  let np = Array.length points in
+  let ns = Array.length seeds in
+  (* Simulate each (point, seed) once, reading both metrics.  The work
+     list is flattened to individual simulations so the dynamically
+     scheduled parallel map can balance them across domains even when
+     some (point, seed) pairs retry with longer windows. *)
+  let flat =
     Slc_num.Parallel.map
-      (fun pt ->
-        let td = Array.make (Array.length seeds) 0.0 in
-        let sout = Array.make (Array.length seeds) 0.0 in
-        Array.iteri
-          (fun j seed ->
-            let m = Harness.simulate ~seed tech arc pt in
-            td.(j) <- m.Harness.td;
-            sout.(j) <- m.Harness.sout)
-          seeds;
-        (td, sout))
-      points
+      (fun idx ->
+        let pt = points.(idx / ns) and seed = seeds.(idx mod ns) in
+        let m = Harness.simulate ~seed tech arc pt in
+        (m.Harness.td, m.Harness.sout))
+      (Array.init (np * ns) Fun.id)
   in
-  let samples_td = Array.map fst per_point in
-  let samples_sout = Array.map snd per_point in
-  ignore n;
+  let samples_td =
+    Array.init np (fun i -> Array.init ns (fun j -> fst flat.((i * ns) + j)))
+  in
+  let samples_sout =
+    Array.init np (fun i -> Array.init ns (fun j -> snd flat.((i * ns) + j)))
+  in
   {
     points;
     mu_td = Array.map Describe.mean samples_td;

@@ -52,6 +52,22 @@ val eval : params -> vg:float -> vd:float -> vs:float -> eval
 (** Terminal current and derivatives at the given absolute node voltages
     (handles source/drain swap and PMOS mirroring internally). *)
 
+type eval_buf = {
+  mutable b_id : float;
+  mutable b_vg : float;
+  mutable b_vd : float;
+  mutable b_vs : float;
+}
+(** Mutable destination for {!eval_into}.  All-float record, so it is
+    stored flat and repeated evaluations into it never allocate. *)
+
+val make_eval_buf : unit -> eval_buf
+
+val eval_into : params -> vg:float -> vd:float -> vs:float -> eval_buf -> unit
+(** Same results as {!eval}, written into [eval_buf] instead of a fresh
+    record.  This is the allocation-free entry point used by the
+    transient simulator's Newton loop; the two paths agree bit-for-bit. *)
+
 val idsat : params -> vdd:float -> float
 (** On-current at [Vgs = Vds = vdd]. *)
 

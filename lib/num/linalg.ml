@@ -82,66 +82,96 @@ let spd_log_det a =
 
 type lu = { lu_mat : Mat.t; perm : int array; sign : float }
 
-let lu_decompose a =
+let lu_factor_in_place a perm =
   let n = Mat.rows a in
-  if Mat.cols a <> n then invalid_arg "Linalg.lu_decompose: not square";
-  let m = Mat.copy a in
-  let perm = Array.init n (fun i -> i) in
+  if Mat.cols a <> n then invalid_arg "Linalg.lu_factor_in_place: not square";
+  if Array.length perm <> n then
+    invalid_arg "Linalg.lu_factor_in_place: permutation size mismatch";
+  let m = Mat.data a in
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
   let sign = ref 1.0 in
   for k = 0 to n - 1 do
     (* Partial pivoting: pick the largest magnitude in column k. *)
     let piv = ref k in
-    let best = ref (Float.abs (Mat.get m k k)) in
+    let best = ref (Float.abs m.((k * n) + k)) in
     for i = k + 1 to n - 1 do
-      let v = Float.abs (Mat.get m i k) in
+      let v = Float.abs m.((i * n) + k) in
       if v > !best then begin
         best := v;
         piv := i
       end
     done;
-    if !best < 1e-300 then raise (Singular "lu_decompose: singular matrix");
+    if !best < 1e-300 then raise (Singular "lu_factor_in_place: singular matrix");
     if !piv <> k then begin
+      let rk = k * n and rp = !piv * n in
       for j = 0 to n - 1 do
-        let t = Mat.get m k j in
-        Mat.set m k j (Mat.get m !piv j);
-        Mat.set m !piv j t
+        let t = m.(rk + j) in
+        m.(rk + j) <- m.(rp + j);
+        m.(rp + j) <- t
       done;
       let t = perm.(k) in
       perm.(k) <- perm.(!piv);
       perm.(!piv) <- t;
       sign := -. !sign
     end;
-    let pivot = Mat.get m k k in
+    let rk = k * n in
+    let pivot = m.(rk + k) in
     for i = k + 1 to n - 1 do
-      let f = Mat.get m i k /. pivot in
-      Mat.set m i k f;
+      let ri = i * n in
+      let f = m.(ri + k) /. pivot in
+      m.(ri + k) <- f;
       for j = k + 1 to n - 1 do
-        Mat.set m i j (Mat.get m i j -. (f *. Mat.get m k j))
+        m.(ri + j) <- m.(ri + j) -. (f *. m.(rk + j))
       done
     done
   done;
-  { lu_mat = m; perm; sign = !sign }
+  !sign
 
-let lu_solve { lu_mat; perm; _ } b =
-  let n = Mat.rows lu_mat in
-  if Array.length b <> n then invalid_arg "Linalg.lu_solve: size mismatch";
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+let lu_solve_in_place a perm ~b ~x =
+  let n = Mat.rows a in
+  if Array.length b <> n || Array.length x <> n || Array.length perm <> n then
+    invalid_arg "Linalg.lu_solve_in_place: size mismatch";
+  let m = Mat.data a in
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
   (* Forward substitution with unit lower part. *)
   for i = 0 to n - 1 do
+    let ri = i * n in
     let s = ref x.(i) in
     for j = 0 to i - 1 do
-      s := !s -. (Mat.get lu_mat i j *. x.(j))
+      s := !s -. (m.(ri + j) *. x.(j))
     done;
     x.(i) <- !s
   done;
   (* Back substitution with the upper part. *)
   for i = n - 1 downto 0 do
+    let ri = i * n in
     let s = ref x.(i) in
     for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get lu_mat i j *. x.(j))
+      s := !s -. (m.(ri + j) *. x.(j))
     done;
-    x.(i) <- !s /. Mat.get lu_mat i i
-  done;
+    x.(i) <- !s /. m.(ri + i)
+  done
+
+let lu_decompose a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Linalg.lu_decompose: not square";
+  let m = Mat.copy a in
+  let perm = Array.make n 0 in
+  let sign =
+    try lu_factor_in_place m perm
+    with Singular _ -> raise (Singular "lu_decompose: singular matrix")
+  in
+  { lu_mat = m; perm; sign }
+
+let lu_solve { lu_mat; perm; _ } b =
+  let n = Mat.rows lu_mat in
+  if Array.length b <> n then invalid_arg "Linalg.lu_solve: size mismatch";
+  let x = Array.make n 0.0 in
+  lu_solve_in_place lu_mat perm ~b ~x;
   x
 
 let lu_det { lu_mat; sign; _ } =

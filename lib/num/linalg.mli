@@ -31,6 +31,20 @@ val lu_decompose : Mat.t -> lu
 
 val lu_solve : lu -> Vec.t -> Vec.t
 
+val lu_factor_in_place : Mat.t -> int array -> float
+(** [lu_factor_in_place a perm] overwrites the square matrix [a] with
+    its packed LU factors (unit lower + upper) using partial pivoting,
+    writes the row permutation into the caller-owned [perm] (length
+    [rows a]) and returns the permutation sign.  Allocation-free: meant
+    for hot loops that refactor the same workspace matrix repeatedly.
+    Raises {!Singular} on singular input (the matrix is left partially
+    factored). *)
+
+val lu_solve_in_place : Mat.t -> int array -> b:Vec.t -> x:Vec.t -> unit
+(** [lu_solve_in_place a perm ~b ~x] solves the system factored by
+    {!lu_factor_in_place} into the caller-owned [x] (which must not
+    alias [b]); [b] is left untouched.  Allocation-free. *)
+
 val lu_det : lu -> float
 
 val solve : Mat.t -> Vec.t -> Vec.t

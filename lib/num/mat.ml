@@ -34,6 +34,12 @@ let rows m = m.r
 
 let cols m = m.c
 
+let data m = m.data
+
+let unsafe_get m i j = Array.unsafe_get m.data ((i * m.c) + j)
+
+let unsafe_set m i j x = Array.unsafe_set m.data ((i * m.c) + j) x
+
 let get m i j =
   if i < 0 || i >= m.r || j < 0 || j >= m.c then
     invalid_arg "Mat.get: index out of bounds";

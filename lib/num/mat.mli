@@ -23,6 +23,19 @@ val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit
 
+val data : t -> float array
+(** The underlying row-major storage: element [(i, j)] lives at index
+    [i * cols m + j].  Shared, not a copy — intended for hot loops
+    (solver stamping, in-place factorizations) that must avoid
+    per-element bounds checks and allocation.  Mutating it mutates the
+    matrix. *)
+
+val unsafe_get : t -> int -> int -> float
+(** No bounds checks; [(i, j)] must be in range. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
+(** No bounds checks; [(i, j)] must be in range. *)
+
 val copy : t -> t
 
 val row : t -> int -> Vec.t

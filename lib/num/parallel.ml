@@ -15,19 +15,28 @@ let map ?domains f xs =
   else begin
     let d = min d n in
     let results = Array.make n None in
-    (* Block-cyclic assignment: worker w handles indices w, w+d, ... *)
-    let worker w () =
-      let i = ref w in
-      (try
-         while !i < n do
-           results.(!i) <- Some (f xs.(!i));
-           i := !i + d
-         done
-       with e -> raise (Task_failed e))
+    (* Dynamic scheduling: every worker claims the next unclaimed index
+       from a shared atomic counter, so uneven task costs (retried
+       simulations, seeds with harder Newton solves) cannot leave
+       domains idle the way a static block-cyclic split could.  Each
+       index is claimed exactly once, so result slots are written by
+       exactly one domain; Domain.join publishes them to the caller. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      try
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (f xs.(i));
+            loop ()
+          end
+        in
+        loop ()
+      with e -> raise (Task_failed e)
     in
-    let handles = Array.init (d - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    let handles = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
     let first_error = ref None in
-    (try worker 0 () with Task_failed e -> first_error := Some e);
+    (try worker () with Task_failed e -> first_error := Some e);
     Array.iter
       (fun h ->
         match Domain.join h with

@@ -11,8 +11,10 @@
 val domain_count : unit -> int
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** Chunked parallel map.  Falls back to [Array.map] for small inputs
-    or a single domain.  Exceptions raised by tasks are re-raised in
-    the caller. *)
+(** Dynamically-scheduled parallel map: workers claim indices from a
+    shared atomic counter, so unevenly-sized tasks keep all domains
+    busy.  Falls back to [Array.map] for small inputs or a single
+    domain.  Exceptions raised by tasks are re-raised in the caller
+    (the first one observed). *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -34,15 +34,29 @@ let default_options ~tstop =
 
 exception No_convergence of string
 
-(* Compiled view of the netlist for fast stamping. *)
+(* Compiled view of the netlist for fast stamping.  The topology arrays
+   (node indices) are immutable and may be shared between many compiled
+   instances; the parameter arrays (device params, capacitances, source
+   stimuli) are the per-instance values.  {!respecialize} swaps the
+   parameter arrays while reusing the topology, which is what lets
+   callers cache the compiled structure per circuit shape and restamp
+   only the values that change between runs. *)
 type compiled = {
   n_nodes : int;
   free_index : int array; (* node id -> solver index, or -1 if pinned *)
   free_nodes : int array; (* solver index -> node id *)
-  mosfets : (Mosfet.params * int * int * int) array;
-  caps : (float * int * int) array;
-  resistors : (float * int * int) array;
-  srcs : (int * Stimulus.t) array;
+  mos_params : Mosfet.params array;
+  mos_g : int array;
+  mos_d : int array;
+  mos_s : int array;
+  cap_c : float array;
+  cap_a : int array;
+  cap_b : int array;
+  res_r : float array;
+  res_a : int array;
+  res_b : int array;
+  src_node : int array;
+  src_stim : Stimulus.t array;
 }
 
 let compile net =
@@ -64,156 +78,258 @@ let compile net =
       | Netlist.Capacitor { c; a; b } -> caps := (c, a, b) :: !caps
       | Netlist.Resistor { r; a; b } -> resistors := (r, a, b) :: !resistors)
     (Netlist.elements net);
+  let mosfets = Array.of_list (List.rev !mosfets) in
+  let caps = Array.of_list (List.rev !caps) in
+  let resistors = Array.of_list (List.rev !resistors) in
+  let srcs = Array.of_list (Netlist.sources net) in
   {
     n_nodes;
     free_index;
     free_nodes;
-    mosfets = Array.of_list (List.rev !mosfets);
-    caps = Array.of_list (List.rev !caps);
-    resistors = Array.of_list (List.rev !resistors);
-    srcs = Array.of_list (Netlist.sources net);
+    mos_params = Array.map (fun (p, _, _, _) -> p) mosfets;
+    mos_g = Array.map (fun (_, g, _, _) -> g) mosfets;
+    mos_d = Array.map (fun (_, _, d, _) -> d) mosfets;
+    mos_s = Array.map (fun (_, _, _, s) -> s) mosfets;
+    cap_c = Array.map (fun (c, _, _) -> c) caps;
+    cap_a = Array.map (fun (_, a, _) -> a) caps;
+    cap_b = Array.map (fun (_, _, b) -> b) caps;
+    res_r = Array.map (fun (r, _, _) -> r) resistors;
+    res_a = Array.map (fun (_, a, _) -> a) resistors;
+    res_b = Array.map (fun (_, _, b) -> b) resistors;
+    src_node = Array.map fst srcs;
+    src_stim = Array.map snd srcs;
   }
 
+let node_count c = c.n_nodes
+
+let respecialize c ~mosfets ~caps ~sources =
+  if Array.length mosfets <> Array.length c.mos_params then
+    invalid_arg "Transient.respecialize: mosfet count mismatch";
+  if Array.length caps <> Array.length c.cap_c then
+    invalid_arg "Transient.respecialize: capacitor count mismatch";
+  if Array.length sources <> Array.length c.src_stim then
+    invalid_arg "Transient.respecialize: source count mismatch";
+  { c with mos_params = mosfets; cap_c = caps; src_stim = sources }
+
 let apply_sources c v t =
-  Array.iter (fun (n, stim) -> v.(n) <- stim t) c.srcs
+  for i = 0 to Array.length c.src_node - 1 do
+    v.(c.src_node.(i)) <- c.src_stim.(i) t
+  done
+
+let source_vmax c ~at =
+  let m = ref 0.0 in
+  for i = 0 to Array.length c.src_stim - 1 do
+    m := Float.max !m (c.src_stim.(i) at)
+  done;
+  !m
+
+(* Per-run scratch buffers, allocated once and reused by every Newton
+   iteration: dense Jacobian, residual, negated-RHS/update vector,
+   pivot indices, previous node voltages and per-capacitor branch
+   currents.  Nothing in the Newton loop allocates. *)
+type workspace = {
+  w_free : int;    (* number of free (solved) nodes *)
+  w_nodes : int;   (* total node count *)
+  jac : Mat.t;     (* w_free x w_free *)
+  resid : float array;
+  rhs : float array;
+  perm : int array;
+  v_prev : float array;
+  mutable icap : float array;
+  mutable icap_next : float array;
+  ebuf : Mosfet.eval_buf; (* device-evaluation scratch *)
+}
+
+let make_workspace c =
+  let n = Array.length c.free_nodes in
+  let ncaps = Array.length c.cap_c in
+  {
+    w_free = n;
+    w_nodes = c.n_nodes;
+    jac = Mat.create n n;
+    resid = Array.make n 0.0;
+    rhs = Array.make n 0.0;
+    perm = Array.make n 0;
+    v_prev = Array.make c.n_nodes 0.0;
+    icap = Array.make ncaps 0.0;
+    icap_next = Array.make ncaps 0.0;
+    ebuf = Mosfet.make_eval_buf ();
+  }
+
+let check_workspace ws c =
+  if
+    ws.w_free <> Array.length c.free_nodes
+    || ws.w_nodes <> c.n_nodes
+    || Array.length ws.icap <> Array.length c.cap_c
+  then invalid_arg "Transient: workspace does not match the compiled circuit"
 
 (* Stamp static (resistive + device + gmin) contributions into residual f
-   and Jacobian jac.  v is the full node-voltage array. *)
-let stamp_static c ~gmin v f jac =
+   and the raw row-major Jacobian storage jd (stride n).  v is the full
+   node-voltage array.
+
+   The residual/Jacobian accumulations are written out longhand (rather
+   than through add_f/add_j helpers) so every float stays in a register:
+   a float passed to a non-inlined local function is boxed, and at
+   ~75 accumulations per Newton iteration that boxing dominated the
+   loop's allocation profile. *)
+let[@inline] add_f f fi nd x =
+  let i = Array.unsafe_get fi nd in
+  if i >= 0 then Array.unsafe_set f i (Array.unsafe_get f i +. x)
+
+let[@inline] add_j jd n fi nd md x =
+  let i = Array.unsafe_get fi nd and j = Array.unsafe_get fi md in
+  if i >= 0 && j >= 0 then begin
+    let k = (i * n) + j in
+    Array.unsafe_set jd k (Array.unsafe_get jd k +. x)
+  end
+
+let stamp_static c ~gmin ~ebuf v f jd n =
   let fi = c.free_index in
-  let add_f n x = if fi.(n) >= 0 then f.(fi.(n)) <- f.(fi.(n)) +. x in
-  let add_j n m x =
-    if fi.(n) >= 0 && fi.(m) >= 0 then
-      Mat.set jac fi.(n) fi.(m) (Mat.get jac fi.(n) fi.(m) +. x)
-  in
-  Array.iter
-    (fun (r, a, b) ->
-      let g = 1.0 /. r in
-      let i = g *. (v.(a) -. v.(b)) in
-      add_f a i;
-      add_f b (-.i);
-      add_j a a g;
-      add_j a b (-.g);
-      add_j b b g;
-      add_j b a (-.g))
-    c.resistors;
-  Array.iter
-    (fun (p, g, d, s) ->
-      let e = Mosfet.eval p ~vg:v.(g) ~vd:v.(d) ~vs:v.(s) in
-      (* e.id enters the drain terminal: it leaves node d and enters
-         node s. *)
-      add_f d e.id;
-      add_f s (-.e.id);
-      add_j d g e.d_vg;
-      add_j d d e.d_vd;
-      add_j d s e.d_vs;
-      add_j s g (-.e.d_vg);
-      add_j s d (-.e.d_vd);
-      add_j s s (-.e.d_vs))
-    c.mosfets;
+  for k = 0 to Array.length c.res_r - 1 do
+    let a = c.res_a.(k) and b = c.res_b.(k) in
+    let g = 1.0 /. c.res_r.(k) in
+    let i = g *. (v.(a) -. v.(b)) in
+    add_f f fi a i;
+    add_f f fi b (-.i);
+    add_j jd n fi a a g;
+    add_j jd n fi a b (-.g);
+    add_j jd n fi b b g;
+    add_j jd n fi b a (-.g)
+  done;
+  for k = 0 to Array.length c.mos_params - 1 do
+    let g = c.mos_g.(k) and d = c.mos_d.(k) and s = c.mos_s.(k) in
+    Mosfet.eval_into c.mos_params.(k) ~vg:v.(g) ~vd:v.(d) ~vs:v.(s) ebuf;
+    let id = ebuf.Mosfet.b_id
+    and d_vg = ebuf.Mosfet.b_vg
+    and d_vd = ebuf.Mosfet.b_vd
+    and d_vs = ebuf.Mosfet.b_vs in
+    (* id enters the drain terminal: it leaves node d and enters
+       node s. *)
+    add_f f fi d id;
+    add_f f fi s (-.id);
+    add_j jd n fi d g d_vg;
+    add_j jd n fi d d d_vd;
+    add_j jd n fi d s d_vs;
+    add_j jd n fi s g (-.d_vg);
+    add_j jd n fi s d (-.d_vd);
+    add_j jd n fi s s (-.d_vs)
+  done;
   (* gmin keeps isolated or floating nodes well-conditioned. *)
-  Array.iteri
-    (fun i n ->
-      f.(i) <- f.(i) +. (gmin *. v.(n));
-      Mat.set jac i i (Mat.get jac i i +. gmin))
-    c.free_nodes
+  for i = 0 to Array.length c.free_nodes - 1 do
+    let nd = c.free_nodes.(i) in
+    f.(i) <- f.(i) +. (gmin *. v.(nd));
+    let k = (i * n) + i in
+    jd.(k) <- jd.(k) +. gmin
+  done
 
 (* Capacitor current for the chosen integration method.  For
    trapezoidal integration the companion model needs the capacitor
    current at the previous accepted step (icap_prev). *)
-let cap_current ~method_ ~dt cap dv dv_prev i_prev =
+let[@inline] cap_current ~method_ ~dt cap dv dv_prev i_prev =
   match method_ with
   | Backward_euler -> cap /. dt *. (dv -. dv_prev)
   | Trapezoidal -> (2.0 *. cap /. dt *. (dv -. dv_prev)) -. i_prev
 
-let cap_conductance ~method_ ~dt cap =
+let[@inline] cap_conductance ~method_ ~dt cap =
   match method_ with
   | Backward_euler -> cap /. dt
   | Trapezoidal -> 2.0 *. cap /. dt
 
-let stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jac =
+let stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jd n =
   let fi = c.free_index in
-  let add_f n x = if fi.(n) >= 0 then f.(fi.(n)) <- f.(fi.(n)) +. x in
-  let add_j n m x =
-    if fi.(n) >= 0 && fi.(m) >= 0 then
-      Mat.set jac fi.(n) fi.(m) (Mat.get jac fi.(n) fi.(m) +. x)
-  in
-  Array.iteri
-    (fun idx (cap, a, b) ->
-      let geq = cap_conductance ~method_ ~dt cap in
-      let i =
-        cap_current ~method_ ~dt cap
-          (v.(a) -. v.(b))
-          (v_prev.(a) -. v_prev.(b))
-          icap_prev.(idx)
-      in
-      add_f a i;
-      add_f b (-.i);
-      add_j a a geq;
-      add_j a b (-.geq);
-      add_j b b geq;
-      add_j b a (-.geq))
-    c.caps
+  for idx = 0 to Array.length c.cap_c - 1 do
+    let cap = c.cap_c.(idx) and a = c.cap_a.(idx) and b = c.cap_b.(idx) in
+    let geq = cap_conductance ~method_ ~dt cap in
+    let i =
+      cap_current ~method_ ~dt cap
+        (v.(a) -. v.(b))
+        (v_prev.(a) -. v_prev.(b))
+        icap_prev.(idx)
+    in
+    add_f f fi a i;
+    add_f f fi b (-.i);
+    add_j jd n fi a a geq;
+    add_j jd n fi a b (-.geq);
+    add_j jd n fi b b geq;
+    add_j jd n fi b a (-.geq)
+  done
 
 (* Damped Newton on the free nodes.  [with_caps] selects transient vs DC
    residuals.  Returns the number of iterations or None on failure;
-   v is updated in place on success (and left modified on failure). *)
-let newton c opts ~gmin ~caps ~v_prev v =
-  let n = Array.length c.free_nodes in
-  let f = Array.make n 0.0 in
+   v is updated in place on success (and left modified on failure).
+   All scratch storage comes from the workspace: the loop body performs
+   no heap allocation. *)
+let newton ws c opts ~gmin ~caps ~v_prev v =
+  let n = ws.w_free in
+  let f = ws.resid in
+  let jd = Mat.data ws.jac in
   let rec iterate k =
     if k > opts.max_newton then None
     else begin
       Array.fill f 0 n 0.0;
-      let jac = Mat.create n n in
-      stamp_static c ~gmin v f jac;
+      Array.fill jd 0 (n * n) 0.0;
+      stamp_static c ~gmin ~ebuf:ws.ebuf v f jd n;
       (match caps with
       | Some (method_, dt, icap_prev) ->
-        stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jac
+        stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jd n
       | None -> ());
-      let fnorm = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 f in
-      let dx =
-        try Some (Linalg.solve jac (Array.map (fun x -> -.x) f))
-        with Linalg.Singular _ -> None
+      let fnorm = ref 0.0 in
+      for i = 0 to n - 1 do
+        fnorm := Float.max !fnorm (Float.abs f.(i))
+      done;
+      let fnorm = !fnorm in
+      let factored =
+        match Linalg.lu_factor_in_place ws.jac ws.perm with
+        | (_ : float) -> true
+        | exception Linalg.Singular _ -> false
       in
-      match dx with
-      | None -> None
-      | Some dx ->
+      if not factored then None
+      else begin
+        (* Negate the residual in place; the solve reads it through the
+           pivot permutation and writes the update into rhs. *)
+        for i = 0 to n - 1 do
+          f.(i) <- -.f.(i)
+        done;
+        Linalg.lu_solve_in_place ws.jac ws.perm ~b:f ~x:ws.rhs;
+        let dx = ws.rhs in
         (* Voltage-step damping: cap updates at 0.3 V per iteration. *)
-        let dmax =
-          Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 dx
-        in
+        let dmax = ref 0.0 in
+        for i = 0 to n - 1 do
+          dmax := Float.max !dmax (Float.abs dx.(i))
+        done;
+        let dmax = !dmax in
         let scale = if dmax > 0.3 then 0.3 /. dmax else 1.0 in
-        Array.iteri
-          (fun i node -> v.(node) <- v.(node) +. (scale *. dx.(i)))
-          c.free_nodes;
+        for i = 0 to n - 1 do
+          let node = Array.unsafe_get c.free_nodes i in
+          v.(node) <- v.(node) +. (scale *. dx.(i))
+        done;
         if fnorm < opts.abstol && dmax *. scale < opts.dxtol then Some k
         else iterate (k + 1)
+      end
     end
   in
   iterate 1
 
-let dc_solve c opts ~at v =
+let dc_solve ws c opts ~at v =
   apply_sources c v at;
-  let v_prev = Array.copy v in
+  Array.blit v 0 ws.v_prev 0 c.n_nodes;
+  let v_prev = ws.v_prev in
   (* Direct attempt, then gmin stepping from strongly damped to the
      target gmin. *)
-  match newton c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
+  match newton ws c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
   | Some _ -> ()
   | None ->
     let ok = ref false in
     let attempt gmin_start =
       if not !ok then begin
         (* Reset the guess to mid-rail before each continuation run. *)
-        let vmax =
-          Array.fold_left (fun m (_, stim) -> Float.max m (stim at)) 0.0 c.srcs
-        in
+        let vmax = source_vmax c ~at in
         Array.iter (fun nfree -> v.(nfree) <- 0.5 *. vmax) c.free_nodes;
         apply_sources c v at;
         let g = ref gmin_start in
         let all_ok = ref true in
         while !all_ok && !g >= opts.gmin do
-          (match newton c opts ~gmin:!g ~caps:None ~v_prev v with
+          (match newton ws c opts ~gmin:!g ~caps:None ~v_prev v with
           | Some _ -> ()
           | None -> all_ok := false);
           g := !g /. 100.0
@@ -227,38 +343,40 @@ let dc_solve c opts ~at v =
 
 let dc_operating_point net ~at =
   let c = compile net in
+  let ws = make_workspace c in
   let v = Array.make c.n_nodes 0.0 in
   let opts = default_options ~tstop:1.0 in
-  let vmax = Array.fold_left (fun m (_, stim) -> Float.max m (stim at)) 0.0 c.srcs in
+  let vmax = source_vmax c ~at in
   Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
-  dc_solve c opts ~at v;
+  dc_solve ws c opts ~at v;
   v
 
 let dc_sweep net ~node ~values =
   let c = compile net in
   if c.free_index.(node) >= 0 || node = 0 then
     invalid_arg "Transient.dc_sweep: node must be driven by a source";
+  let ws = make_workspace c in
   let opts = default_options ~tstop:1.0 in
   let v = Array.make c.n_nodes 0.0 in
-  let vmax =
-    Array.fold_left (fun m (_, stim) -> Float.max m (stim 0.0)) 0.0 c.srcs
-  in
+  let vmax = source_vmax c ~at:0.0 in
   Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
   apply_sources c v 0.0;
   Array.map
     (fun value ->
       v.(node) <- value;
       let v_prev = Array.copy v in
-      (match newton c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
+      (match newton ws c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
       | Some _ -> ()
       | None ->
         (* Fall back to a full solve from scratch for this point. *)
         Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
         apply_sources c v 0.0;
         v.(node) <- value;
-        dc_solve c opts ~at:0.0 v;
+        dc_solve ws c opts ~at:0.0 v;
         v.(node) <- value;
-        (match newton c opts ~gmin:opts.gmin ~caps:None ~v_prev:(Array.copy v) v with
+        (match
+           newton ws c opts ~gmin:opts.gmin ~caps:None ~v_prev:(Array.copy v) v
+         with
         | Some _ -> ()
         | None -> raise (No_convergence "dc_sweep")));
       Array.copy v)
@@ -266,32 +384,54 @@ let dc_sweep net ~node ~values =
 
 type result = {
   r_times : float array;
-  r_volts : float array array; (* per step, full node vector *)
+  r_volts : float array array;
+      (* per step: the full node vector, or just the recorded columns *)
+  r_record : int array option; (* node ids per column; None = all nodes *)
   r_newton : int;
   r_steps : int;
 }
 
-let run opts net =
+let run_compiled ?workspace ?record opts c =
   if opts.tstop <= 0.0 then invalid_arg "Transient.run: tstop <= 0";
-  let c = compile net in
+  let ws =
+    match workspace with
+    | Some ws ->
+      check_workspace ws c;
+      ws
+    | None -> make_workspace c
+  in
+  (match record with
+  | Some nodes ->
+    Array.iter
+      (fun n ->
+        if n < 0 || n >= c.n_nodes then
+          invalid_arg "Transient.run: recorded node out of range")
+      nodes
+  | None -> ());
+  let snapshot v =
+    match record with
+    | None -> Array.copy v
+    | Some nodes -> Array.map (fun n -> v.(n)) nodes
+  in
   let v = Array.make c.n_nodes 0.0 in
-  let vmax = Array.fold_left (fun m (_, stim) -> Float.max m (stim 0.0)) 0.0 c.srcs in
+  let vmax = source_vmax c ~at:0.0 in
   Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
-  dc_solve c opts ~at:0.0 v;
+  dc_solve ws c opts ~at:0.0 v;
   let break_times =
     List.sort_uniq compare
       (List.filter (fun t -> t > 0.0 && t < opts.tstop) opts.breakpoints)
   in
   let times = ref [ 0.0 ] in
-  let volts = ref [ Array.copy v ] in
+  let volts = ref [ snapshot v ] in
   let newton_total = ref 0 in
   let steps = ref 0 in
   (* Per-capacitor branch current at the last accepted time point
      (zero at the DC operating point). *)
-  let icap = ref (Array.map (fun _ -> 0.0) c.caps) in
+  Array.fill ws.icap 0 (Array.length ws.icap) 0.0;
   let t = ref 0.0 in
   let dt = ref opts.dt_init in
   let pending_breaks = ref break_times in
+  let v_prev = ws.v_prev in
   while !t < opts.tstop -. (1e-9 *. opts.tstop) do
     (* Clip the step to the next breakpoint or tstop. *)
     let next_limit =
@@ -301,7 +441,7 @@ let run opts net =
     in
     let dt_eff = Float.min !dt (next_limit -. !t) in
     let t_new = !t +. dt_eff in
-    let v_prev = Array.copy v in
+    Array.blit v 0 v_prev 0 c.n_nodes;
     apply_sources c v t_new;
     (* Trapezoidal needs a valid previous cap current; take the very
        first step with backward Euler. *)
@@ -311,27 +451,29 @@ let run opts net =
       | Trapezoidal -> if !steps = 0 then Backward_euler else Trapezoidal
     in
     (match
-       newton c opts ~gmin:opts.gmin
-         ~caps:(Some (method_, dt_eff, !icap))
+       newton ws c opts ~gmin:opts.gmin
+         ~caps:(Some (method_, dt_eff, ws.icap))
          ~v_prev v
      with
     | Some iters ->
-      (* Commit the capacitor-current state for the accepted step. *)
-      let icap_new =
-        Array.mapi
-          (fun idx (cap, a, b) ->
-            cap_current ~method_ ~dt:dt_eff cap
-              (v.(a) -. v.(b))
-              (v_prev.(a) -. v_prev.(b))
-              !icap.(idx))
-          c.caps
-      in
-      icap := icap_new;
+      (* Commit the capacitor-current state for the accepted step,
+         writing into the spare buffer and swapping. *)
+      let icap_prev = ws.icap and icap_new = ws.icap_next in
+      for idx = 0 to Array.length c.cap_c - 1 do
+        let a = c.cap_a.(idx) and b = c.cap_b.(idx) in
+        icap_new.(idx) <-
+          cap_current ~method_ ~dt:dt_eff c.cap_c.(idx)
+            (v.(a) -. v.(b))
+            (v_prev.(a) -. v_prev.(b))
+            icap_prev.(idx)
+      done;
+      ws.icap <- icap_new;
+      ws.icap_next <- icap_prev;
       newton_total := !newton_total + iters;
       incr steps;
       t := t_new;
       times := t_new :: !times;
-      volts := Array.copy v :: !volts;
+      volts := snapshot v :: !volts;
       (match !pending_breaks with
       | b :: rest when t_new >= b -. (1e-12 *. opts.tstop) ->
         pending_breaks := rest
@@ -349,17 +491,31 @@ let run opts net =
   {
     r_times = Array.of_list (List.rev !times);
     r_volts = Array.of_list (List.rev !volts);
+    r_record = record;
     r_newton = !newton_total;
     r_steps = !steps;
   }
+
+let run ?record opts net = run_compiled ?record opts (compile net)
 
 let times r = r.r_times
 
 let waveform r node =
   if Array.length r.r_volts = 0 then invalid_arg "Transient.waveform: empty";
-  if node < 0 || node >= Array.length r.r_volts.(0) then
-    invalid_arg "Transient.waveform: unknown node";
-  let values = Array.map (fun v -> v.(node)) r.r_volts in
+  let column =
+    match r.r_record with
+    | None ->
+      if node < 0 || node >= Array.length r.r_volts.(0) then
+        invalid_arg "Transient.waveform: unknown node";
+      node
+    | Some nodes -> (
+      let found = ref (-1) in
+      Array.iteri (fun i n -> if n = node && !found < 0 then found := i) nodes;
+      match !found with
+      | -1 -> invalid_arg "Transient.waveform: node was not recorded"
+      | i -> i)
+  in
+  let values = Array.map (fun v -> v.(column)) r.r_volts in
   Waveform.make ~times:r.r_times ~values
 
 let newton_iterations_total r = r.r_newton

@@ -47,14 +47,58 @@ val dc_sweep :
     and returns the DC solution per value (continuation: each solve
     starts from the previous solution).  Used for transfer curves. *)
 
+type compiled
+(** A netlist compiled for fast stamping: immutable topology (node
+    indices of every element) plus the per-instance parameter values.
+    Compiling once and {!respecialize}-ing per run avoids rebuilding
+    the structure when only parameter values change between runs. *)
+
+val compile : Netlist.t -> compiled
+(** Validates and flattens the netlist.  Element order is the netlist
+    insertion order. *)
+
+val node_count : compiled -> int
+
+val respecialize :
+  compiled ->
+  mosfets:Slc_device.Mosfet.params array ->
+  caps:float array ->
+  sources:Stimulus.t array ->
+  compiled
+(** A new compiled circuit sharing the topology of the argument but
+    carrying the given device parameters, capacitance values and source
+    stimuli (in compiled element order).  The arrays must match the
+    original element counts; zero capacitances are stamped as exact
+    zeros, so a slot can be "turned off" without changing topology.
+    The result is independent of the original: safe to use from
+    another domain. *)
+
+type workspace
+(** Per-run scratch (Jacobian, residual, RHS, pivots, previous-step
+    state) sized for one compiled circuit.  A workspace is reused by
+    every Newton iteration of a run so the inner loop allocates
+    nothing; it is NOT thread-safe — use one workspace per domain. *)
+
+val make_workspace : compiled -> workspace
+
 type result
 
-val run : options -> Netlist.t -> result
-(** Simulates from a DC operating point at [t = 0] to [tstop]. *)
+val run : ?record:int array -> options -> Netlist.t -> result
+(** Simulates from a DC operating point at [t = 0] to [tstop].  When
+    [record] is given, only those node voltages are kept per accepted
+    step (waveforms of other nodes are unavailable); by default every
+    node is recorded. *)
+
+val run_compiled :
+  ?workspace:workspace -> ?record:int array -> options -> compiled -> result
+(** As {!run} on an already-compiled circuit.  [workspace] (sized by
+    {!make_workspace} for a circuit of the same shape) is reused when
+    given, so back-to-back runs allocate no solver buffers at all. *)
 
 val times : result -> float array
 
 val waveform : result -> Netlist.node -> Waveform.t
+(** Raises [Invalid_argument] for a node that was not recorded. *)
 
 val newton_iterations_total : result -> int
 (** Total Newton iterations spent — a proxy for simulation cost. *)

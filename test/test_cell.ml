@@ -281,6 +281,95 @@ let test_sim_counter () =
   ignore (Harness.simulate tech arc mid_point);
   Alcotest.(check int) "two sims" 2 (Harness.sim_count ())
 
+(* The compiled-template cache in Harness must be purely a structural
+   optimization: measurements have to be exactly those of building and
+   simulating the netlist from scratch, for every seed and point.  This
+   reference path rebuilds the netlist per call (no template reuse) and
+   replicates simulate's first-attempt window and measurements. *)
+let reference_simulate ?seed t arc (point : Harness.point) =
+  let module Tr = Slc_spice.Transient in
+  let module Wf = Slc_spice.Waveform in
+  let net, nin, nout = Harness.build_netlist ?seed t arc point in
+  let eq = Equivalent.of_arc t arc in
+  let tau =
+    (point.Harness.cload +. Equivalent.parasitic_cap t arc)
+    *. point.Harness.vdd
+    /. Float.max 1e-12 (Equivalent.ieff eq ~vdd:point.Harness.vdd)
+  in
+  let window =
+    Float.max (8.0 *. tau) (Float.max (3.0 *. point.Harness.sin) 2.0e-11)
+  in
+  let ramp_start = 1e-12 in
+  let tstop = ramp_start +. point.Harness.sin +. window in
+  let opts =
+    {
+      (Tr.default_options ~tstop) with
+      Tr.dt_max = tstop /. 300.0;
+      breakpoints =
+        Slc_spice.Stimulus.breakpoints ~t0:ramp_start
+          ~duration:point.Harness.sin;
+    }
+  in
+  let res = Tr.run opts net in
+  let win = Tr.waveform res nin in
+  let wout = Tr.waveform res nout in
+  let out_dir =
+    match arc.Arc.out_dir with Arc.Fall -> Wf.Falling | Arc.Rise -> Wf.Rising
+  in
+  let td =
+    Wf.measure_delay ~input:win ~output:wout ~vdd:point.Harness.vdd ~out_dir
+  in
+  let sout = Wf.measure_slew wout ~vdd:point.Harness.vdd out_dir in
+  (* Supply energy from the sense resistor (r_sense = 1 ohm) between
+     the source node (1) and the rail node (2). *)
+  let w_src = Tr.waveform res 1 and w_rail = Tr.waveform res 2 in
+  let current i = (w_src.Wf.values.(i) -. w_rail.Wf.values.(i)) /. 1.0 in
+  let i_leak = current 0 in
+  let q = ref 0.0 in
+  let times = w_src.Wf.times in
+  for i = 0 to Array.length times - 2 do
+    let dt = times.(i + 1) -. times.(i) in
+    q :=
+      !q
+      +. (0.5 *. ((current i -. i_leak) +. (current (i + 1) -. i_leak)) *. dt)
+  done;
+  (td, sout, point.Harness.vdd *. !q)
+
+let test_simulate_matches_uncached_reference () =
+  let rng = Rng.create 7 in
+  let seeds = Array.to_list (Process.sample_batch rng tech 2) in
+  let seeds = Process.nominal :: seeds in
+  let arcs =
+    [
+      Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall;
+      Arc.find Cells.nor2 ~pin:"A" ~out_dir:Arc.Rise;
+    ]
+  in
+  let points =
+    [
+      { Harness.sin = 3e-12; cload = 1e-15; vdd = 0.8 };
+      { Harness.sin = 8e-12; cload = 4e-15; vdd = 0.7 };
+      { Harness.sin = 5e-12; cload = 0.0; vdd = 0.9 };
+    ]
+  in
+  List.iter
+    (fun arc ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun point ->
+              let m = Harness.simulate ~seed tech arc point in
+              Alcotest.(check int) "no retries on this grid" 0 m.Harness.retries;
+              match reference_simulate ~seed tech arc point with
+              | Some td, Some sout, energy ->
+                check_close ~tol:0.0 "td identical" td m.Harness.td;
+                check_close ~tol:0.0 "sout identical" sout m.Harness.sout;
+                check_close ~tol:0.0 "energy identical" energy m.Harness.energy
+              | _ -> Alcotest.fail "reference measurement failed")
+            points)
+        seeds)
+    arcs
+
 let test_invalid_point_rejected () =
   let arc = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall in
   Alcotest.check_raises "bad sin"
@@ -558,6 +647,8 @@ let () =
             test_delay_decreases_with_vdd;
           Alcotest.test_case "delay increases with sin" `Quick
             test_delay_increases_with_sin;
+          Alcotest.test_case "cached simulate = uncached reference" `Slow
+            test_simulate_matches_uncached_reference;
           Alcotest.test_case "seed changes delay" `Quick test_seed_changes_delay;
           Alcotest.test_case "deterministic" `Quick test_simulation_deterministic;
           Alcotest.test_case "sim counter" `Quick test_sim_counter;

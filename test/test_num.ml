@@ -362,6 +362,47 @@ let test_quadrature () =
   check_close ~tol:1e-3 "samples" (1.0 /. 3.0)
     (Quadrature.trapezoid_samples ~xs ~ys)
 
+(* In-place LU: must agree with the allocating Linalg.solve on random
+   well-conditioned systems, and reject singular input. *)
+let test_lu_in_place_matches_solve () =
+  (* Small deterministic LCG so the test needs no RNG dependency. *)
+  let state = ref 123456789 in
+  let rand () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (float_of_int !state /. float_of_int 0x3FFFFFFF) -. 0.5
+  in
+  List.iter
+    (fun n ->
+      for _trial = 1 to 10 do
+        (* Diagonally dominant => well-conditioned and non-singular. *)
+        let a =
+          Mat.init n n (fun i j ->
+              if i = j then 4.0 +. float_of_int n +. rand () else rand ())
+        in
+        let b = Array.init n (fun _ -> rand ()) in
+        let expected = Linalg.solve a b in
+        let fact = Mat.copy a in
+        let perm = Array.make n 0 in
+        let sign = Linalg.lu_factor_in_place fact perm in
+        Alcotest.(check bool) "sign is +/-1" true (Float.abs sign = 1.0);
+        let x = Array.make n 0.0 in
+        Linalg.lu_solve_in_place fact perm ~b ~x;
+        Array.iteri
+          (fun i xi -> check_close ~tol:0.0 "in-place = solve" expected.(i) xi)
+          x;
+        (* Residual sanity: a x ~ b. *)
+        let r = Mat.mul_vec a x in
+        Array.iteri (fun i ri -> check_close ~tol:1e-9 "residual" b.(i) ri) r
+      done)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_lu_in_place_singular () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  let perm = Array.make 2 0 in
+  Alcotest.check_raises "singular raises"
+    (Linalg.Singular "lu_factor_in_place: singular matrix") (fun () ->
+      ignore (Linalg.lu_factor_in_place a perm))
+
 (* ------------------------------------------------------------------ *)
 (* Parallel *)
 
@@ -383,6 +424,32 @@ let test_parallel_propagates_exceptions () =
 
 let test_parallel_domain_count_env () =
   Alcotest.(check bool) "at least one" true (Parallel.domain_count () >= 1)
+
+(* The dynamic scheduler must preserve result order even when task
+   costs are wildly uneven (late indices cheap, early ones expensive),
+   and must not lose elements when tasks outnumber domains. *)
+let test_parallel_uneven_order_preserved () =
+  let n = 257 in
+  let xs = Array.init n (fun i -> i) in
+  let f i =
+    (* Early indices spin much longer than late ones. *)
+    let spins = if i < 8 then 200_000 else 10 in
+    let acc = ref 0 in
+    for k = 1 to spins do
+      acc := (!acc + (k * i)) land 0xFFFF
+    done;
+    (i * 2) + (!acc * 0)
+  in
+  Alcotest.(check (array int)) "order preserved under imbalance"
+    (Array.map f xs)
+    (Parallel.map ~domains:4 f xs)
+
+let test_parallel_exception_in_spawned_domain () =
+  (* Fail on the last index so a spawned (non-main) worker is likely to
+     hit it under dynamic scheduling; the error must still surface. *)
+  let f x = if x = 63 then failwith "late boom" else x in
+  Alcotest.check_raises "late task failure surfaces" (Failure "late boom")
+    (fun () -> ignore (Parallel.map ~domains:4 f (Array.init 64 (fun i -> i))))
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -472,6 +539,10 @@ let () =
           Alcotest.test_case "SPD solve" `Quick test_solve_spd;
           Alcotest.test_case "LU solve with pivoting + det" `Quick
             test_lu_solve_and_det;
+          Alcotest.test_case "in-place LU matches solve" `Quick
+            test_lu_in_place_matches_solve;
+          Alcotest.test_case "in-place LU rejects singular" `Quick
+            test_lu_in_place_singular;
           Alcotest.test_case "inverse" `Quick test_inverse;
           Alcotest.test_case "log det" `Quick test_spd_log_det;
           Alcotest.test_case "triangular solves" `Quick test_triangular_solves;
@@ -520,6 +591,10 @@ let () =
             test_parallel_matches_sequential;
           Alcotest.test_case "exception propagation" `Quick
             test_parallel_propagates_exceptions;
+          Alcotest.test_case "uneven tasks keep order" `Quick
+            test_parallel_uneven_order_preserved;
+          Alcotest.test_case "exception from spawned domain" `Quick
+            test_parallel_exception_in_spawned_domain;
           Alcotest.test_case "domain count" `Quick
             test_parallel_domain_count_env;
         ] );
