@@ -162,13 +162,18 @@ let all_benches =
       bench_ablation_chain; bench_ssta;
     ]
 
-let run_benchmarks () =
+let run_benchmarks ~quick () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    (* --quick is a CI smoke setting: just enough iterations to prove
+       every kernel runs and produce a JSON artifact, not a stable
+       measurement. *)
+    if quick then
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances all_benches in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
@@ -368,9 +373,97 @@ let write_json path ~kernels ~regen =
   close_out oc;
   Format.fprintf std "Wrote bench trajectory to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* --compare A.json B.json: per-kernel speedup of B relative to A.
+
+   The parser reads only the format [write_json] emits — one
+   ["name": { "ns_per_run": N }] line per kernel inside the FIRST
+   top-level "kernels" object (embedded baseline sections further down
+   the file are ignored).  Exits non-zero if any kernel regressed by
+   more than 10%. *)
+
+let parse_kernels path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      prerr_endline ("bench: --compare: " ^ msg);
+      exit 2
+  in
+  let rows = ref [] in
+  let in_kernels = ref false in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if !in_kernels then
+         if line = "}" || line = "}," then raise Exit
+         else
+           try
+             Scanf.sscanf line " %S : { %S : %f" (fun name field v ->
+                 if field = "ns_per_run" then rows := (name, v) :: !rows)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       else if line = "\"kernels\": {" then in_kernels := true
+     done
+   with Exit | End_of_file -> ());
+  close_in ic;
+  if not !in_kernels then begin
+    Printf.eprintf "bench: --compare: no \"kernels\" section in %s\n" path;
+    exit 2
+  end;
+  List.rev !rows
+
+let compare_trajectories base_path new_path =
+  let base = parse_kernels base_path in
+  let fresh = parse_kernels new_path in
+  let regressions = ref [] in
+  Printf.printf "== Kernel comparison: %s -> %s ==\n" base_path new_path;
+  Printf.printf "%-36s %12s %12s %9s\n" "kernel" "base ns" "new ns" "speedup";
+  List.iter
+    (fun (name, b_ns) ->
+      match List.assoc_opt name fresh with
+      | None -> Printf.printf "%-36s %12.4g %12s %9s\n" name b_ns "-" "gone"
+      | Some n_ns ->
+        let speedup = b_ns /. n_ns in
+        let flag =
+          if n_ns > b_ns *. 1.10 then begin
+            regressions := name :: !regressions;
+            "  REGRESSION"
+          end
+          else ""
+        in
+        Printf.printf "%-36s %12.4g %12.4g %8.2fx%s\n" name b_ns n_ns speedup
+          flag)
+    base;
+  List.iter
+    (fun (name, n_ns) ->
+      if not (List.mem_assoc name base) then
+        Printf.printf "%-36s %12s %12.4g %9s\n" name "-" n_ns "new")
+    fresh;
+  match !regressions with
+  | [] ->
+    print_endline "No kernel regressed by more than 10%.";
+    exit 0
+  | rs ->
+    Printf.printf "%d kernel(s) regressed by more than 10%%: %s\n"
+      (List.length rs)
+      (String.concat ", " (List.rev rs));
+    exit 1
+
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: rest ->
+    let rec find = function
+      | "--compare" :: a :: b :: _ -> compare_trajectories a b
+      | [ "--compare" ] | [ "--compare"; _ ] ->
+        prerr_endline "bench: --compare requires two JSON paths";
+        exit 2
+      | _ :: tl -> find tl
+      | [] -> ()
+    in
+    find rest
+  | [] -> ());
   let skip_bench = Array.exists (fun a -> a = "--no-bench") Sys.argv in
   let skip_figs = Array.exists (fun a -> a = "--no-figs") Sys.argv in
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let json_path =
     let p = ref None in
     Array.iteri
@@ -384,7 +477,7 @@ let () =
       Sys.argv;
     !p
   in
-  let kernels = if not skip_bench then run_benchmarks () else [] in
+  let kernels = if not skip_bench then run_benchmarks ~quick () else [] in
   if not skip_figs then regenerate ();
   match json_path with
   | Some path -> write_json path ~kernels ~regen:(List.rev !regen_stats)

@@ -229,6 +229,32 @@ let template tech arc =
     Mutex.unlock templates_lock;
     (match result with Ok t -> t | Error e -> raise e)
 
+(* Per-domain view of the template cache, plus a per-domain scratch
+   workspace per (tech, arc).  Templates are immutable and built once in
+   the process-wide table above; each domain then keeps its own
+   reference so the hot path never takes [templates_lock].  Workspaces
+   are mutable solver scratch and must not be shared across domains —
+   owning one per (domain, tech, arc) lets the pool's long-lived workers
+   reuse them across every simulate call instead of allocating one per
+   call.  [Transient.respecialize] preserves the system dimensions, so a
+   workspace sized from the template's compiled form fits every
+   specialization of it. *)
+let domain_caches :
+    (Tech.t * Arc.t, template * Transient.workspace) Hashtbl.t
+    Slc_num.Parallel.Slot.t =
+  Slc_num.Parallel.Slot.make (fun () -> Hashtbl.create 8)
+
+let domain_template tech arc =
+  let tbl = Slc_num.Parallel.Slot.get domain_caches in
+  let key = (tech, arc) in
+  match Hashtbl.find_opt tbl key with
+  | Some entry -> entry
+  | None ->
+    let tmpl = template tech arc in
+    let entry = (tmpl, Transient.make_workspace tmpl.t_compiled) in
+    Hashtbl.add tbl key entry;
+    entry
+
 (* Fresh parameter values for one (seed, point): same arithmetic, in the
    same element order, as building the netlist from scratch. *)
 let specialize tmpl (tech : Tech.t) (arc : Arc.t) ~seed point =
@@ -279,9 +305,8 @@ let supply_energy res ~vdd =
 let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
   if point.sin <= 0.0 || point.cload < 0.0 || point.vdd <= 0.0 then
     invalid_arg "Harness.build_netlist: invalid input condition";
-  let tmpl = template tech arc in
+  let tmpl, workspace = domain_template tech arc in
   let compiled = specialize tmpl tech arc ~seed point in
-  let workspace = Transient.make_workspace compiled in
   let out_dir =
     match arc.Arc.out_dir with
     | Arc.Fall -> Waveform.Falling

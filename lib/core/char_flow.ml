@@ -66,24 +66,35 @@ let fitting_points_for ?points tech ~k =
       invalid_arg "Char_flow: points override must have length k";
     pts
 
-let train_bayes ?seed ?points ~(prior : Prior.pair) tech arc ~k =
-  let points = fitting_points_for ?points tech ~k in
-  let ds = simulate_dataset ?seed tech arc points in
+let train_bayes_on ?workspace ?seed ~(prior : Prior.pair) tech ds =
   let obs_td = observations_of_dataset ?seed tech ds ~metric:Prior.Delay in
   let obs_sout = observations_of_dataset ?seed tech ds ~metric:Prior.Slew in
-  let p_td = Map_fit.fit_params ~prior:prior.Prior.delay ~tech obs_td in
-  let p_sout = Map_fit.fit_params ~prior:prior.Prior.slew ~tech obs_sout in
-  model_predictor ~label:"model+bayes" ~seed ~tech ~arc ~cost:ds.cost p_td
-    p_sout
+  let p_td =
+    Map_fit.fit_params ?workspace ~prior:prior.Prior.delay ~tech obs_td
+  in
+  let p_sout =
+    Map_fit.fit_params ?workspace ~prior:prior.Prior.slew ~tech obs_sout
+  in
+  model_predictor ~label:"model+bayes" ~seed ~tech ~arc:ds.arc ~cost:ds.cost
+    p_td p_sout
+
+let train_bayes ?seed ?points ~prior tech arc ~k =
+  let points = fitting_points_for ?points tech ~k in
+  let ds = simulate_dataset ?seed tech arc points in
+  train_bayes_on ?seed ~prior tech ds
+
+let train_lse_on ?workspace ?seed tech ds =
+  let obs_td = observations_of_dataset ?seed tech ds ~metric:Prior.Delay in
+  let obs_sout = observations_of_dataset ?seed tech ds ~metric:Prior.Slew in
+  let p_td = Extract_lse.fit ?workspace obs_td in
+  let p_sout = Extract_lse.fit ?workspace obs_sout in
+  model_predictor ~label:"model+lse" ~seed ~tech ~arc:ds.arc ~cost:ds.cost
+    p_td p_sout
 
 let train_lse ?seed ?points tech arc ~k =
   let points = fitting_points_for ?points tech ~k in
   let ds = simulate_dataset ?seed tech arc points in
-  let obs_td = observations_of_dataset ?seed tech ds ~metric:Prior.Delay in
-  let obs_sout = observations_of_dataset ?seed tech ds ~metric:Prior.Slew in
-  let p_td = Extract_lse.fit obs_td in
-  let p_sout = Extract_lse.fit obs_sout in
-  model_predictor ~label:"model+lse" ~seed ~tech ~arc ~cost:ds.cost p_td p_sout
+  train_lse_on ?seed tech ds
 
 let train_rsm ?seed ?points tech arc ~k =
   let points = fitting_points_for ?points tech ~k in

@@ -55,6 +55,18 @@ val train_bayes :
 (** [points] overrides the default curated fitting design (its length
     must then be [k]); used by the design ablation. *)
 
+val train_bayes_on :
+  ?workspace:Slc_num.Optimize.lm_workspace ->
+  ?seed:Slc_device.Process.seed ->
+  prior:Prior.pair ->
+  Slc_device.Tech.t ->
+  dataset ->
+  predictor
+(** The fitting half of {!train_bayes} on an already-simulated dataset
+    — lets callers batch the simulations of many seeds through one
+    parallel map and then fit per seed, reusing a caller-owned LM
+    [?workspace].  [train_cost] is the dataset's cost. *)
+
 val train_lse :
   ?seed:Slc_device.Process.seed ->
   ?points:Input_space.point array ->
@@ -62,6 +74,15 @@ val train_lse :
   Slc_cell.Arc.t ->
   k:int ->
   predictor
+
+val train_lse_on :
+  ?workspace:Slc_num.Optimize.lm_workspace ->
+  ?seed:Slc_device.Process.seed ->
+  Slc_device.Tech.t ->
+  dataset ->
+  predictor
+(** The fitting half of {!train_lse} on an already-simulated dataset;
+    see {!train_bayes_on}. *)
 
 val train_rsm :
   ?seed:Slc_device.Process.seed ->

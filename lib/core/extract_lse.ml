@@ -23,7 +23,7 @@ let jacobian_of ?(weights = [||]) obs v =
       let g = Timing_model.grad p ~ieff:o.ieff o.point in
       w *. g.(j) /. o.value)
 
-let fit ?(init = Timing_model.default_init) ?weights obs =
+let fit ?workspace ?(init = Timing_model.default_init) ?weights obs =
   if Array.length obs = 0 then invalid_arg "Extract_lse.fit: no observations";
   Array.iter
     (fun o ->
@@ -35,7 +35,7 @@ let fit ?(init = Timing_model.default_init) ?weights obs =
     invalid_arg "Extract_lse.fit: weights length mismatch"
   | _ -> ());
   let result =
-    Optimize.levenberg_marquardt
+    Optimize.levenberg_marquardt ?workspace
       ~residuals:(residuals_of ?weights obs)
       ~jacobian:(jacobian_of ?weights obs)
       ~x0:(Timing_model.to_vec init) ()

@@ -10,12 +10,15 @@ type observation = {
 }
 
 val fit :
+  ?workspace:Slc_num.Optimize.lm_workspace ->
   ?init:Timing_model.params ->
   ?weights:float array ->
   observation array ->
   Timing_model.params
 (** Minimizes the (optionally weighted) sum of squared relative
-    residuals with Levenberg–Marquardt and analytic Jacobians.  With
+    residuals with Levenberg–Marquardt and analytic Jacobians.
+    [?workspace] reuses caller-owned LM scratch buffers across calls
+    (bitwise-identical results).  With
     fewer observations than parameters the problem is rank-deficient;
     the LM damping still returns the minimum-norm-ish local solution
     the paper's LSE baseline would produce (i.e., poor — that is the

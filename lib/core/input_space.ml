@@ -45,10 +45,13 @@ let fitting_points tech ~k =
         Harness.point_of_vec h.(i - lead + 16)
       end)
 
+let random_fitting_points_rng rng tech ~k =
+  if k < 1 then invalid_arg "Input_space.random_fitting_points_rng: k >= 1";
+  Array.map Harness.point_of_vec (Sampling.random_box rng (box tech) k)
+
 let random_fitting_points tech ~k ~seed =
   if k < 1 then invalid_arg "Input_space.random_fitting_points: k >= 1";
-  let rng = Slc_prob.Rng.create seed in
-  Array.map Harness.point_of_vec (Sampling.random_box rng (box tech) k)
+  random_fitting_points_rng (Slc_prob.Rng.create seed) tech ~k
 
 let unit_grid ~levels =
   let unit_box = Array.make 3 (0.05, 0.95) in

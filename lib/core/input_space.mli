@@ -31,6 +31,12 @@ val random_fitting_points :
 (** [k] conditions drawn uniformly from the box — the "random sampling"
     the paper's baselines use.  Deterministic in [seed]. *)
 
+val random_fitting_points_rng :
+  Slc_prob.Rng.t -> Slc_device.Tech.t -> k:int -> point array
+(** [random_fitting_points] drawing from a caller-supplied generator —
+    combined with [Rng.split_ix] this gives every process seed its own
+    deterministic design regardless of evaluation order. *)
+
 val unit_grid : levels:int array -> Slc_num.Vec.t array
 (** Full-factorial grid on the unit cube (inclusive of 0.05/0.95-margin
     bounds to stay inside every technology's well-behaved region). *)

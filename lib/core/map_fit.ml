@@ -25,7 +25,7 @@ let lower_inverse l =
   done;
   inv
 
-let fit ~(prior : Prior.t) ~tech obs =
+let fit ?workspace ~(prior : Prior.t) ~tech obs =
   let mvn = prior.Prior.mvn in
   let mu0 = mvn.Mvn.mu in
   let l0 = mvn.Mvn.chol in
@@ -64,7 +64,8 @@ let fit ~(prior : Prior.t) ~tech obs =
         end)
   in
   let lm =
-    Optimize.levenberg_marquardt ~residuals ~jacobian ~x0:(Vec.copy mu0) ()
+    Optimize.levenberg_marquardt ?workspace ~residuals ~jacobian
+      ~x0:(Vec.copy mu0) ()
   in
   let r = residuals lm.Optimize.x in
   let prior_sq = ref 0.0 and data_sq = ref 0.0 in
@@ -80,4 +81,5 @@ let fit ~(prior : Prior.t) ~tech obs =
     data_cost = !data_sq;
   }
 
-let fit_params ~prior ~tech obs = (fit ~prior ~tech obs).params
+let fit_params ?workspace ~prior ~tech obs =
+  (fit ?workspace ~prior ~tech obs).params

@@ -17,20 +17,82 @@ type population = {
   predict_sout : Process.seed -> Input_space.point -> float;
 }
 
-let extract_population ~method_ ~tech ~arc ~seeds ~budget =
+type design = Curated | Random_per_seed of Slc_prob.Rng.t
+
+(* One LM scratch workspace per worker domain, reused across every fit
+   that domain performs. *)
+let lm_slot = Slc_num.Parallel.Slot.make Slc_num.Optimize.lm_workspace
+
+let extract_population_design ~design ~method_ ~tech ~arc ~seeds ~budget =
   if Array.length seeds = 0 then
     invalid_arg "Statistical.extract_population: no seeds";
   if budget < 1 then invalid_arg "Statistical.extract_population: budget < 1";
   let before = Harness.sim_count () in
+  let ns = Array.length seeds in
   (* Per-seed predictors, keyed by seed index. *)
   let predictors =
-    Slc_num.Parallel.map
-      (fun seed ->
-        match method_ with
-        | Bayes prior -> Char_flow.train_bayes ~seed ~prior tech arc ~k:budget
-        | Lse -> Char_flow.train_lse ~seed tech arc ~k:budget
-        | Lut -> Char_flow.train_lut ~seed tech arc ~budget)
-      seeds
+    match method_ with
+    | Lut ->
+      (* The LUT builds its own grid; the design choice does not apply. *)
+      Slc_num.Parallel.map
+        (fun seed -> Char_flow.train_lut ~seed tech arc ~budget)
+        seeds
+    | Bayes _ | Lse ->
+      let per_seed_points =
+        match design with
+        | Curated ->
+          let pts = Input_space.fitting_points tech ~k:budget in
+          Array.make ns pts
+        | Random_per_seed rng ->
+          (* split_ix is a pure function of (rng state, index): each
+             seed's design is deterministic no matter which domain
+             evaluates it, in what order. *)
+          Array.map
+            (fun seed ->
+              Input_space.random_fitting_points_rng
+                (Slc_prob.Rng.split_ix rng seed.Process.index)
+                tech ~k:budget)
+            seeds
+      in
+      (* All (seed x point) simulations as one flat batch: individual
+         simulations are the scheduling unit, so a seed whose windows
+         retry does not serialize the seeds behind it. *)
+      let flat =
+        Slc_num.Parallel.map
+          (fun idx ->
+            let si = idx / budget and pi = idx mod budget in
+            Harness.simulate ~seed:seeds.(si) tech arc
+              per_seed_points.(si).(pi))
+          (Array.init (ns * budget) Fun.id)
+      in
+      let datasets =
+        Array.init ns (fun si ->
+            let m pi = flat.((si * budget) + pi) in
+            let cost = ref 0 in
+            for pi = 0 to budget - 1 do
+              (* Each attempt of the retry loop is one simulator run. *)
+              cost := !cost + (m pi).Harness.retries + 1
+            done;
+            {
+              Char_flow.arc;
+              points = per_seed_points.(si);
+              td = Array.init budget (fun pi -> (m pi).Harness.td);
+              sout = Array.init budget (fun pi -> (m pi).Harness.sout);
+              cost = !cost;
+            })
+      in
+      (* Per-seed fits, each on a worker-owned LM workspace. *)
+      Slc_num.Parallel.map
+        (fun si ->
+          let workspace = Slc_num.Parallel.Slot.get lm_slot in
+          let seed = seeds.(si) in
+          match method_ with
+          | Bayes prior ->
+            Char_flow.train_bayes_on ~workspace ~seed ~prior tech
+              datasets.(si)
+          | Lse -> Char_flow.train_lse_on ~workspace ~seed tech datasets.(si)
+          | Lut -> assert false)
+        (Array.init ns Fun.id)
   in
   let find seed =
     if seed.Process.index < 0 || seed.Process.index >= Array.length seeds then
@@ -44,6 +106,9 @@ let extract_population ~method_ ~tech ~arc ~seeds ~budget =
     predict_td = (fun seed pt -> (find seed).Char_flow.predict_td pt);
     predict_sout = (fun seed pt -> (find seed).Char_flow.predict_sout pt);
   }
+
+let extract_population ~method_ ~tech ~arc ~seeds ~budget =
+  extract_population_design ~design:Curated ~method_ ~tech ~arc ~seeds ~budget
 
 let predict_samples pop pt ~td =
   Array.map

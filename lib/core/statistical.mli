@@ -22,6 +22,17 @@ type population = {
   predict_sout : Slc_device.Process.seed -> Input_space.point -> float;
 }
 
+type design =
+  | Curated
+      (** every seed fits on the same deterministic
+          {!Input_space.fitting_points} design *)
+  | Random_per_seed of Slc_prob.Rng.t
+      (** seed [i] fits on points drawn from [Rng.split_ix rng i] — a
+          pure per-index derivation, so the designs (and therefore all
+          results) are bitwise independent of domain count and
+          scheduling order, and the supplied generator is not
+          advanced *)
+
 val extract_population :
   method_:method_ ->
   tech:Slc_device.Tech.t ->
@@ -31,7 +42,22 @@ val extract_population :
   population
 (** Trains the method independently for every seed with [budget]
     simulator runs each ([k] fitting points for model methods, grid
-    size for LUT). *)
+    size for LUT), on the [Curated] design.
+
+    All (seed × point) simulations go through the worker pool as one
+    flat batch, then the per-seed fits run as a second batch with one
+    LM workspace per worker domain. *)
+
+val extract_population_design :
+  design:design ->
+  method_:method_ ->
+  tech:Slc_device.Tech.t ->
+  arc:Slc_cell.Arc.t ->
+  seeds:Slc_device.Process.seed array ->
+  budget:int ->
+  population
+(** {!extract_population} with an explicit fitting-point design (the
+    design choice is ignored by [Lut], which builds its own grid). *)
 
 val predict_samples :
   population -> Input_space.point -> td:bool -> float array

@@ -56,6 +56,58 @@ let cholesky_solve l b =
 
 let solve_spd a b = cholesky_solve (cholesky a) b
 
+(* Allocation-free variants for workspace-reusing callers (the LM
+   optimizer).  They replicate the floating-point operation order of
+   [cholesky] / [cholesky_solve] exactly, so results are bitwise
+   identical to the allocating forms. *)
+
+let cholesky_into a l =
+  if not (Mat.is_symmetric ~tol:1e-8 a) then
+    raise (Singular "cholesky: matrix not symmetric");
+  let n = Mat.rows a in
+  if Mat.rows l <> n || Mat.cols l <> n then
+    invalid_arg "Linalg.cholesky_into: dimension mismatch";
+  (* Only the lower triangle of [l] is written (and later read); any
+     stale upper-triangle entries in a reused buffer are harmless. *)
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      if i = j then begin
+        if !s <= 0.0 then raise (Singular "cholesky: not positive definite");
+        Mat.set l i i (sqrt !s)
+      end
+      else Mat.set l i j (!s /. Mat.get l j j)
+    done
+  done
+
+let cholesky_solve_into l b ~y ~x =
+  let n = Mat.rows l in
+  if Array.length b <> n || Array.length y <> n || Array.length x <> n then
+    invalid_arg "Linalg.cholesky_solve_into: size mismatch";
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get l i j *. y.(j))
+    done;
+    let d = Mat.get l i i in
+    if d = 0.0 then raise (Singular "lower_solve: zero diagonal");
+    y.(i) <- !s /. d
+  done;
+  (* Back substitution against lᵀ, reading the lower triangle directly
+     — same element order as [upper_solve (transpose l)]. *)
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get l j i *. x.(j))
+    done;
+    let d = Mat.get l i i in
+    if d = 0.0 then raise (Singular "upper_solve: zero diagonal");
+    x.(i) <- !s /. d
+  done
+
 let spd_inverse a =
   let n = Mat.rows a in
   let l = cholesky a in

@@ -17,6 +17,17 @@ val cholesky_solve : Mat.t -> Vec.t -> Vec.t
 val solve_spd : Mat.t -> Vec.t -> Vec.t
 (** [solve_spd a b] solves [a x = b] for symmetric positive-definite [a]. *)
 
+val cholesky_into : Mat.t -> Mat.t -> unit
+(** [cholesky_into a l] is {!cholesky} into the caller-owned square
+    matrix [l] (only the lower triangle is written; stale upper-triangle
+    entries of a reused buffer are ignored by the solves below).
+    Bitwise identical to [cholesky].  Allocation-free. *)
+
+val cholesky_solve_into : Mat.t -> Vec.t -> y:Vec.t -> x:Vec.t -> unit
+(** [cholesky_solve_into l b ~y ~x] is {!cholesky_solve} into the
+    caller-owned intermediate [y] and solution [x] (neither may alias
+    [b]).  Bitwise identical to the allocating form.  Allocation-free. *)
+
 val spd_inverse : Mat.t -> Mat.t
 (** Inverse of a symmetric positive-definite matrix via Cholesky. *)
 

@@ -117,6 +117,37 @@ let tmul_vec m v =
   done;
   out
 
+(* [gram_into j out] computes out <- JᵀJ with floating-point operations
+   in the exact order of [mul (transpose j) j] (ikj loops, zero-skip),
+   so workspace-reusing callers get bitwise-identical results. *)
+let gram_into j out =
+  if out.r <> j.c || out.c <> j.c then
+    invalid_arg "Mat.gram_into: output must be cols x cols";
+  Array.fill out.data 0 (Array.length out.data) 0.0;
+  let n = j.c in
+  for i = 0 to n - 1 do
+    for k = 0 to j.r - 1 do
+      let aik = j.data.((k * n) + i) in
+      if aik <> 0.0 then
+        for jj = 0 to n - 1 do
+          out.data.((i * n) + jj) <-
+            out.data.((i * n) + jj) +. (aik *. j.data.((k * n) + jj))
+        done
+    done
+  done
+
+let tmul_vec_into m v out =
+  if m.r <> Array.length v || m.c <> Array.length out then
+    invalid_arg "Mat.tmul_vec_into: dimension mismatch";
+  Array.fill out 0 m.c 0.0;
+  for i = 0 to m.r - 1 do
+    let vi = v.(i) in
+    if vi <> 0.0 then
+      for j = 0 to m.c - 1 do
+        out.(j) <- out.(j) +. (m.data.((i * m.c) + j) *. vi)
+      done
+  done
+
 let outer u v = init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
 
 let diag v =
@@ -151,6 +182,15 @@ let add_ridge m lambda =
     set m' i i (get m i i +. lambda)
   done;
   m'
+
+let add_ridge_into m lambda out =
+  if m.r <> m.c then invalid_arg "Mat.add_ridge_into: not square";
+  if out.r <> m.r || out.c <> m.c then
+    invalid_arg "Mat.add_ridge_into: dimension mismatch";
+  Array.blit m.data 0 out.data 0 (Array.length m.data);
+  for i = 0 to m.r - 1 do
+    out.data.((i * m.c) + i) <- m.data.((i * m.c) + i) +. lambda
+  done
 
 let frobenius m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)
 

@@ -59,6 +59,20 @@ val mul_vec : t -> Vec.t -> Vec.t
 val tmul_vec : t -> Vec.t -> Vec.t
 (** [tmul_vec m v] is [m^T * v] without forming the transpose. *)
 
+val gram_into : t -> t -> unit
+(** [gram_into j out] stores [jᵀ j] into the pre-allocated
+    [cols j x cols j] matrix [out].  Floating-point operations run in
+    the exact order of [mul (transpose j) j], so results are bitwise
+    identical to the allocating form. *)
+
+val tmul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [tmul_vec_into m v out] is [tmul_vec] into a pre-allocated [out]
+    (length [cols m]), bitwise identical to the allocating form. *)
+
+val add_ridge_into : t -> float -> t -> unit
+(** [add_ridge_into m lambda out] is [add_ridge] into a pre-allocated
+    [out] of the same shape ([out == m] is not supported). *)
+
 val outer : Vec.t -> Vec.t -> t
 (** [outer u v] is the rank-one matrix [u v^T]. *)
 

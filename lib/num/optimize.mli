@@ -17,7 +17,17 @@ val numeric_jacobian :
 (** Forward-difference Jacobian of a residual function; [rel_step]
     defaults to [1e-6] of each component's magnitude (floored). *)
 
+type lm_workspace
+(** Reusable scratch buffers (normal-equation matrices, solve vectors)
+    for {!levenberg_marquardt}.  A workspace belongs to one domain at a
+    time; callers fitting many same-sized models keep one per worker
+    and thread it through the loop.  Buffers are (re)sized on use, so a
+    single workspace also serves fits of varying parameter count. *)
+
+val lm_workspace : unit -> lm_workspace
+
 val levenberg_marquardt :
+  ?workspace:lm_workspace ->
   ?max_iter:int ->
   ?xtol:float ->
   ?ftol:float ->
@@ -33,7 +43,12 @@ val levenberg_marquardt :
     (Marquardt's strategy).  When [jacobian] is omitted a forward-difference
     Jacobian is used.  Defaults: [max_iter = 200], [xtol = 1e-12]
     (step-size tolerance relative to parameter norm), [ftol = 1e-14]
-    (relative cost decrease), [lambda0 = 1e-3]. *)
+    (relative cost decrease), [lambda0 = 1e-3].
+
+    Passing [?workspace] reuses caller-owned scratch buffers across
+    calls; results are bitwise identical with and without it (the
+    workspace variants of the underlying kernels replicate the
+    allocating operation order exactly). *)
 
 type nm_result = { nm_x : Vec.t; nm_f : float; nm_iterations : int; nm_converged : bool }
 

@@ -40,6 +40,26 @@ let split r =
   let s3 = splitmix_next state in
   { s0; s1; s2; s3 }
 
+let split_ix r ix =
+  (* Pure derivation: fold the parent state and the index through
+     splitmix64 without touching the parent, so the child for a given
+     (parent state, ix) pair is the same no matter how many other
+     children were derived or in what order — the property that makes
+     per-seed sub-streams independent of work scheduling. *)
+  let mix = splitmix_next (ref (Int64.of_int ix)) in
+  let state =
+    ref
+      (Int64.logxor mix
+         (Int64.logxor
+            (Int64.logxor r.s0 (rotl r.s1 13))
+            (Int64.logxor (rotl r.s2 29) (rotl r.s3 43))))
+  in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
 let float r =
   (* Top 53 bits scaled into [0,1). *)
   let bits = Int64.shift_right_logical (uint64 r) 11 in

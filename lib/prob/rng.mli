@@ -16,6 +16,14 @@ val split : t -> t
 (** [split rng] derives an independent generator and advances [rng];
     useful to hand sub-streams to sub-experiments. *)
 
+val split_ix : t -> int -> t
+(** [split_ix rng ix] derives the independent sub-generator number
+    [ix] from [rng]'s current state {e without} advancing [rng]: the
+    result depends only on (state, [ix]).  This is the scheduling-proof
+    way to give each work item of a parallel map its own stream —
+    results stay bitwise identical for any domain count or claim
+    order. *)
+
 val uint64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -54,6 +54,129 @@ let of_simulator ?seed tech =
         (m.Harness.td, m.Harness.sout));
   }
 
+(* ------------------------------------------------------------------ *)
+(* Query-result cache.
+
+   Oracle queries are pure (training happens once per arc; predictors
+   and tables are deterministic functions of the point), so repeated
+   identical queries — a fanout net driving many gates, a path re-timed
+   at the same slew — can reuse the first answer.  With no slew bucket
+   the cache is exact: keys are the literal point coordinates, and
+   cached results are bitwise identical to uncached ones.  With a
+   bucket, the input slew is quantized to a multiple of the bucket and
+   the underlying oracle is queried AT the quantized point, so nearby
+   slews share one answer deterministically (an approximation the
+   caller opts into, bounded by the oracle's sensitivity over one
+   bucket). *)
+
+type cache = {
+  c_tbl : (string * float * float * float, float * float) Hashtbl.t;
+  c_bucket : float option;
+  c_lock : Mutex.t;
+}
+
+let make_cache ?slew_bucket () =
+  (match slew_bucket with
+  | Some b when b <= 0.0 -> invalid_arg "Oracle.make_cache: bucket <= 0"
+  | _ -> ());
+  { c_tbl = Hashtbl.create 64; c_bucket = slew_bucket; c_lock = Mutex.create () }
+
+let cache_size c =
+  Mutex.lock c.c_lock;
+  let n = Hashtbl.length c.c_tbl in
+  Mutex.unlock c.c_lock;
+  n
+
+let cached c oracle =
+  let query arc (point : Harness.point) =
+    let point =
+      match c.c_bucket with
+      | None -> point
+      | Some b ->
+        (* Quantize to a positive multiple of the bucket (a slew of 0
+           would be an invalid simulation condition). *)
+        let q = Float.max 1.0 (Float.round (point.Harness.sin /. b)) in
+        { point with Harness.sin = q *. b }
+    in
+    let key =
+      (Arc.name arc, point.Harness.sin, point.Harness.cload, point.Harness.vdd)
+    in
+    Mutex.lock c.c_lock;
+    let hit = Hashtbl.find_opt c.c_tbl key in
+    Mutex.unlock c.c_lock;
+    match hit with
+    | Some r -> r
+    | None ->
+      let r = oracle.query arc point in
+      Mutex.lock c.c_lock;
+      (* Under a race the first publication wins, so every caller sees
+         one consistent answer. *)
+      let r =
+        match Hashtbl.find_opt c.c_tbl key with
+        | Some first -> first
+        | None ->
+          Hashtbl.add c.c_tbl key r;
+          r
+      in
+      Mutex.unlock c.c_lock;
+      r
+  in
+  { oracle with query }
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide trained-predictor cache for [bayes_bank].
+
+   Training is deterministic and pure — the same (prior, tech, k, seed,
+   arc) always yields the same predictor — so, exactly like the
+   compiled-testbench cache in Harness, there is no reason to pay the
+   k simulations again because a caller rebuilt the oracle value.
+   Priors are compared physically (a registry assigns each distinct
+   prior pair an id): value equality over closures is not decidable,
+   and the flows that matter reuse one learned prior object. *)
+
+let prior_registry : (Slc_core.Prior.pair * int) list ref = ref []
+
+let prior_registry_lock = Mutex.create ()
+
+let prior_id prior =
+  Mutex.lock prior_registry_lock;
+  let id =
+    match List.find_opt (fun (p, _) -> p == prior) !prior_registry with
+    | Some (_, id) -> id
+    | None ->
+      let id = List.length !prior_registry in
+      prior_registry := (prior, id) :: !prior_registry;
+      id
+  in
+  Mutex.unlock prior_registry_lock;
+  id
+
+type trained_key = int * string * int * Slc_device.Process.seed option * string
+
+let trained : (trained_key, Char_flow.predictor) Hashtbl.t = Hashtbl.create 32
+
+let trained_lock = Mutex.create ()
+
 let bayes_bank ?seed ~prior tech ~k =
+  let pid = prior_id prior in
   of_predictors ~label:(Printf.sprintf "bayes-k%d" k) (fun arc ->
-      Char_flow.train_bayes ?seed ~prior tech arc ~k)
+      let key = (pid, tech.Slc_device.Tech.name, k, seed, Arc.name arc) in
+      Mutex.lock trained_lock;
+      let hit = Hashtbl.find_opt trained key in
+      Mutex.unlock trained_lock;
+      match hit with
+      | Some p -> p
+      | None ->
+        (* Train outside the lock: training runs simulations (possibly
+           through the worker pool) and must not serialize on it. *)
+        let p = Char_flow.train_bayes ?seed ~prior tech arc ~k in
+        Mutex.lock trained_lock;
+        let p =
+          match Hashtbl.find_opt trained key with
+          | Some first -> first
+          | None ->
+            Hashtbl.add trained key p;
+            p
+        in
+        Mutex.unlock trained_lock;
+        p)

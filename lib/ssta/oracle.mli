@@ -32,4 +32,34 @@ val bayes_bank :
   k:int ->
   t
 (** Convenience: an oracle that trains a Bayesian/MAP predictor with
-    [k] simulations for each arc on first use. *)
+    [k] simulations for each arc on first use.
+
+    Trained predictors are cached process-wide, keyed by (prior
+    {e physical identity}, technology name, [k], [seed], arc name):
+    rebuilding a [bayes_bank] value with the same learned prior object
+    reuses the existing predictors and costs zero simulations.
+    Training is deterministic, so the cache never changes results. *)
+
+(** {2 Query-result caching} *)
+
+type cache
+(** A mutable, domain-safe map from (arc, point) to query results.
+    Oracle queries are pure, so identical queries can reuse the first
+    answer — fanout nets and repeated path timings stop re-deriving
+    identical arc delays. *)
+
+val make_cache : ?slew_bucket:float -> unit -> cache
+(** With no [slew_bucket] the cache is exact (keys are the literal
+    point coordinates; results are bitwise identical to the uncached
+    oracle).  With a bucket (seconds, > 0), input slews are quantized
+    to positive multiples of it and the oracle is queried at the
+    quantized point: nearby slews deterministically share one answer,
+    trading bounded accuracy for fewer queries. *)
+
+val cached : cache -> t -> t
+(** [cached c oracle] wraps [oracle] so queries go through [c].  A
+    cache may outlive the wrapper and be shared across analyses (only
+    meaningful while the underlying oracle answers consistently). *)
+
+val cache_size : cache -> int
+(** Number of distinct memoized queries. *)

@@ -108,8 +108,18 @@ let later a b =
 
 (* Shared forward pass: arrivals for every net plus, per gate, the
    candidate (pin, out_edge, delay, chosen input edge arrival time)
-   tuples actually used — needed by the backward required-time pass. *)
-let forward t (oracle : Oracle.t) ~input_arrivals =
+   tuples actually used — needed by the backward required-time pass.
+
+   Queries are memoized: by default through a fresh exact per-pass
+   cache (fanout nets re-query the same (arc, slew, load, vdd) once per
+   sibling), or through a caller-supplied [?cache] that persists across
+   passes. *)
+let forward ?cache t (oracle : Oracle.t) ~input_arrivals =
+  let oracle =
+    match cache with
+    | Some c -> Oracle.cached c oracle
+    | None -> Oracle.cached (Oracle.make_cache ()) oracle
+  in
   let arrivals = Array.make t.n_nets none in
   let origins = Array.of_list (List.rev t.nets) in
   let gates = Array.of_list (List.rev t.gates) in
@@ -143,9 +153,9 @@ let forward t (oracle : Oracle.t) ~input_arrivals =
   done;
   (arrivals, origins, gates, used)
 
-let analyze t (oracle : Oracle.t) ~input_arrivals target =
+let analyze ?cache t (oracle : Oracle.t) ~input_arrivals target =
   check_net t target;
-  let arrivals, _, _, _ = forward t oracle ~input_arrivals in
+  let arrivals, _, _, _ = forward ?cache t oracle ~input_arrivals in
   arrivals.(target)
 
 type slack_row = {
@@ -161,9 +171,11 @@ let worst_arrival a =
   | Some e, None | None, Some e -> Some e.at
   | Some r, Some f -> Some (Float.max r.at f.at)
 
-let slack_report t oracle ~input_arrivals ~outputs =
+let slack_report ?cache t oracle ~input_arrivals ~outputs =
   List.iter (fun (n, _) -> check_net t n) outputs;
-  let arrivals, origins, gates, used = forward t oracle ~input_arrivals in
+  let arrivals, origins, gates, used =
+    forward ?cache t oracle ~input_arrivals
+  in
   let required = Array.make t.n_nets Float.infinity in
   List.iter
     (fun (n, r) -> required.(n) <- Float.min required.(n) r)

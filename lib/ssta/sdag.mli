@@ -34,6 +34,7 @@ type edge_arrival = { at : float; slew : float }
 type arrival = { rise : edge_arrival option; fall : edge_arrival option }
 
 val analyze :
+  ?cache:Oracle.cache ->
   t ->
   Oracle.t ->
   input_arrivals:(string -> arrival) ->
@@ -42,7 +43,14 @@ val analyze :
 (** Arrival at the given net once every primary input is given its
     arrival/slew per edge.  Nets driven only by non-arriving edges
     propagate [None] (e.g. a one-sided input transition yields
-    alternating one-sided arrivals down an inverter chain). *)
+    alternating one-sided arrivals down an inverter chain).
+
+    Repeated oracle queries within the pass are memoized exactly (a
+    fanout net timing many siblings at one slew/load re-derives the
+    arc delay once); pass [?cache] to keep the memo across calls —
+    exact by default, or slew-bucketed if the cache was built with
+    one.  Results with the default or an exact cache are identical to
+    the unmemoized pass. *)
 
 type slack_row = {
   net_label : string;
@@ -52,6 +60,7 @@ type slack_row = {
 }
 
 val slack_report :
+  ?cache:Oracle.cache ->
   t ->
   Oracle.t ->
   input_arrivals:(string -> arrival) ->
@@ -60,7 +69,8 @@ val slack_report :
 (** Full forward arrival pass plus a backward required-time pass from
     the given (output net, required time) constraints.  Returns one row
     per net that has a finite arrival, sorted most-critical first.
-    Nets with no requirement reachable from them get infinite slack. *)
+    Nets with no requirement reachable from them get infinite slack.
+    Oracle queries are memoized as in {!analyze}. *)
 
 val net_name : t -> net -> string
 

@@ -460,6 +460,93 @@ let test_statistical_tiny () =
     (fun s -> Alcotest.(check bool) "positive" true (s > 0.0))
     samples
 
+(* Pooled and sequential statistical flows must agree BITWISE: the
+   per-seed parameters, predictions, train cost, and the Monte-Carlo
+   moments may not depend on how the (seed x point) batch was
+   scheduled. *)
+let test_statistical_pool_bitwise_sequential () =
+  let pair = Lazy.force tiny_prior_pair in
+  let rng = Slc_prob.Rng.create 123 in
+  let seeds = Slc_device.Process.sample_batch rng tech 4 in
+  let points = Input_space.validation_set ~n:3 ~seed:8 tech in
+  let run () =
+    let pop =
+      Statistical.extract_population ~method_:(Statistical.Bayes pair) ~tech
+        ~arc:inv_fall ~seeds ~budget:2
+    in
+    let base =
+      Statistical.monte_carlo_baseline ~tech ~arc:inv_fall ~seeds ~points
+    in
+    (pop, base)
+  in
+  let pop_p, base_p = run () in
+  let pop_s, base_s = Slc_num.Parallel.sequential run in
+  Alcotest.(check int) "train cost" pop_s.Statistical.train_cost
+    pop_p.Statistical.train_cost;
+  Array.iter
+    (fun pt ->
+      Array.iteri
+        (fun i v ->
+          let v' = (Statistical.predict_samples pop_s pt ~td:true).(i) in
+          Alcotest.(check bool) "per-seed prediction bitwise" true
+            (Int64.bits_of_float v = Int64.bits_of_float v'))
+        (Statistical.predict_samples pop_p pt ~td:true))
+    points;
+  let bitwise_arr name a b =
+    Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check bool) (name ^ " bitwise") true
+          (Int64.bits_of_float v = Int64.bits_of_float b.(i)))
+      a
+  in
+  bitwise_arr "mu_td" base_s.Statistical.mu_td base_p.Statistical.mu_td;
+  bitwise_arr "sigma_td" base_s.Statistical.sigma_td base_p.Statistical.sigma_td;
+  bitwise_arr "mu_sout" base_s.Statistical.mu_sout base_p.Statistical.mu_sout;
+  bitwise_arr "sigma_sout" base_s.Statistical.sigma_sout
+    base_p.Statistical.sigma_sout
+
+(* Random_per_seed designs derive each seed's fitting points from
+   Rng.split_ix at the seed's index: results are reproducible from an
+   equal generator, and the caller's generator is never advanced. *)
+let test_statistical_random_design_deterministic () =
+  let pair = Lazy.force tiny_prior_pair in
+  let rng = Slc_prob.Rng.create 7 in
+  let seeds = Slc_device.Process.sample_batch rng tech 3 in
+  let design_rng = Slc_prob.Rng.create 55 in
+  let run () =
+    Statistical.extract_population_design
+      ~design:(Statistical.Random_per_seed design_rng)
+      ~method_:(Statistical.Bayes pair) ~tech ~arc:inv_fall ~seeds ~budget:2
+  in
+  let pop1 = run () in
+  let pop2 = run () in
+  let pop_seq = Slc_num.Parallel.sequential run in
+  let pt = { Harness.sin = 6e-12; cload = 3e-15; vdd = 0.85 } in
+  let pred (pop : Statistical.population) =
+    Array.map (fun s -> pop.Statistical.predict_td s pt) seeds
+  in
+  let p1 = pred pop1 and p2 = pred pop2 and ps = pred pop_seq in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "reproducible" true
+        (Int64.bits_of_float v = Int64.bits_of_float p2.(i));
+      Alcotest.(check bool) "pool matches sequential" true
+        (Int64.bits_of_float v = Int64.bits_of_float ps.(i)))
+    p1;
+  (* The supplied generator was only ever split, never advanced. *)
+  let fresh = Slc_prob.Rng.create 55 in
+  Alcotest.(check bool) "design rng unperturbed" true
+    (Slc_prob.Rng.uint64 design_rng = Slc_prob.Rng.uint64 fresh);
+  (* A different design generator yields different fits. *)
+  let other =
+    Statistical.extract_population_design
+      ~design:(Statistical.Random_per_seed (Slc_prob.Rng.create 56))
+      ~method_:(Statistical.Bayes pair) ~tech ~arc:inv_fall ~seeds ~budget:2
+  in
+  Alcotest.(check bool) "different design differs" true
+    (pred other <> p1)
+
 (* ------------------------------------------------------------------ *)
 (* Bayes_library *)
 
@@ -783,7 +870,13 @@ let () =
             test_points_override_length_checked;
         ] );
       ( "statistical",
-        [ Alcotest.test_case "tiny statistical flow" `Slow test_statistical_tiny ] );
+        [
+          Alcotest.test_case "tiny statistical flow" `Slow test_statistical_tiny;
+          Alcotest.test_case "pooled bitwise equals sequential" `Slow
+            test_statistical_pool_bitwise_sequential;
+          Alcotest.test_case "random design deterministic" `Slow
+            test_statistical_random_design_deterministic;
+        ] );
       ( "rsm",
         [
           Alcotest.test_case "degree adapts to budget" `Quick

@@ -451,6 +451,60 @@ let test_parallel_exception_in_spawned_domain () =
   Alcotest.check_raises "late task failure surfaces" (Failure "late boom")
     (fun () -> ignore (Parallel.map ~domains:4 f (Array.init 64 (fun i -> i))))
 
+(* The pool must produce results identical to a plain sequential
+   Array.map regardless of how many domains participate. *)
+let test_pool_identity_across_domain_counts () =
+  let xs = Array.init 311 (fun i -> i) in
+  let f x = (x * 31) land 0xFFF in
+  let expected = Array.map f xs in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" d)
+        expected
+        (Parallel.map ~domains:d f xs))
+    [ 1; 2; 8 ];
+  Alcotest.(check (array int)) "sequential helper" expected
+    (Parallel.sequential (fun () -> Parallel.map ~domains:8 f xs))
+
+let test_pool_multiple_failures_aggregated () =
+  (* Several items fail inside one claimed chunk (chunk = batch size,
+     so a single participant runs them all): the primary exception is
+     the smallest failing index, the rest ride along in index order. *)
+  let f x = if x mod 16 = 5 then failwith (string_of_int x) else x in
+  match Parallel.map ~domains:4 ~chunk:64 f (Array.init 64 (fun i -> i)) with
+  | _ -> Alcotest.fail "expected Failures"
+  | exception Parallel.Failures (Failure primary, rest) ->
+    Alcotest.(check string) "primary is smallest index" "5" primary;
+    Alcotest.(check (list string))
+      "secondary failures in index order" [ "21"; "37"; "53" ]
+      (List.map (function Failure m -> m | _ -> "?") rest)
+  | exception e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+
+let test_pool_reuse_across_maps () =
+  (* Two successive maps reuse the same long-lived pool; a failing
+     batch in between must not poison it. *)
+  let xs = Array.init 97 (fun i -> i) in
+  let first = Parallel.map ~domains:8 (fun x -> x + 1) xs in
+  (try ignore (Parallel.map ~domains:8 (fun _ -> failwith "mid") xs)
+   with _ -> ());
+  let second = Parallel.map ~domains:8 (fun x -> x * 2) xs in
+  Alcotest.(check (array int)) "first batch" (Array.map (fun x -> x + 1) xs) first;
+  Alcotest.(check (array int)) "second batch after failure"
+    (Array.map (fun x -> x * 2) xs)
+    second
+
+let test_pool_nested_map_runs_inline () =
+  (* A task that itself calls Parallel.map must not deadlock waiting on
+     pool workers that are all busy running the outer batch. *)
+  let xs = Array.init 24 (fun i -> i) in
+  let f x =
+    Array.fold_left ( + ) 0
+      (Parallel.map ~domains:8 (fun y -> x + y) (Array.init 5 Fun.id))
+  in
+  Alcotest.(check (array int)) "nested maps" (Array.map f xs)
+    (Parallel.map ~domains:8 f xs)
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -597,6 +651,14 @@ let () =
             test_parallel_exception_in_spawned_domain;
           Alcotest.test_case "domain count" `Quick
             test_parallel_domain_count_env;
+          Alcotest.test_case "identical across domain counts" `Quick
+            test_pool_identity_across_domain_counts;
+          Alcotest.test_case "multiple failures aggregated" `Quick
+            test_pool_multiple_failures_aggregated;
+          Alcotest.test_case "pool reused across maps" `Quick
+            test_pool_reuse_across_maps;
+          Alcotest.test_case "nested map runs inline" `Quick
+            test_pool_nested_map_runs_inline;
         ] );
       ( "quadrature",
         [ Alcotest.test_case "rules agree with analytic" `Quick test_quadrature ] );

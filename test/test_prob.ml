@@ -302,6 +302,93 @@ let test_kde_bandwidth_accessor () =
     (Invalid_argument "Kde.fit: bandwidth must be > 0") (fun () ->
       ignore (Kde.fit ~bandwidth:0.0 [| 1.0; 2.0 |]))
 
+(* With all mass at one location and an explicit bandwidth, the KDE is
+   a single Gaussian kernel with a closed form:
+     pdf(x) = phi((x - x0)/h) / h     cdf(x) = Phi((x - x0)/h). *)
+let test_kde_closed_form_single_kernel () =
+  let x0 = 2e-11 and h = 3e-12 in
+  let k = Kde.fit ~bandwidth:h [| x0; x0 |] in
+  let check_rel msg expected actual =
+    Alcotest.(check bool) msg true
+      (Float.abs (actual -. expected) <= 1e-12 *. Float.abs expected)
+  in
+  List.iter
+    (fun dz ->
+      let x = x0 +. (dz *. h) in
+      check_rel "pdf" (Slc_num.Special.normal_pdf dz /. h) (Kde.pdf k x);
+      check_rel "cdf" (Slc_num.Special.normal_cdf dz) (Kde.cdf k x))
+    [ -3.0; -1.0; 0.0; 0.5; 2.0; 4.0 ]
+
+(* The windowed pdf/cdf must stay within 1e-12 RELATIVE error of the
+   brute-force all-samples sums on a fig9-style grid, and [evaluate]
+   must agree bitwise with per-point [pdf]. *)
+let test_kde_cutoff_accuracy () =
+  let rng = Rng.create 5 in
+  let xs = Array.init 200 (fun _ -> Dist.gaussian rng ~mu:2e-11 ~sigma:2e-12) in
+  let k = Kde.fit xs in
+  let h = Kde.bandwidth k in
+  let n = float_of_int (Array.length xs) in
+  let brute_pdf x =
+    Array.fold_left
+      (fun acc s ->
+        let z = (x -. s) /. h in
+        acc +. exp (-0.5 *. z *. z))
+      0.0 xs
+    /. (n *. h *. sqrt (2.0 *. Float.pi))
+  in
+  let brute_cdf x =
+    Array.fold_left
+      (fun acc s -> acc +. Slc_num.Special.normal_cdf ((x -. s) /. h))
+      0.0 xs
+    /. n
+  in
+  let grid = Kde.grid k 80 in
+  Array.iter
+    (fun x ->
+      let bp = brute_pdf x and bc = brute_cdf x in
+      Alcotest.(check bool) "pdf within 1e-12 relative" true
+        (Float.abs (Kde.pdf k x -. bp) <= 1e-12 *. bp);
+      Alcotest.(check bool) "cdf within 1e-12 relative" true
+        (Float.abs (Kde.cdf k x -. bc) <= 1e-12 *. bc))
+    grid;
+  let fast = Kde.evaluate k grid in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool) "evaluate bitwise equals pdf" true
+        (Int64.bits_of_float fast.(i) = Int64.bits_of_float (Kde.pdf k x)))
+    grid;
+  (* Non-ascending grids fall back to the per-point path. *)
+  let shuffled = Array.copy grid in
+  let r = Rng.create 7 in
+  Rng.shuffle r shuffled;
+  let slow = Kde.evaluate k shuffled in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool) "shuffled grid matches pdf" true
+        (Int64.bits_of_float slow.(i) = Int64.bits_of_float (Kde.pdf k x)))
+    shuffled
+
+let test_rng_split_ix () =
+  let parent = Rng.create 42 in
+  let before = (Rng.uint64 (Rng.split_ix parent 0), Rng.uint64 (Rng.split_ix parent 1)) in
+  (* Pure: deriving children does not advance the parent, and the same
+     index always yields the same stream. *)
+  let again = (Rng.uint64 (Rng.split_ix parent 0), Rng.uint64 (Rng.split_ix parent 1)) in
+  Alcotest.(check bool) "deterministic per index" true (before = again);
+  Alcotest.(check bool) "indices give distinct streams" true
+    (fst before <> snd before);
+  (* Children for nearby indices are pairwise distinct over a range. *)
+  let seen = Hashtbl.create 64 in
+  for ix = 0 to 63 do
+    let v = Rng.uint64 (Rng.split_ix parent ix) in
+    Alcotest.(check bool) "no collision" false (Hashtbl.mem seen v);
+    Hashtbl.replace seen v ()
+  done;
+  (* And the parent stream itself is unperturbed. *)
+  let fresh = Rng.create 42 in
+  Alcotest.(check bool) "parent unperturbed" true
+    (Rng.uint64 parent = Rng.uint64 fresh)
+
 let test_mvn_sample_n () =
   let rng = Rng.create 77 in
   let m = Mvn.make ~mu:[| 1.0 |] ~cov:(Mat.identity 1) in
@@ -360,6 +447,7 @@ let () =
           Alcotest.test_case "int buckets" `Quick test_rng_int;
           Alcotest.test_case "split independence" `Quick
             test_rng_split_independence;
+          Alcotest.test_case "indexed split" `Quick test_rng_split_ix;
           Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
         ] );
       ( "dist",
@@ -416,6 +504,10 @@ let () =
             test_kde_integrates_to_one;
           Alcotest.test_case "kde bandwidth accessor" `Quick
             test_kde_bandwidth_accessor;
+          Alcotest.test_case "kde closed-form single kernel" `Quick
+            test_kde_closed_form_single_kernel;
+          Alcotest.test_case "kde cutoff accuracy" `Quick
+            test_kde_cutoff_accuracy;
           Alcotest.test_case "mvn sample_n" `Quick test_mvn_sample_n;
           Alcotest.test_case "histogram auto range" `Quick
             test_histogram_build_auto_range;

@@ -116,6 +116,62 @@ let test_oracle_memoizes () =
   Alcotest.(check bool) "about k sims for first use" true
     (after_first >= 2 && after_first <= 8)
 
+(* Trained predictors are cached process-wide: a REBUILT bank over the
+   same prior object answers the same arc with zero new simulations.
+   (Must run after [test_oracle_memoizes], which pays for the training.) *)
+let test_oracle_bank_cross_instance_cache () =
+  let prior = Lazy.force tiny_prior in
+  let arc = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall in
+  let p = { Harness.sin; cload = 2e-15; vdd } in
+  let first = Oracle.bayes_bank ~prior tech ~k:2 in
+  let d0, s0 = first.Oracle.query arc p in
+  Harness.reset_sim_count ();
+  let rebuilt = Oracle.bayes_bank ~prior tech ~k:2 in
+  let d1, s1 = rebuilt.Oracle.query arc p in
+  Alcotest.(check int) "rebuilt bank trains nothing" 0 (Harness.sim_count ());
+  Alcotest.(check (float 0.0)) "same delay" d0 d1;
+  Alcotest.(check (float 0.0)) "same slew" s0 s1
+
+let counting_oracle () =
+  let count = ref 0 in
+  let base = Oracle.of_simulator tech in
+  ( {
+      base with
+      Oracle.query =
+        (fun arc p ->
+          incr count;
+          base.Oracle.query arc p);
+    },
+    count )
+
+let test_oracle_query_cache () =
+  let oracle, count = counting_oracle () in
+  let arc = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall in
+  let p = { Harness.sin; cload = 2e-15; vdd } in
+  let c = Oracle.make_cache () in
+  let wrapped = Oracle.cached c oracle in
+  let d0, s0 = wrapped.Oracle.query arc p in
+  let d1, s1 = wrapped.Oracle.query arc p in
+  Alcotest.(check int) "one underlying query" 1 !count;
+  Alcotest.(check int) "one entry" 1 (Oracle.cache_size c);
+  Alcotest.(check (float 0.0)) "exact hit delay" d0 d1;
+  Alcotest.(check (float 0.0)) "exact hit slew" s0 s1;
+  (* Exact cache: the answer is bitwise the uncached oracle's. *)
+  let du, su = Oracle.of_simulator tech |> fun o -> o.Oracle.query arc p in
+  Alcotest.(check bool) "bitwise vs uncached" true
+    (Int64.bits_of_float d0 = Int64.bits_of_float du
+    && Int64.bits_of_float s0 = Int64.bits_of_float su);
+  (* A bucketed cache merges nearby slews into one underlying query. *)
+  let oracle2, count2 = counting_oracle () in
+  let cb = Oracle.make_cache ~slew_bucket:1e-12 () in
+  let wb = Oracle.cached cb oracle2 in
+  ignore (wb.Oracle.query arc { p with Harness.sin = 5.0e-12 });
+  ignore (wb.Oracle.query arc { p with Harness.sin = 5.2e-12 });
+  Alcotest.(check int) "bucketed slews share a query" 1 !count2;
+  Alcotest.check_raises "bad bucket"
+    (Invalid_argument "Oracle.make_cache: bucket <= 0") (fun () ->
+      ignore (Oracle.make_cache ~slew_bucket:0.0 ()))
+
 (* ------------------------------------------------------------------ *)
 (* Path *)
 
@@ -373,6 +429,43 @@ let test_dag_fanout_adds_load () =
     true
     (loaded > bare +. 1e-13)
 
+let test_dag_persistent_cache () =
+  (* A caller-owned exact cache changes no results and makes a repeated
+     analysis free of oracle queries. *)
+  let oracle, count = counting_oracle () in
+  let dag, _, _, out = simple_dag () in
+  let input_arrivals _ = Sdag.input_edge ~at:0.0 ~slew:sin ~rises:true in
+  let plain = Sdag.analyze dag oracle ~input_arrivals out in
+  let after_plain = !count in
+  let c = Oracle.make_cache () in
+  let cached1 = Sdag.analyze ~cache:c dag oracle ~input_arrivals out in
+  let after_first_cached = !count - after_plain in
+  let cached2 = Sdag.analyze ~cache:c dag oracle ~input_arrivals out in
+  Alcotest.(check int) "second cached pass queries nothing" after_plain
+    (!count - after_first_cached);
+  Alcotest.(check bool) "cache populated" true (Oracle.cache_size c > 0);
+  let edge a =
+    match Sdag.at_edge a ~rises:true with
+    | Some e -> (e.Sdag.at, e.Sdag.slew)
+    | None -> Alcotest.fail "no arrival"
+  in
+  let pt, ps = edge plain in
+  let t1, s1 = edge cached1 in
+  let t2, s2 = edge cached2 in
+  Alcotest.(check bool) "cached bitwise equals uncached" true
+    (Int64.bits_of_float pt = Int64.bits_of_float t1
+    && Int64.bits_of_float ps = Int64.bits_of_float s1);
+  Alcotest.(check bool) "repeat pass identical" true (t1 = t2 && s1 = s2);
+  (* Same cache drives slack_report to identical rows. *)
+  let rows_plain =
+    Sdag.slack_report dag oracle ~input_arrivals ~outputs:[ (out, 1e-10) ]
+  in
+  let rows_cached =
+    Sdag.slack_report ~cache:c dag oracle ~input_arrivals
+      ~outputs:[ (out, 1e-10) ]
+  in
+  Alcotest.(check bool) "slack rows identical" true (rows_plain = rows_cached)
+
 (* ------------------------------------------------------------------ *)
 (* Yield *)
 
@@ -437,6 +530,9 @@ let () =
             test_oracle_simulator_matches_harness;
           Alcotest.test_case "library oracle" `Quick test_oracle_library;
           Alcotest.test_case "memoization" `Slow test_oracle_memoizes;
+          Alcotest.test_case "cross-instance trained cache" `Slow
+            test_oracle_bank_cross_instance_cache;
+          Alcotest.test_case "query cache" `Slow test_oracle_query_cache;
         ] );
       ( "path",
         [
@@ -467,5 +563,7 @@ let () =
           Alcotest.test_case "net names" `Quick test_dag_net_names;
           Alcotest.test_case "slack report" `Slow test_dag_slack_report;
           Alcotest.test_case "fanout adds load" `Slow test_dag_fanout_adds_load;
+          Alcotest.test_case "persistent query cache" `Slow
+            test_dag_persistent_cache;
         ] );
     ]
