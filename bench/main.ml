@@ -382,7 +382,7 @@ let write_json path ~kernels ~regen =
    the file are ignored).  Exits non-zero if any kernel regressed by
    more than 10%. *)
 
-let parse_kernels path =
+let parse_section path ~header parse_line =
   let ic =
     try open_in path
     with Sys_error msg ->
@@ -390,26 +390,55 @@ let parse_kernels path =
       exit 2
   in
   let rows = ref [] in
-  let in_kernels = ref false in
+  let in_sec = ref false in
   (try
      while true do
        let line = String.trim (input_line ic) in
-       if !in_kernels then
+       if !in_sec then
          if line = "}" || line = "}," then raise Exit
          else
-           try
-             Scanf.sscanf line " %S : { %S : %f" (fun name field v ->
-                 if field = "ns_per_run" then rows := (name, v) :: !rows)
-           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
-       else if line = "\"kernels\": {" then in_kernels := true
+           match parse_line line with
+           | Some row -> rows := row :: !rows
+           | None -> ()
+       else if line = header then in_sec := true
      done
    with Exit | End_of_file -> ());
   close_in ic;
-  if not !in_kernels then begin
+  (!in_sec, List.rev !rows)
+
+(* [(name, Some ns)] per measured kernel; [None] for a kernel whose
+   estimate was recorded as [null] (e.g. a --quick run that failed to
+   produce an OLS fit). *)
+let parse_kernels path =
+  let parse_line line =
+    try
+      Scanf.sscanf line " %S : { %S : %f" (fun name field v ->
+          if field = "ns_per_run" then Some (name, Some v) else None)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+      try
+        Scanf.sscanf line " %S : { %S : null" (fun name field ->
+            if field = "ns_per_run" then Some (name, None) else None)
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+  in
+  let found, rows = parse_section path ~header:"\"kernels\": {" parse_line in
+  if not found then begin
     Printf.eprintf "bench: --compare: no \"kernels\" section in %s\n" path;
     exit 2
   end;
-  List.rev !rows
+  rows
+
+(* [(section, sims)] per regeneration section; files written before the
+   regen block existed just yield [] (no gate). *)
+let parse_regen path =
+  let parse_line line =
+    try
+      Scanf.sscanf line " %S : { %S : %d" (fun name field v ->
+          if field = "sims" then Some (name, v) else None)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  in
+  snd (parse_section path ~header:"\"regen\": {" parse_line)
+
+let usable = function Some ns -> Float.is_finite ns && ns > 0.0 | None -> false
 
 let compare_trajectories base_path new_path =
   let base = parse_kernels base_path in
@@ -417,36 +446,87 @@ let compare_trajectories base_path new_path =
   let regressions = ref [] in
   Printf.printf "== Kernel comparison: %s -> %s ==\n" base_path new_path;
   Printf.printf "%-36s %12s %12s %9s\n" "kernel" "base ns" "new ns" "speedup";
+  let pretty = function
+    | Some ns when Float.is_finite ns -> Printf.sprintf "%12.4g" ns
+    | Some _ | None -> Printf.sprintf "%12s" "n/a"
+  in
   List.iter
-    (fun (name, b_ns) ->
+    (fun (name, b_est) ->
       match List.assoc_opt name fresh with
-      | None -> Printf.printf "%-36s %12.4g %12s %9s\n" name b_ns "-" "gone"
-      | Some n_ns ->
-        let speedup = b_ns /. n_ns in
-        let flag =
-          if n_ns > b_ns *. 1.10 then begin
-            regressions := name :: !regressions;
-            "  REGRESSION"
-          end
-          else ""
-        in
-        Printf.printf "%-36s %12.4g %12.4g %8.2fx%s\n" name b_ns n_ns speedup
-          flag)
+      | None ->
+        (* Kernel removed (or renamed): report, never gate. *)
+        Printf.printf "%-36s %s %12s %9s\n" name (pretty b_est) "-" "gone"
+      | Some n_est ->
+        if usable b_est && usable n_est then begin
+          let b_ns = Option.get b_est and n_ns = Option.get n_est in
+          let speedup = b_ns /. n_ns in
+          let flag =
+            if n_ns > b_ns *. 1.10 then begin
+              regressions := name :: !regressions;
+              "  REGRESSION"
+            end
+            else ""
+          in
+          Printf.printf "%-36s %12.4g %12.4g %8.2fx%s\n" name b_ns n_ns
+            speedup flag
+        end
+        else
+          (* A zero, non-finite or missing estimate on either side makes
+             the ratio meaningless: show n/a and skip the gate. *)
+          Printf.printf "%-36s %s %s %9s\n" name (pretty b_est)
+            (pretty n_est) "n/a")
     base;
   List.iter
-    (fun (name, n_ns) ->
+    (fun (name, n_est) ->
       if not (List.mem_assoc name base) then
-        Printf.printf "%-36s %12s %12.4g %9s\n" name "-" n_ns "new")
+        Printf.printf "%-36s %12s %s %9s\n" name "-" (pretty n_est) "new")
     fresh;
-  match !regressions with
-  | [] ->
-    print_endline "No kernel regressed by more than 10%.";
-    exit 0
+  (* Simulation counts are deterministic per section, so ANY increase is
+     a real cost regression (more simulator runs for the same tables),
+     not noise — gate on it loudly. *)
+  let base_r = parse_regen base_path in
+  let new_r = parse_regen new_path in
+  let sim_regressions = ref [] in
+  if base_r <> [] && new_r <> [] then begin
+    Printf.printf "\n== Simulation-count comparison ==\n";
+    Printf.printf "%-36s %10s %10s\n" "section" "base sims" "new sims";
+    List.iter
+      (fun (name, b_sims) ->
+        match List.assoc_opt name new_r with
+        | None -> Printf.printf "%-36s %10d %10s\n" name b_sims "gone"
+        | Some n_sims ->
+          let flag =
+            if n_sims > b_sims then begin
+              sim_regressions := name :: !sim_regressions;
+              "  REGRESSION"
+            end
+            else ""
+          in
+          Printf.printf "%-36s %10d %10d%s\n" name b_sims n_sims flag)
+      base_r;
+    List.iter
+      (fun (name, n_sims) ->
+        if not (List.mem_assoc name base_r) then
+          Printf.printf "%-36s %10s %10d\n" name "-" n_sims)
+      new_r
+  end;
+  let failed = ref false in
+  (match !regressions with
+  | [] -> print_endline "No kernel regressed by more than 10%."
   | rs ->
+    failed := true;
     Printf.printf "%d kernel(s) regressed by more than 10%%: %s\n"
       (List.length rs)
-      (String.concat ", " (List.rev rs));
-    exit 1
+      (String.concat ", " (List.rev rs)));
+  (match !sim_regressions with
+  | [] -> ()
+  | rs ->
+    failed := true;
+    Printf.printf
+      "SIMULATION-COUNT REGRESSION: %d section(s) now run more simulations: %s\n"
+      (List.length rs)
+      (String.concat ", " (List.rev rs)));
+  exit (if !failed then 1 else 0)
 
 let () =
   (match Array.to_list Sys.argv with
@@ -464,21 +544,31 @@ let () =
   let skip_bench = Array.exists (fun a -> a = "--no-bench") Sys.argv in
   let skip_figs = Array.exists (fun a -> a = "--no-figs") Sys.argv in
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
-  let json_path =
+  let path_flag flag =
     let p = ref None in
     Array.iteri
       (fun i a ->
-        if a = "--json" then
+        if a = flag then
           if i + 1 < Array.length Sys.argv then p := Some Sys.argv.(i + 1)
           else begin
-            prerr_endline "bench: --json requires a path argument";
+            Printf.eprintf "bench: %s requires a path argument\n" flag;
             exit 2
           end)
       Sys.argv;
     !p
   in
+  let json_path = path_flag "--json" in
+  let telemetry_path = path_flag "--telemetry" in
+  if telemetry_path <> None then Slc_obs.Telemetry.enable ();
   let kernels = if not skip_bench then run_benchmarks ~quick () else [] in
   if not skip_figs then regenerate ();
-  match json_path with
+  (match json_path with
   | Some path -> write_json path ~kernels ~regen:(List.rev !regen_stats)
+  | None -> ());
+  match telemetry_path with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Slc_obs.Telemetry.dump_json ());
+    close_out oc;
+    Format.fprintf std "Wrote telemetry to %s@." path
   | None -> ()

@@ -36,7 +36,10 @@ let with_timer f =
   f ();
   Format.fprintf std "[%d simulator runs, %.1f s]@."
     (Harness.sim_count ())
-    (Unix.gettimeofday () -. t0)
+    (Unix.gettimeofday () -. t0);
+  (* With SLC_TELEMETRY=1 every subcommand appends the pipeline
+     counters and spans (retries, recoveries, cache traffic, ...). *)
+  if Slc_obs.Telemetry.on () then Slc_obs.Telemetry.report std
 
 let table1_cmd =
   let run () = with_timer (fun () ->

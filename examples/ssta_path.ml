@@ -70,7 +70,7 @@ let () =
   Harness.reset_sim_count ();
   let population arc =
     Statistical.extract_population ~method_:(Statistical.Bayes prior) ~tech
-      ~arc ~seeds ~budget:3
+      ~arc ~seeds ~budget:3 ()
   in
   let samples =
     Path.statistical ~population ~seeds chain ~sin ~vdd ~in_rises:true

@@ -38,7 +38,7 @@ let () =
   Harness.reset_sim_count ();
   let pop =
     Statistical.extract_population ~method_:(Statistical.Bayes prior) ~tech
-      ~arc ~seeds ~budget:5
+      ~arc ~seeds ~budget:5 ()
   in
   Printf.printf "Per-seed extraction: %d simulator runs total\n"
     pop.Statistical.train_cost;

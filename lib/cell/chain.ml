@@ -39,7 +39,8 @@ type result = {
   out_slew : float;
 }
 
-exception Simulation_failed of string
+module Slc_error = Slc_obs.Slc_error
+module Telemetry = Slc_obs.Telemetry
 
 let ramp_start = 1e-12
 
@@ -92,8 +93,29 @@ let simulate ?(seed = Process.nominal) t ~sin ~vdd ~in_rises =
   in
   let n_stages = List.length t.stages in
   let rec attempt retries window =
-    if retries > 3 then
-      raise (Simulation_failed (Printf.sprintf "%d-stage chain" n_stages));
+    if retries > 3 then begin
+      Telemetry.incr Telemetry.sim_failures;
+      raise
+        (Slc_error.Simulation_failed
+           {
+             Slc_error.sf_detail =
+               Printf.sprintf
+                 "%d-stage chain: edges not captured within the retry budget"
+                 n_stages;
+             sf_retries = retries - 1;
+             sf_window = window /. 3.0;
+             sf_cause = None;
+             sf_context =
+               {
+                 Slc_error.no_context with
+                 tech = Some t.tech.Tech.name;
+                 seed =
+                   (if seed == Process.nominal then None
+                    else Some seed.Process.index);
+               };
+           })
+    end;
+    if retries > 0 then Telemetry.incr Telemetry.sim_retries;
     let tstop = ramp_start +. sin +. window in
     (* The default step cap (tstop/100) is far coarser than a single
        stage transition once several stages share the window; cap the

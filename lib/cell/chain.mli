@@ -38,8 +38,6 @@ type result = {
   out_slew : float;
 }
 
-exception Simulation_failed of string
-
 val simulate :
   ?seed:Slc_device.Process.seed ->
   t ->
@@ -49,4 +47,5 @@ val simulate :
   result
 (** Builds and solves the full transistor netlist.  Counts as one
     simulator run in {!Harness.sim_count} (it is one transient
-    analysis, albeit of a larger circuit). *)
+    analysis, albeit of a larger circuit).  Raises
+    {!Slc_obs.Slc_error.Simulation_failed} after the retry budget. *)

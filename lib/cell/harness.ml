@@ -1,6 +1,8 @@
 module Mosfet = Slc_device.Mosfet
 module Tech = Slc_device.Tech
 module Process = Slc_device.Process
+module Slc_error = Slc_obs.Slc_error
+module Telemetry = Slc_obs.Telemetry
 open Slc_spice
 
 type point = { sin : float; cload : float; vdd : float }
@@ -22,9 +24,9 @@ type measurement = {
   newton_iters : int;
   time_steps : int;
   retries : int;
+  degraded : bool;
+  recovery : string list;
 }
-
-exception Simulation_failed of string
 
 (* Atomic: simulations may run concurrently under Slc_num.Parallel. *)
 let sims = Atomic.make 0
@@ -33,7 +35,9 @@ let sim_count () = Atomic.get sims
 
 let reset_sim_count () = Atomic.set sims 0
 
-let count_simulation () = Atomic.incr sims
+let count_simulation () =
+  Atomic.incr sims;
+  Telemetry.incr Telemetry.simulations
 
 (* Fractions of the total gate capacitance assigned to the gate-drain
    (Miller) and gate-source branches. *)
@@ -248,8 +252,11 @@ let domain_template tech arc =
   let tbl = Slc_num.Parallel.Slot.get domain_caches in
   let key = (tech, arc) in
   match Hashtbl.find_opt tbl key with
-  | Some entry -> entry
+  | Some entry ->
+    Telemetry.incr Telemetry.template_hits;
+    entry
   | None ->
+    Telemetry.incr Telemetry.template_misses;
     let tmpl = template tech arc in
     let entry = (tmpl, Transient.make_workspace tmpl.t_compiled) in
     Hashtbl.add tbl key entry;
@@ -302,9 +309,45 @@ let supply_energy res ~vdd =
   done;
   vdd *. !q
 
+(* Test-only fault injection: when the predicate matches a (seed,
+   point), [simulate] raises a synthetic solver failure BEFORE running
+   (and before counting a simulation).  Lets the degradation and
+   recovery paths be exercised deterministically without constructing a
+   genuinely pathological circuit per call site. *)
+let fault_injector :
+    (Process.seed -> point -> bool) option Atomic.t =
+  Atomic.make None
+
+let set_fault_injector f = Atomic.set fault_injector f
+
+let context_of ~seed tech (arc : Arc.t) point =
+  {
+    Slc_error.arc = Some (Arc.name arc);
+    tech = Some tech.Tech.name;
+    seed = (if seed == Process.nominal then None else Some seed.Process.index);
+    point = Some (point.sin, point.cload, point.vdd);
+  }
+
 let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
   if point.sin <= 0.0 || point.cload < 0.0 || point.vdd <= 0.0 then
     invalid_arg "Harness.build_netlist: invalid input condition";
+  let ctx = context_of ~seed tech arc point in
+  (match Atomic.get fault_injector with
+  | Some inject when inject seed point ->
+    Telemetry.incr Telemetry.sim_failures;
+    raise
+      (Slc_error.No_convergence
+         {
+           Slc_error.phase = Slc_error.Transient_step;
+           time_reached = 0.0;
+           dt = 0.0;
+           newton_iters = 0;
+           residual = Float.nan;
+           recovery = [ "injected-fault" ];
+           detail = "injected fault (test hook)";
+           context = ctx;
+         })
+  | _ -> ());
   let tmpl, workspace = domain_template tech arc in
   let compiled = specialize tmpl tech arc ~seed point in
   let out_dir =
@@ -318,12 +361,20 @@ let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
     (point.cload +. tmpl.t_cpar) *. point.vdd /. Float.max 1e-12 ieff
   in
   let rec attempt retries window =
-    if retries > 3 then
+    if retries > 3 then begin
+      Telemetry.incr Telemetry.sim_failures;
       raise
-        (Simulation_failed
-           (Printf.sprintf "%s at Sin=%.3gps Cload=%.3gfF Vdd=%.3gV"
-              (Arc.name arc) (point.sin *. 1e12) (point.cload *. 1e15)
-              point.vdd));
+        (Slc_error.Simulation_failed
+           {
+             Slc_error.sf_detail =
+               "output edge not captured within the retry budget";
+             sf_retries = retries - 1;
+             sf_window = window /. 3.0;
+             sf_cause = None;
+             sf_context = ctx;
+           })
+    end;
+    if retries > 0 then Telemetry.incr Telemetry.sim_retries;
     let tstop = ramp_start +. point.sin +. window in
     let opts =
       {
@@ -334,9 +385,9 @@ let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
         breakpoints = Stimulus.breakpoints ~t0:ramp_start ~duration:point.sin;
       }
     in
-    Atomic.incr sims;
+    count_simulation ();
     let res =
-      Transient.run_compiled ~workspace ~record:tmpl.t_record opts compiled
+      Transient.run_recovered ~workspace ~record:tmpl.t_record opts compiled
     in
     let win = Transient.waveform res tmpl.t_nin in
     let wout = Transient.waveform res tmpl.t_nout in
@@ -352,7 +403,12 @@ let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
         newton_iters = Transient.newton_iterations_total res;
         time_steps = Transient.steps_taken res;
         retries;
+        degraded = Transient.degraded res;
+        recovery = Transient.recovery_log res;
       }
     | _ -> attempt (retries + 1) (window *. 3.0)
   in
-  attempt 0 (Float.max (8.0 *. tau) (Float.max (3.0 *. point.sin) 2.0e-11))
+  Telemetry.with_span Telemetry.span_simulate (fun () ->
+      Slc_error.with_context ctx (fun () ->
+          attempt 0
+            (Float.max (8.0 *. tau) (Float.max (3.0 *. point.sin) 2.0e-11))))

@@ -31,9 +31,14 @@ type measurement = {
   newton_iters : int;
   time_steps : int;
   retries : int; (** extra transient runs needed to capture the edge *)
+  degraded : bool;
+      (** the transient only converged under a recovery rung that
+          relaxed the numerics (see {!Slc_spice.Transient.run_recovered});
+          the measurement is usable but lower-confidence *)
+  recovery : string list;
+      (** recovery rungs attempted for the successful run ([[]] when the
+          solver converged at its given options) *)
 }
-
-exception Simulation_failed of string
 
 val instantiate :
   ?seed:Slc_device.Process.seed ->
@@ -65,9 +70,20 @@ val simulate :
   Arc.t ->
   point ->
   measurement
-(** Runs the testbench, retrying with longer windows when the output
-    edge is not captured; raises {!Simulation_failed} after three
-    retries. *)
+(** Runs the testbench behind the solver's recovery ladder
+    ({!Slc_spice.Transient.run_recovered}), retrying with longer
+    windows when the output edge is not captured.  Failures are typed:
+    {!Slc_obs.Slc_error.Simulation_failed} after the retry budget is
+    exhausted, or {!Slc_obs.Slc_error.No_convergence} when even the
+    recovery ladder cannot converge — both carry the
+    arc/tech/seed/ξ-point context. *)
+
+val set_fault_injector :
+  (Slc_device.Process.seed -> point -> bool) option -> unit
+(** Test hook: when set, {!simulate} raises a synthetic
+    [No_convergence] for any (seed, point) the predicate accepts,
+    before running (and before counting) a simulation.  Pass [None] to
+    clear.  Used to exercise graceful degradation deterministically. *)
 
 val sim_count : unit -> int
 (** Global count of transient simulations performed since program start

@@ -98,7 +98,7 @@ let fig78 ?(config = Config.default ()) ?(tech = Tech.n28) ?arcs ?prior () =
             (fun budget ->
               let pop =
                 Statistical.extract_population ~method_ ~tech ~arc ~seeds
-                  ~budget
+                  ~budget ()
               in
               Statistical.evaluate pop base)
             budgets)
@@ -219,12 +219,12 @@ let fig9 ?(config = Config.default ()) ?(tech = Tech.n28) ?arc ?point ?prior
   let bayes_pop, cost_bayes =
     cost_from (fun () ->
         Statistical.extract_population ~method_:(Statistical.Bayes prior)
-          ~tech ~arc ~seeds ~budget:k_bayes)
+          ~tech ~arc ~seeds ~budget:k_bayes ())
   in
   let lut_pop, cost_lut =
     cost_from (fun () ->
         Statistical.extract_population ~method_:Statistical.Lut ~tech ~arc
-          ~seeds ~budget:lut_points)
+          ~seeds ~budget:lut_points ())
   in
   let bayes_samples = Statistical.predict_samples bayes_pop point ~td:true in
   let lut_samples = Statistical.predict_samples lut_pop point ~td:true in

@@ -1,6 +1,7 @@
 module Process = Slc_device.Process
 module Harness = Slc_cell.Harness
 module Describe = Slc_prob.Describe
+module Telemetry = Slc_obs.Telemetry
 
 type method_ = Bayes of Prior.pair | Lse | Lut
 
@@ -9,9 +10,12 @@ let method_label = function
   | Lse -> "model+lse"
   | Lut -> "lookup-table"
 
+type seed_status = Seed_ok | Seed_degraded of int | Seed_failed of exn
+
 type population = {
   meth : method_;
   seeds : Process.seed array;
+  status : seed_status array;
   train_cost : int;
   predict_td : Process.seed -> Input_space.point -> float;
   predict_sout : Process.seed -> Input_space.point -> float;
@@ -23,20 +27,65 @@ type design = Curated | Random_per_seed of Slc_prob.Rng.t
    that domain performs. *)
 let lm_slot = Slc_num.Parallel.Slot.make Slc_num.Optimize.lm_workspace
 
-let extract_population_design ~design ~method_ ~tech ~arc ~seeds ~budget =
+(* Compact a full-design dataset down to the points whose simulations
+   survived.  Only called for seeds with at least one failure — the
+   all-ok path never rebuilds its arrays, so a failure elsewhere in the
+   batch cannot perturb an unaffected seed's fit. *)
+let compact_dataset ~arc ~points ~budget ok ms =
+  let keep = ref [] in
+  for pi = budget - 1 downto 0 do
+    if ok pi then keep := pi :: !keep
+  done;
+  let keep = Array.of_list !keep in
+  let cost = ref 0 in
+  Array.iter (fun pi -> cost := !cost + (ms pi).Harness.retries + 1) keep;
+  {
+    Char_flow.arc;
+    points = Array.map (fun pi -> points.(pi)) keep;
+    td = Array.map (fun pi -> (ms pi).Harness.td) keep;
+    sout = Array.map (fun pi -> (ms pi).Harness.sout) keep;
+    cost = !cost;
+  }
+
+let extract_population_design ?(min_points = 2) ~design ~method_ ~tech ~arc
+    ~seeds ~budget () =
   if Array.length seeds = 0 then
     invalid_arg "Statistical.extract_population: no seeds";
   if budget < 1 then invalid_arg "Statistical.extract_population: budget < 1";
+  if min_points < 1 then
+    invalid_arg "Statistical.extract_population: min_points < 1";
+  Telemetry.with_span Telemetry.span_extract @@ fun () ->
   let before = Harness.sim_count () in
   let ns = Array.length seeds in
-  (* Per-seed predictors, keyed by seed index. *)
+  let status = Array.make ns Seed_ok in
+  let record_degraded si n_fail =
+    status.(si) <- Seed_degraded n_fail;
+    Telemetry.incr Telemetry.degraded_seeds
+  in
+  let record_failed si exn =
+    status.(si) <- Seed_failed exn;
+    Telemetry.incr Telemetry.failed_seeds
+  in
+  (* Per-seed predictors, keyed by seed index; [None] marks a failed
+     seed (its exception is kept in [status]). *)
   let predictors =
     match method_ with
     | Lut ->
-      (* The LUT builds its own grid; the design choice does not apply. *)
-      Slc_num.Parallel.map
-        (fun seed -> Char_flow.train_lut ~seed tech arc ~budget)
-        seeds
+      (* The LUT builds its own grid; the design choice does not apply.
+         Its budget simulations are internal to [train_lut], so the
+         failure granularity is the whole seed. *)
+      let r =
+        Slc_num.Parallel.try_map
+          (fun seed -> Char_flow.train_lut ~seed tech arc ~budget)
+          seeds
+      in
+      Array.mapi
+        (fun si -> function
+          | Ok p -> Some p
+          | Error e ->
+            record_failed si e;
+            None)
+        r
     | Bayes _ | Lse ->
       let per_seed_points =
         match design with
@@ -56,9 +105,12 @@ let extract_population_design ~design ~method_ ~tech ~arc ~seeds ~budget =
       in
       (* All (seed x point) simulations as one flat batch: individual
          simulations are the scheduling unit, so a seed whose windows
-         retry does not serialize the seeds behind it. *)
+         retry does not serialize the seeds behind it.  [try_map]
+         captures per-simulation failures without cancelling the batch,
+         so one pathological (seed, point) costs exactly one design
+         point, not the whole extraction. *)
       let flat =
-        Slc_num.Parallel.map
+        Slc_num.Parallel.try_map
           (fun idx ->
             let si = idx / budget and pi = idx mod budget in
             Harness.simulate ~seed:seeds.(si) tech arc
@@ -67,54 +119,103 @@ let extract_population_design ~design ~method_ ~tech ~arc ~seeds ~budget =
       in
       let datasets =
         Array.init ns (fun si ->
-            let m pi = flat.((si * budget) + pi) in
-            let cost = ref 0 in
+            let slot pi = flat.((si * budget) + pi) in
+            let n_fail = ref 0 in
+            let first_exn = ref None in
             for pi = 0 to budget - 1 do
-              (* Each attempt of the retry loop is one simulator run. *)
-              cost := !cost + (m pi).Harness.retries + 1
+              match slot pi with
+              | Ok _ -> ()
+              | Error e ->
+                incr n_fail;
+                if !first_exn = None then first_exn := Some e
             done;
-            {
-              Char_flow.arc;
-              points = per_seed_points.(si);
-              td = Array.init budget (fun pi -> (m pi).Harness.td);
-              sout = Array.init budget (fun pi -> (m pi).Harness.sout);
-              cost = !cost;
-            })
+            if !n_fail = 0 then begin
+              (* The failure-free path is byte-for-byte the historical
+                 one: same arrays, same order, same fit inputs. *)
+              let m pi =
+                match slot pi with Ok m -> m | Error _ -> assert false
+              in
+              let cost = ref 0 in
+              for pi = 0 to budget - 1 do
+                (* Each attempt of the retry loop is one simulator run. *)
+                cost := !cost + (m pi).Harness.retries + 1
+              done;
+              Some
+                {
+                  Char_flow.arc;
+                  points = per_seed_points.(si);
+                  td = Array.init budget (fun pi -> (m pi).Harness.td);
+                  sout = Array.init budget (fun pi -> (m pi).Harness.sout);
+                  cost = !cost;
+                }
+            end
+            else if budget - !n_fail < min_points then begin
+              record_failed si (Option.get !first_exn);
+              None
+            end
+            else begin
+              record_degraded si !n_fail;
+              let m pi =
+                match slot pi with Ok m -> m | Error _ -> assert false
+              in
+              Some
+                (compact_dataset ~arc ~points:per_seed_points.(si) ~budget
+                   (fun pi -> Result.is_ok (slot pi))
+                   m)
+            end)
       in
-      (* Per-seed fits, each on a worker-owned LM workspace. *)
+      (* Per-seed fits, each on a worker-owned LM workspace; failed
+         seeds are skipped. *)
+      Telemetry.with_span Telemetry.span_fit @@ fun () ->
       Slc_num.Parallel.map
         (fun si ->
-          let workspace = Slc_num.Parallel.Slot.get lm_slot in
-          let seed = seeds.(si) in
-          match method_ with
-          | Bayes prior ->
-            Char_flow.train_bayes_on ~workspace ~seed ~prior tech
-              datasets.(si)
-          | Lse -> Char_flow.train_lse_on ~workspace ~seed tech datasets.(si)
-          | Lut -> assert false)
+          match datasets.(si) with
+          | None -> None
+          | Some ds ->
+            let workspace = Slc_num.Parallel.Slot.get lm_slot in
+            let seed = seeds.(si) in
+            Some
+              (match method_ with
+              | Bayes prior ->
+                Char_flow.train_bayes_on ~workspace ~seed ~prior tech ds
+              | Lse -> Char_flow.train_lse_on ~workspace ~seed tech ds
+              | Lut -> assert false))
         (Array.init ns Fun.id)
   in
   let find seed =
     if seed.Process.index < 0 || seed.Process.index >= Array.length seeds then
       invalid_arg "Statistical.population: unknown seed";
-    predictors.(seed.Process.index)
+    match predictors.(seed.Process.index) with
+    | Some p -> p
+    | None -> (
+      match status.(seed.Process.index) with
+      | Seed_failed e -> raise e
+      | Seed_ok | Seed_degraded _ -> assert false)
   in
   {
     meth = method_;
     seeds;
+    status;
     train_cost = Harness.sim_count () - before;
     predict_td = (fun seed pt -> (find seed).Char_flow.predict_td pt);
     predict_sout = (fun seed pt -> (find seed).Char_flow.predict_sout pt);
   }
 
-let extract_population ~method_ ~tech ~arc ~seeds ~budget =
-  extract_population_design ~design:Curated ~method_ ~tech ~arc ~seeds ~budget
+let extract_population ?min_points ~method_ ~tech ~arc ~seeds ~budget () =
+  extract_population_design ?min_points ~design:Curated ~method_ ~tech ~arc
+    ~seeds ~budget ()
+
+let seed_surviving pop seed =
+  match pop.status.(seed.Process.index) with
+  | Seed_failed _ -> false
+  | Seed_ok | Seed_degraded _ -> true
 
 let predict_samples pop pt ~td =
+  let surviving = Array.of_list (List.filter (seed_surviving pop) (Array.to_list pop.seeds)) in
   Array.map
     (fun seed ->
       if td then pop.predict_td seed pt else pop.predict_sout seed pt)
-    pop.seeds
+    surviving
 
 type baseline = {
   points : Input_space.point array;
@@ -124,41 +225,74 @@ type baseline = {
   sigma_sout : float array;
   samples_td : float array array;
   samples_sout : float array array;
+  failed : (int * int) list;
   cost : int;
 }
 
 let monte_carlo_baseline ~tech ~arc ~seeds ~points =
   if Array.length seeds < 2 then
     invalid_arg "Statistical.monte_carlo_baseline: need >= 2 seeds";
+  Telemetry.with_span Telemetry.span_baseline @@ fun () ->
   let before = Harness.sim_count () in
   let np = Array.length points in
   let ns = Array.length seeds in
   (* Simulate each (point, seed) once, reading both metrics.  The work
      list is flattened to individual simulations so the dynamically
      scheduled parallel map can balance them across domains even when
-     some (point, seed) pairs retry with longer windows. *)
+     some (point, seed) pairs retry with longer windows.  Failed pairs
+     are recorded and excluded from the moment estimates; their sample
+     slots hold NaN. *)
   let flat =
-    Slc_num.Parallel.map
+    Slc_num.Parallel.try_map
       (fun idx ->
         let pt = points.(idx / ns) and seed = seeds.(idx mod ns) in
         let m = Harness.simulate ~seed tech arc pt in
         (m.Harness.td, m.Harness.sout))
       (Array.init (np * ns) Fun.id)
   in
-  let samples_td =
-    Array.init np (fun i -> Array.init ns (fun j -> fst flat.((i * ns) + j)))
+  let failed = ref [] in
+  for idx = (np * ns) - 1 downto 0 do
+    match flat.(idx) with
+    | Error _ -> failed := (idx / ns, idx mod ns) :: !failed
+    | Ok _ -> ()
+  done;
+  let sample get i j =
+    match flat.((i * ns) + j) with Ok v -> get v | Error _ -> Float.nan
   in
-  let samples_sout =
-    Array.init np (fun i -> Array.init ns (fun j -> snd flat.((i * ns) + j)))
+  let samples_td = Array.init np (fun i -> Array.init ns (sample fst i)) in
+  let samples_sout = Array.init np (fun i -> Array.init ns (sample snd i)) in
+  (* Moments over the survivors of each point.  With no failures the
+     survivor array IS the sample array, so the statistics are
+     unchanged bit for bit. *)
+  let survivors samples i =
+    let row = samples.(i) in
+    let n_fail =
+      List.length (List.filter (fun (p, _) -> p = i) !failed)
+    in
+    if n_fail = 0 then row
+    else begin
+      let out = Array.make (ns - n_fail) 0.0 in
+      let k = ref 0 in
+      Array.iteri
+        (fun j v ->
+          if not (List.mem (i, j) !failed) then begin
+            out.(!k) <- v;
+            incr k
+          end)
+        row;
+      out
+    end
   in
+  let moment f samples = Array.init np (fun i -> f (survivors samples i)) in
   {
     points;
-    mu_td = Array.map Describe.mean samples_td;
-    sigma_td = Array.map Describe.std samples_td;
-    mu_sout = Array.map Describe.mean samples_sout;
-    sigma_sout = Array.map Describe.std samples_sout;
+    mu_td = moment Describe.mean samples_td;
+    sigma_td = moment Describe.std samples_td;
+    mu_sout = moment Describe.mean samples_sout;
+    sigma_sout = moment Describe.std samples_sout;
     samples_td;
     samples_sout;
+    failed = !failed;
     cost = Harness.sim_count () - before;
   }
 

@@ -14,9 +14,23 @@ type method_ =
 
 val method_label : method_ -> string
 
+(** Per-seed extraction outcome. *)
+type seed_status =
+  | Seed_ok  (** every design point simulated; full-quality fit *)
+  | Seed_degraded of int
+      (** fit proceeded on the surviving design points; the payload is
+          the number of (seed, point) simulations that failed *)
+  | Seed_failed of exn
+      (** too few surviving points to fit (or, for [Lut], the grid
+          build failed); the payload is the first failure.  Predicting
+          through this seed re-raises it. *)
+
 type population = {
   meth : method_;
   seeds : Slc_device.Process.seed array;
+  status : seed_status array;
+      (** per-seed outcome, indexed by [Process.index]; all [Seed_ok]
+          when every simulation converged *)
   train_cost : int;  (** total simulator runs over all seeds *)
   predict_td : Slc_device.Process.seed -> Input_space.point -> float;
   predict_sout : Slc_device.Process.seed -> Input_space.point -> float;
@@ -34,11 +48,13 @@ type design =
           advanced *)
 
 val extract_population :
+  ?min_points:int ->
   method_:method_ ->
   tech:Slc_device.Tech.t ->
   arc:Slc_cell.Arc.t ->
   seeds:Slc_device.Process.seed array ->
   budget:int ->
+  unit ->
   population
 (** Trains the method independently for every seed with [budget]
     simulator runs each ([k] fitting points for model methods, grid
@@ -46,15 +62,24 @@ val extract_population :
 
     All (seed × point) simulations go through the worker pool as one
     flat batch, then the per-seed fits run as a second batch with one
-    LM workspace per worker domain. *)
+    LM workspace per worker domain.
+
+    {b Graceful degradation}: a (seed, point) simulation that raises
+    costs only that design point.  A seed keeps fitting while at least
+    [min_points] (default 2) of its design points survive — reported
+    [Seed_degraded] — and becomes [Seed_failed] below that.  Seeds
+    with no failures take the byte-for-byte historical code path, so
+    their fits are bitwise identical to a failure-free run. *)
 
 val extract_population_design :
+  ?min_points:int ->
   design:design ->
   method_:method_ ->
   tech:Slc_device.Tech.t ->
   arc:Slc_cell.Arc.t ->
   seeds:Slc_device.Process.seed array ->
   budget:int ->
+  unit ->
   population
 (** {!extract_population} with an explicit fitting-point design (the
     design choice is ignored by [Lut], which builds its own grid). *)
@@ -62,7 +87,8 @@ val extract_population_design :
 val predict_samples :
   population -> Input_space.point -> td:bool -> float array
 (** Per-seed predicted values at one condition ([td:false] gives output
-    slew). *)
+    slew).  [Seed_failed] seeds are skipped, so the array length is the
+    number of surviving seeds. *)
 
 type baseline = {
   points : Input_space.point array;
@@ -70,8 +96,12 @@ type baseline = {
   sigma_td : float array;
   mu_sout : float array;
   sigma_sout : float array;
-  samples_td : float array array;   (** [point][seed] raw values *)
+  samples_td : float array array;
+      (** [point][seed] raw values; [nan] marks a failed pair *)
   samples_sout : float array array;
+  failed : (int * int) list;
+      (** (point index, seed index) pairs whose simulation raised;
+          [[]] for a clean run *)
   cost : int;
 }
 
@@ -81,6 +111,10 @@ val monte_carlo_baseline :
   seeds:Slc_device.Process.seed array ->
   points:Input_space.point array ->
   baseline
+(** Simulates every (point × seed) pair.  Pairs that raise are recorded
+    in [failed] and excluded from the per-point moment estimates (the
+    statistics run over the survivors); with no failures the result is
+    bitwise identical to the historical behaviour. *)
 
 type stat_errors = {
   e_mu_td : float;     (** mean relative |µ̂ - µ| over points *)

@@ -4,6 +4,7 @@ type lm_result = {
   iterations : int;
   converged : bool;
   residual_norm : float;
+  non_finite_steps : int;
 }
 
 let numeric_jacobian ?(rel_step = 1e-6) f x =
@@ -83,6 +84,7 @@ let levenberg_marquardt ?workspace ?(max_iter = 200) ?(xtol = 1e-12)
   let cost = ref (half_sq_norm (residuals x)) in
   let iter = ref 0 in
   let converged = ref false in
+  let non_finite = ref 0 in
   while (not !converged) && !iter < max_iter do
     incr iter;
     let r = residuals x in
@@ -114,7 +116,16 @@ let levenberg_marquardt ?workspace ?(max_iter = 200) ?(xtol = 1e-12)
           x_try.(i) <- x.(i) +. dx.(i)
         done;
         let cost_try = half_sq_norm (residuals x_try) in
-        if cost_try < !cost then begin
+        if not (Float.is_finite cost_try) then begin
+          (* An overflowing model evaluation yields a NaN/inf cost that
+             compares false on every branch; without this rejection the
+             damping schedule can spin to its attempt cap at every
+             iteration.  Reject immediately and raise the damping. *)
+          incr non_finite;
+          Slc_obs.Telemetry.incr Slc_obs.Telemetry.lm_non_finite;
+          lambda := !lambda *. 10.0
+        end
+        else if cost_try < !cost || not (Float.is_finite !cost) then begin
           (* Accept; relax the damping. *)
           let step_rel = Vec.norm2 dx /. Float.max 1e-30 (Vec.norm2 x) in
           let cost_rel = (!cost -. cost_try) /. Float.max 1e-300 !cost in
@@ -129,6 +140,7 @@ let levenberg_marquardt ?workspace ?(max_iter = 200) ?(xtol = 1e-12)
     done;
     if not !stepped then converged := true
   done;
+  Slc_obs.Telemetry.add Slc_obs.Telemetry.lm_iters !iter;
   let r = residuals x in
   {
     x;
@@ -136,6 +148,7 @@ let levenberg_marquardt ?workspace ?(max_iter = 200) ?(xtol = 1e-12)
     iterations = !iter;
     converged = !converged;
     residual_norm = Vec.norm2 r;
+    non_finite_steps = !non_finite;
   }
 
 type nm_result = {

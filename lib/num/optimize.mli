@@ -10,6 +10,10 @@ type lm_result = {
   iterations : int;
   converged : bool;
   residual_norm : float;
+  non_finite_steps : int;
+      (** trial steps rejected because the model evaluation produced a
+          non-finite cost (overflow/NaN); a non-zero value means the
+          fit walked along the edge of the model's numeric range *)
 }
 
 val numeric_jacobian :

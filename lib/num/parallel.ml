@@ -82,6 +82,7 @@ module Pool = struct
       if not (Atomic.get j.failed) then begin
         let lo = Atomic.fetch_and_add j.next j.chunk in
         if lo < j.n then begin
+          Slc_obs.Telemetry.incr Slc_obs.Telemetry.pool_chunks;
           let hi = min j.n (lo + j.chunk) in
           for i = lo to hi - 1 do
             try j.run i
@@ -242,6 +243,13 @@ let map ?domains ?chunk f xs =
         results
     end
   end
+
+let try_map ?domains ?chunk f xs =
+  (* Per-item failure capture: unlike {!map}, one failing item does not
+     flag the job (the wrapped closure never raises), so every item is
+     attempted and the caller decides what survives.  This is the
+     primitive the statistical layer's graceful degradation builds on. *)
+  map ?domains ?chunk (fun x -> match f x with v -> Ok v | exception e -> Error e) xs
 
 let mapi ?domains ?chunk f xs =
   let idx = Array.init (Array.length xs) Fun.id in

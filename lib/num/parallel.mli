@@ -38,6 +38,13 @@ val map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
     and are re-raised in the caller — unwrapped for a single failing
     item, as [Failures] otherwise. *)
 
+val try_map :
+  ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Like {!map}, but a failing item yields [Error] in its own slot
+    instead of cancelling the batch: every item is always attempted.
+    The graceful-degradation primitive — callers inspect which items
+    survived and proceed on those. *)
+
 val mapi : ?domains:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Like [map], passing each element's index. *)
 

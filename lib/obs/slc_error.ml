@@ -1,0 +1,106 @@
+type context = {
+  arc : string option;
+  tech : string option;
+  seed : int option;
+  point : (float * float * float) option;
+}
+
+let no_context = { arc = None; tech = None; seed = None; point = None }
+
+let is_empty_context c =
+  c.arc = None && c.tech = None && c.seed = None && c.point = None
+
+let pp_context ppf c =
+  let sep = ref false in
+  let item fmt =
+    Format.kasprintf
+      (fun s ->
+        if !sep then Format.pp_print_string ppf ", ";
+        sep := true;
+        Format.pp_print_string ppf s)
+      fmt
+  in
+  (match c.arc with Some a -> item "arc=%s" a | None -> ());
+  (match c.tech with Some t -> item "tech=%s" t | None -> ());
+  (match c.seed with Some s -> item "seed=%d" s | None -> ());
+  (match c.point with
+  | Some (sin, cload, vdd) ->
+    item "Sin=%.3gps Cload=%.3gfF Vdd=%.3gV" (sin *. 1e12) (cload *. 1e15) vdd
+  | None -> ());
+  if not !sep then Format.pp_print_string ppf "no context"
+
+type phase = Dc_operating_point | Dc_sweep | Transient_step
+
+let phase_label = function
+  | Dc_operating_point -> "dc-operating-point"
+  | Dc_sweep -> "dc-sweep"
+  | Transient_step -> "transient"
+
+type convergence = {
+  phase : phase;
+  time_reached : float;
+  dt : float;
+  newton_iters : int;
+  residual : float;
+  recovery : string list;
+  detail : string;
+  context : context;
+}
+
+exception No_convergence of convergence
+
+let convergence_message d =
+  Format.asprintf
+    "No_convergence: %s (%s) at t=%.4g s, dt=%.4g s, newton=%d, \
+     residual=%.4g A, recovery=[%s] [%a]"
+    d.detail (phase_label d.phase) d.time_reached d.dt d.newton_iters
+    d.residual
+    (String.concat "; " d.recovery)
+    pp_context d.context
+
+type sim_failure = {
+  sf_detail : string;
+  sf_retries : int;
+  sf_window : float;
+  sf_cause : convergence option;
+  sf_context : context;
+}
+
+exception Simulation_failed of sim_failure
+
+let sim_failure_message f =
+  Format.asprintf "Simulation_failed: %s after %d retries (window %.4g s) [%a]%s"
+    f.sf_detail f.sf_retries f.sf_window pp_context f.sf_context
+    (match f.sf_cause with
+    | Some c -> "; caused by " ^ convergence_message c
+    | None -> "")
+
+let raise_no_convergence ?(recovery = []) ~phase ~time_reached ~dt ~newton_iters
+    ~residual detail =
+  raise
+    (No_convergence
+       {
+         phase;
+         time_reached;
+         dt;
+         newton_iters;
+         residual;
+         recovery;
+         detail;
+         context = no_context;
+       })
+
+let with_context ctx f =
+  try f () with
+  | No_convergence d when is_empty_context d.context ->
+    raise (No_convergence { d with context = ctx })
+  | Simulation_failed s when is_empty_context s.sf_context ->
+    raise (Simulation_failed { s with sf_context = ctx })
+
+(* Render the structured payloads when these exceptions escape to the
+   toplevel or a [Printexc] backtrace. *)
+let () =
+  Printexc.register_printer (function
+    | No_convergence d -> Some (convergence_message d)
+    | Simulation_failed f -> Some (sim_failure_message f)
+    | _ -> None)

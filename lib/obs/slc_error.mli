@@ -1,0 +1,90 @@
+(** Structured error taxonomy for the characterization pipeline.
+
+    The simulator and harness used to abort with bare-string exceptions
+    ([No_convergence "run: step size underflow"]) that carried nothing a
+    caller could act on.  The exceptions here are typed values: every
+    convergence failure records where the solver was (phase, simulated
+    time, step size, Newton iteration, residual norm), which recovery
+    rungs were attempted, and — once the harness has annotated it — the
+    full characterization context (arc, technology, process seed,
+    ξ-point).
+
+    This module sits below [Slc_num] and therefore cannot mention arcs
+    or technologies by type; context fields are plain names and
+    numbers, filled in by the layer that knows them. *)
+
+type context = {
+  arc : string option;   (** timing-arc name, e.g. "NOR2/A/fall" *)
+  tech : string option;  (** technology node name, e.g. "n28" *)
+  seed : int option;     (** process-seed index; [None] = nominal *)
+  point : (float * float * float) option;
+      (** input condition ξ = (Sin s, Cload F, Vdd V) *)
+}
+
+val no_context : context
+(** All fields [None]; the raw solver raises with this and the harness
+    re-raises with the fields filled in. *)
+
+val pp_context : Format.formatter -> context -> unit
+
+type phase =
+  | Dc_operating_point  (** initial DC solve *)
+  | Dc_sweep            (** transfer-curve sweep point *)
+  | Transient_step      (** time-stepping loop *)
+
+val phase_label : phase -> string
+
+type convergence = {
+  phase : phase;
+  time_reached : float;  (** last accepted simulation time, s *)
+  dt : float;            (** step size at the failure, s (0 for DC) *)
+  newton_iters : int;    (** Newton iterations of the failing attempt *)
+  residual : float;      (** residual inf-norm at the last iterate, A *)
+  recovery : string list;
+      (** escalation-ladder rungs attempted before giving up, in
+          order; [[]] means the failure was raised before recovery *)
+  detail : string;       (** human-readable failure site *)
+  context : context;
+}
+
+exception No_convergence of convergence
+(** A Newton/transient solve failed after every applicable recovery
+    rung.  Replaces the old [Transient.No_convergence of string]. *)
+
+val convergence_message : convergence -> string
+(** One-line rendering with every diagnostic field, for logs. *)
+
+type sim_failure = {
+  sf_detail : string;    (** what the harness was trying to measure *)
+  sf_retries : int;      (** window-extension retries performed *)
+  sf_window : float;     (** last measurement window tried, s *)
+  sf_cause : convergence option;
+      (** present when the failure was a solver non-convergence rather
+          than an uncapturable edge *)
+  sf_context : context;
+}
+
+exception Simulation_failed of sim_failure
+(** The harness could not produce a measurement: either the output edge
+    was never captured within the retry budget, or the solver failed.
+    Replaces the old [Harness.Simulation_failed of string]. *)
+
+val sim_failure_message : sim_failure -> string
+
+val raise_no_convergence :
+  ?recovery:string list ->
+  phase:phase ->
+  time_reached:float ->
+  dt:float ->
+  newton_iters:int ->
+  residual:float ->
+  string ->
+  'a
+(** Raise {!No_convergence} with {!no_context} (context is attached by
+    the harness layer). *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** Runs the thunk; if it raises {!No_convergence} or
+    {!Simulation_failed} with an empty context, re-raises the same
+    failure with the given context attached.  A non-empty context is
+    left untouched (the innermost annotation wins). *)

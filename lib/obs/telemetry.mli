@@ -1,0 +1,128 @@
+(** Process-wide pipeline telemetry: atomic counters and phase spans.
+
+    Disabled by default; enabled when the [SLC_TELEMETRY] environment
+    variable is set to anything other than ["0"] or [""], or by calling
+    {!enable}.  While disabled every instrumentation call is a single
+    boolean load — the hot paths (Newton loop, LM damping schedule) are
+    additionally instrumented only at attempt granularity, so the
+    [BENCH_*.json] kernels are unaffected either way.
+
+    Counters may be bumped concurrently from worker domains (they are
+    [Atomic.t]); spans accumulate wall-clock time and are intended for
+    the single-threaded orchestration layer. *)
+
+type counter
+
+val on : unit -> bool
+(** Is collection currently enabled? *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val incr : counter -> unit
+(** No-op while disabled. *)
+
+val add : counter -> int -> unit
+(** No-op while disabled. *)
+
+val read : counter -> int
+
+val counter_name : counter -> string
+
+(** {2 Pipeline counters}
+
+    One per observable event class; keep names stable — they are the
+    keys of the telemetry JSON. *)
+
+val simulations : counter
+(** Transient simulator runs. *)
+
+val sim_retries : counter
+(** Measurement-window retries. *)
+
+val sim_failures : counter
+(** Simulations that raised after recovery. *)
+
+val newton_iters : counter
+(** Newton iterations, all solves. *)
+
+val newton_rejects : counter
+(** Failed Newton attempts (step rejected). *)
+
+val transient_steps : counter
+(** Accepted time steps. *)
+
+val recovery_attempts : counter
+(** Escalation-ladder rungs tried. *)
+
+val recovery_rescues : counter
+(** Runs saved by a ladder rung. *)
+
+val degraded_runs : counter
+(** Runs completed with a degraded flag. *)
+
+val dc_gmin_fallbacks : counter
+(** DC solves that needed gmin stepping. *)
+
+val dc_source_fallbacks : counter
+(** DC solves that needed source stepping. *)
+
+val lm_iters : counter
+(** Levenberg–Marquardt iterations. *)
+
+val lm_non_finite : counter
+(** LM steps rejected on non-finite cost. *)
+
+val template_hits : counter
+(** Harness compiled-template cache hits. *)
+
+val template_misses : counter
+
+val oracle_hits : counter
+(** Oracle query-cache hits. *)
+
+val oracle_misses : counter
+
+val trained_hits : counter
+(** Oracle trained-predictor cache hits. *)
+
+val trained_misses : counter
+
+val pool_chunks : counter
+(** Worker-pool chunk claims. *)
+
+val degraded_seeds : counter
+(** Statistical seeds fitted on a partial design. *)
+
+val failed_seeds : counter
+(** Statistical seeds dropped entirely. *)
+
+type span
+
+val span_simulate : span
+(** {!Harness.simulate} wall time. *)
+
+val span_fit : span
+(** Per-seed model fitting. *)
+
+val span_extract : span
+(** [Statistical.extract_population]. *)
+
+val span_baseline : span
+(** [Statistical.monte_carlo_baseline]. *)
+
+val with_span : span -> (unit -> 'a) -> 'a
+(** Runs the thunk, accumulating its wall time and invocation count
+    into the span when enabled; just runs it when disabled. *)
+
+val reset : unit -> unit
+(** Zero every counter and span (keeps the enabled/disabled state). *)
+
+val dump_json : unit -> string
+(** The whole telemetry state as a JSON object:
+    [{ "enabled": bool, "counters": {name: int},
+       "spans": {name: {"count": int, "seconds": float}} }]. *)
+
+val report : Format.formatter -> unit
+(** Human-oriented dump of every non-zero counter and span. *)

@@ -1,6 +1,8 @@
 module Mosfet = Slc_device.Mosfet
 module Mat = Slc_num.Mat
 module Linalg = Slc_num.Linalg
+module Slc_error = Slc_obs.Slc_error
+module Telemetry = Slc_obs.Telemetry
 
 type integrator = Backward_euler | Trapezoidal
 
@@ -31,8 +33,6 @@ let default_options ~tstop =
     gmin = 1e-12;
     breakpoints = [];
   }
-
-exception No_convergence of string
 
 (* Compiled view of the netlist for fast stamping.  The topology arrays
    (node indices) are immutable and may be shared between many compiled
@@ -116,6 +116,14 @@ let apply_sources c v t =
     v.(c.src_node.(i)) <- c.src_stim.(i) t
   done
 
+(* Scaled sources for DC source stepping: pinned nodes are driven at
+   [alpha] times their stimulus value, walking alpha from ~0 (where the
+   zero solution is exact) to 1 by continuation. *)
+let apply_sources_scaled c v t ~alpha =
+  for i = 0 to Array.length c.src_node - 1 do
+    v.(c.src_node.(i)) <- alpha *. c.src_stim.(i) t
+  done
+
 let source_vmax c ~at =
   let m = ref 0.0 in
   for i = 0 to Array.length c.src_stim - 1 do
@@ -138,6 +146,11 @@ type workspace = {
   mutable icap : float array;
   mutable icap_next : float array;
   ebuf : Mosfet.eval_buf; (* device-evaluation scratch *)
+  (* Diagnostics of the most recent Newton attempt, for the structured
+     No_convergence payload: residual inf-norm and iteration count at
+     the last iterate (success or failure). *)
+  mutable last_fnorm : float;
+  mutable last_iters : int;
 }
 
 let make_workspace c =
@@ -154,6 +167,8 @@ let make_workspace c =
     icap = Array.make ncaps 0.0;
     icap_next = Array.make ncaps 0.0;
     ebuf = Mosfet.make_eval_buf ();
+    last_fnorm = 0.0;
+    last_iters = 0;
   }
 
 let check_workspace ws c =
@@ -278,6 +293,8 @@ let newton ws c opts ~gmin ~caps ~v_prev v =
         fnorm := Float.max !fnorm (Float.abs f.(i))
       done;
       let fnorm = !fnorm in
+      ws.last_fnorm <- fnorm;
+      ws.last_iters <- k;
       let factored =
         match Linalg.lu_factor_in_place ws.jac ws.perm with
         | (_ : float) -> true
@@ -315,7 +332,8 @@ let dc_solve ws c opts ~at v =
   Array.blit v 0 ws.v_prev 0 c.n_nodes;
   let v_prev = ws.v_prev in
   (* Direct attempt, then gmin stepping from strongly damped to the
-     target gmin. *)
+     target gmin, then source stepping (ramping every source from zero
+     to its full value by continuation). *)
   match newton ws c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
   | Some _ -> ()
   | None ->
@@ -337,9 +355,35 @@ let dc_solve ws c opts ~at v =
         if !all_ok then ok := true
       end
     in
+    let attempt_source_stepping () =
+      if not !ok then begin
+        Telemetry.incr Telemetry.dc_source_fallbacks;
+        (* At alpha = 0 every source is grounded and (with gmin) the
+           zero vector solves the system exactly; walk alpha up to 1,
+           starting each solve from the previous alpha's solution. *)
+        Array.iter (fun nfree -> v.(nfree) <- 0.0) c.free_nodes;
+        let steps = 10 in
+        let all_ok = ref true in
+        for s = 1 to steps do
+          if !all_ok then begin
+            let alpha = float_of_int s /. float_of_int steps in
+            apply_sources_scaled c v at ~alpha;
+            match newton ws c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
+            | Some _ -> ()
+            | None -> all_ok := false
+          end
+        done;
+        if !all_ok then ok := true
+      end
+    in
+    Telemetry.incr Telemetry.dc_gmin_fallbacks;
     attempt 1e-3;
     attempt 1e-1;
-    if not !ok then raise (No_convergence "dc_solve: gmin stepping failed")
+    attempt_source_stepping ();
+    if not !ok then
+      Slc_error.raise_no_convergence ~phase:Slc_error.Dc_operating_point
+        ~time_reached:at ~dt:0.0 ~newton_iters:ws.last_iters
+        ~residual:ws.last_fnorm "dc_solve: gmin and source stepping failed"
 
 let dc_operating_point net ~at =
   let c = compile net in
@@ -351,36 +395,69 @@ let dc_operating_point net ~at =
   dc_solve ws c opts ~at v;
   v
 
-let dc_sweep net ~node ~values =
-  let c = compile net in
-  if c.free_index.(node) >= 0 || node = 0 then
+let dc_sweep_compiled ?workspace c ~node ~values =
+  if node <= 0 || node >= c.n_nodes || c.free_index.(node) >= 0 then
     invalid_arg "Transient.dc_sweep: node must be driven by a source";
-  let ws = make_workspace c in
+  let src_i =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i n -> if n = node && !found < 0 then found := i)
+      c.src_node;
+    if !found < 0 then
+      invalid_arg "Transient.dc_sweep: node must be driven by a source";
+    !found
+  in
+  let ws =
+    match workspace with
+    | Some ws ->
+      check_workspace ws c;
+      ws
+    | None -> make_workspace c
+  in
   let opts = default_options ~tstop:1.0 in
   let v = Array.make c.n_nodes 0.0 in
   let vmax = source_vmax c ~at:0.0 in
   Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
   apply_sources c v 0.0;
-  Array.map
-    (fun value ->
-      v.(node) <- value;
-      let v_prev = Array.copy v in
-      (match newton ws c opts ~gmin:opts.gmin ~caps:None ~v_prev v with
-      | Some _ -> ()
-      | None ->
-        (* Fall back to a full solve from scratch for this point. *)
-        Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
-        apply_sources c v 0.0;
-        v.(node) <- value;
-        dc_solve ws c opts ~at:0.0 v;
-        v.(node) <- value;
-        (match
-           newton ws c opts ~gmin:opts.gmin ~caps:None ~v_prev:(Array.copy v) v
-         with
-        | Some _ -> ()
-        | None -> raise (No_convergence "dc_sweep")));
-      Array.copy v)
-    values
+  (* The sweep swaps the swept source's stimulus for each DC value so
+     that EVERY solve — including the gmin/source-stepping fallbacks,
+     which re-apply sources from scratch — sees the sweep value (the
+     old code let the fallback solve against the un-swept stimulus and
+     then polished at the right value, which could both fail spuriously
+     and, on failure, leave the mutated stimulus behind).  The original
+     stimulus is restored on all exits, so a compiled circuit cached by
+     a higher layer is never left corrupted for its next user. *)
+  let saved_stim = c.src_stim.(src_i) in
+  Fun.protect
+    ~finally:(fun () -> c.src_stim.(src_i) <- saved_stim)
+    (fun () ->
+      Array.map
+        (fun value ->
+          c.src_stim.(src_i) <- Stimulus.dc value;
+          apply_sources c v 0.0;
+          (* Continuation from the previous point's solution; full
+             solve from scratch (mid-rail reset, gmin and source
+             stepping) when that fails. *)
+          (match newton ws c opts ~gmin:opts.gmin ~caps:None ~v_prev:ws.v_prev v with
+          | Some _ -> ()
+          | None -> (
+            Array.iter (fun n -> v.(n) <- 0.5 *. vmax) c.free_nodes;
+            try dc_solve ws c opts ~at:0.0 v
+            with Slc_error.No_convergence d ->
+              raise
+                (Slc_error.No_convergence
+                   {
+                     d with
+                     Slc_error.phase = Slc_error.Dc_sweep;
+                     detail =
+                       Printf.sprintf "dc_sweep at %.6g V: %s" value
+                         d.Slc_error.detail;
+                   })));
+          Array.copy v)
+        values)
+
+let dc_sweep net ~node ~values =
+  dc_sweep_compiled (compile net) ~node ~values
 
 type result = {
   r_times : float array;
@@ -389,6 +466,8 @@ type result = {
   r_record : int array option; (* node ids per column; None = all nodes *)
   r_newton : int;
   r_steps : int;
+  r_degraded : bool;        (* a recovery rung with relaxed numerics ran *)
+  r_recovery : string list; (* escalation rungs attempted, in order *)
 }
 
 let run_compiled ?workspace ?record opts c =
@@ -483,20 +562,92 @@ let run_compiled ?workspace ?record opts c =
       else if iters > 15 then dt := Float.max opts.dt_min (!dt *. 0.7)
     | None ->
       (* Reject: restore state and halve the step. *)
+      Telemetry.incr Telemetry.newton_rejects;
       Array.blit v_prev 0 v 0 c.n_nodes;
       dt := dt_eff /. 2.0;
       if !dt < opts.dt_min then
-        raise (No_convergence "run: step size underflow"))
+        Slc_error.raise_no_convergence ~phase:Slc_error.Transient_step
+          ~time_reached:!t ~dt:!dt ~newton_iters:ws.last_iters
+          ~residual:ws.last_fnorm "run: step size underflow")
   done;
+  Telemetry.add Telemetry.newton_iters !newton_total;
+  Telemetry.add Telemetry.transient_steps !steps;
   {
     r_times = Array.of_list (List.rev !times);
     r_volts = Array.of_list (List.rev !volts);
     r_record = record;
     r_newton = !newton_total;
     r_steps = !steps;
+    r_degraded = false;
+    r_recovery = [];
   }
 
 let run ?record opts net = run_compiled ?record opts (compile net)
+
+(* ------------------------------------------------------------------ *)
+(* Convergence-recovery escalation ladder.
+
+   Each rung re-runs the whole transient with progressively more
+   forgiving options.  The first two rungs change only HOW the solver
+   walks to the solution (smaller initial step; the DC-level gmin and
+   source stepping always run inside dc_solve), so a success there is a
+   full-quality result.  The last two rungs change the numerics
+   themselves (boosted gmin, relaxed tolerances) and therefore mark the
+   result degraded: usable, but to be surfaced to the caller. *)
+
+let recovery_rungs :
+    (string * bool * (options -> options)) list =
+  [
+    ( "tight-step",
+      false,
+      fun o -> { o with dt_init = Float.max o.dt_min (o.dt_init /. 16.0) } );
+    ( "gmin-boost",
+      true,
+      fun o ->
+        {
+          o with
+          gmin = o.gmin *. 1e3;
+          dt_init = Float.max o.dt_min (o.dt_init /. 4.0);
+        } );
+    ( "relaxed-tol",
+      true,
+      fun o ->
+        {
+          o with
+          abstol = Float.max (o.abstol *. 1e4) 1e-9;
+          dxtol = Float.max (o.dxtol *. 1e4) 1e-5;
+        } );
+  ]
+
+let run_recovered ?workspace ?record ?(max_recovery = 3) opts c =
+  match run_compiled ?workspace ?record opts c with
+  | r -> r
+  | exception Slc_error.No_convergence d0 ->
+    let rungs =
+      List.filteri (fun i _ -> i < max_recovery) recovery_rungs
+    in
+    let rec escalate attempted = function
+      | [] ->
+        (* Every rung failed: re-raise the ORIGINAL failure's
+           diagnostics, annotated with the rungs that were tried. *)
+        raise
+          (Slc_error.No_convergence
+             { d0 with Slc_error.recovery = List.rev attempted })
+      | (name, degrades, tweak) :: rest -> (
+        Telemetry.incr Telemetry.recovery_attempts;
+        match run_compiled ?workspace ?record (tweak opts) c with
+        | r ->
+          Telemetry.incr Telemetry.recovery_rescues;
+          if degrades then Telemetry.incr Telemetry.degraded_runs;
+          {
+            r with
+            r_degraded = degrades;
+            r_recovery = List.rev (name :: attempted);
+          }
+        | exception Slc_error.No_convergence _ ->
+          escalate (name :: attempted) rest)
+    in
+    escalate [] rungs
 
 let times r = r.r_times
 
@@ -521,3 +672,7 @@ let waveform r node =
 let newton_iterations_total r = r.r_newton
 
 let steps_taken r = r.r_steps
+
+let degraded r = r.r_degraded
+
+let recovery_log r = r.r_recovery

@@ -34,12 +34,17 @@ val default_options : tstop:float -> options
     [dt_max = tstop/100], [dt_min = tstop*1e-7], [abstol = 1e-12],
     [dxtol = 1e-7], [max_newton = 40], [gmin = 1e-12]. *)
 
-exception No_convergence of string
+(** Convergence failures raise {!Slc_obs.Slc_error.No_convergence}: a
+    typed diagnostic record (phase, simulated time reached, step size,
+    Newton iteration count, residual norm, recovery rungs attempted)
+    instead of the bare string the solver used to throw.  The harness
+    layer annotates it with the arc/tech/seed/ξ-point context. *)
 
 val dc_operating_point : Netlist.t -> at:float -> float array
 (** DC solution with sources evaluated at time [at]; returns the full
-    node-voltage vector (index = node id).  Uses gmin stepping as a
-    fallback.  Raises {!No_convergence} if everything fails. *)
+    node-voltage vector (index = node id).  Falls back to gmin stepping
+    and then source stepping.  Raises
+    {!Slc_obs.Slc_error.No_convergence} if everything fails. *)
 
 val dc_sweep :
   Netlist.t -> node:Netlist.node -> values:float array -> float array array
@@ -95,6 +100,40 @@ val run_compiled :
     {!make_workspace} for a circuit of the same shape) is reused when
     given, so back-to-back runs allocate no solver buffers at all. *)
 
+val run_recovered :
+  ?workspace:workspace ->
+  ?record:int array ->
+  ?max_recovery:int ->
+  options ->
+  compiled ->
+  result
+(** {!run_compiled} behind a convergence-recovery escalation ladder.
+    When the plain run raises [No_convergence], up to [max_recovery]
+    (default 3, the full ladder) rungs re-run the transient with
+    progressively more forgiving options:
+
+    + [tight-step] — initial step divided by 16 (full-quality result);
+    + [gmin-boost] — gmin × 1000 and a smaller initial step (result is
+      flagged {!degraded});
+    + [relaxed-tol] — [abstol]/[dxtol] relaxed by 10⁴ with absolute
+      floors of 1e-9 A / 1e-5 V (flagged {!degraded}).
+
+    DC-level gmin stepping and source stepping always run inside every
+    attempt's operating-point solve.  If every rung fails, the ORIGINAL
+    failure is re-raised with [recovery] listing the rungs tried. *)
+
+val dc_sweep_compiled :
+  ?workspace:workspace ->
+  compiled ->
+  node:Netlist.node ->
+  values:float array ->
+  float array array
+(** As {!dc_sweep} on an already-compiled circuit.  The swept source's
+    stimulus is temporarily replaced per point and restored on ALL
+    exits (including failures), so a compiled circuit shared through a
+    cache is never left corrupted; fallback solves for a hard sweep
+    point run against the sweep value itself. *)
+
 val times : result -> float array
 
 val waveform : result -> Netlist.node -> Waveform.t
@@ -104,3 +143,12 @@ val newton_iterations_total : result -> int
 (** Total Newton iterations spent — a proxy for simulation cost. *)
 
 val steps_taken : result -> int
+
+val degraded : result -> bool
+(** True when the run only completed under a recovery rung that relaxed
+    the numerics (gmin boost or tolerance relaxation); the waveforms
+    are usable but should be surfaced as lower-confidence. *)
+
+val recovery_log : result -> string list
+(** The escalation rungs attempted for this run, in order ([[]] for a
+    run that converged at its given options). *)

@@ -3,6 +3,7 @@ module Harness = Slc_cell.Harness
 module Library = Slc_cell.Library
 module Nldm = Slc_cell.Nldm
 module Char_flow = Slc_core.Char_flow
+module Telemetry = Slc_obs.Telemetry
 
 type t = {
   query : Arc.t -> Harness.point -> float * float;
@@ -105,8 +106,11 @@ let cached c oracle =
     let hit = Hashtbl.find_opt c.c_tbl key in
     Mutex.unlock c.c_lock;
     match hit with
-    | Some r -> r
+    | Some r ->
+      Telemetry.incr Telemetry.oracle_hits;
+      r
     | None ->
+      Telemetry.incr Telemetry.oracle_misses;
       let r = oracle.query arc point in
       Mutex.lock c.c_lock;
       (* Under a race the first publication wins, so every caller sees
@@ -165,8 +169,11 @@ let bayes_bank ?seed ~prior tech ~k =
       let hit = Hashtbl.find_opt trained key in
       Mutex.unlock trained_lock;
       match hit with
-      | Some p -> p
+      | Some p ->
+        Telemetry.incr Telemetry.trained_hits;
+        p
       | None ->
+        Telemetry.incr Telemetry.trained_misses;
         (* Train outside the lock: training runs simulations (possibly
            through the worker pool) and must not serialize on it. *)
         let p = Char_flow.train_bayes ?seed ~prior tech arc ~k in

@@ -448,7 +448,7 @@ let test_statistical_tiny () =
   Alcotest.(check int) "baseline cost" 12 base.Statistical.cost;
   let pop =
     Statistical.extract_population ~method_:(Statistical.Bayes pair) ~tech
-      ~arc:inv_fall ~seeds ~budget:2
+      ~arc:inv_fall ~seeds ~budget:2 ()
   in
   Alcotest.(check int) "train cost = seeds*k" 8 pop.Statistical.train_cost;
   let e = Statistical.evaluate pop base in
@@ -472,7 +472,7 @@ let test_statistical_pool_bitwise_sequential () =
   let run () =
     let pop =
       Statistical.extract_population ~method_:(Statistical.Bayes pair) ~tech
-        ~arc:inv_fall ~seeds ~budget:2
+        ~arc:inv_fall ~seeds ~budget:2 ()
     in
     let base =
       Statistical.monte_carlo_baseline ~tech ~arc:inv_fall ~seeds ~points
@@ -517,7 +517,7 @@ let test_statistical_random_design_deterministic () =
   let run () =
     Statistical.extract_population_design
       ~design:(Statistical.Random_per_seed design_rng)
-      ~method_:(Statistical.Bayes pair) ~tech ~arc:inv_fall ~seeds ~budget:2
+      ~method_:(Statistical.Bayes pair) ~tech ~arc:inv_fall ~seeds ~budget:2 ()
   in
   let pop1 = run () in
   let pop2 = run () in
@@ -542,10 +542,137 @@ let test_statistical_random_design_deterministic () =
   let other =
     Statistical.extract_population_design
       ~design:(Statistical.Random_per_seed (Slc_prob.Rng.create 56))
-      ~method_:(Statistical.Bayes pair) ~tech ~arc:inv_fall ~seeds ~budget:2
+      ~method_:(Statistical.Bayes pair) ~tech ~arc:inv_fall ~seeds ~budget:2 ()
   in
   Alcotest.(check bool) "different design differs" true
     (pred other <> p1)
+
+(* Graceful degradation: injected simulation faults must cost only the
+   affected (seed, point) pairs.  Unaffected seeds take the identical
+   code path, so their fits are BITWISE equal to a failure-free run;
+   a seed losing a minority of points degrades; a seed losing too many
+   fails and is skipped by predict_samples. *)
+let test_statistical_degradation () =
+  let module Telemetry = Slc_obs.Telemetry in
+  let pair = Lazy.force tiny_prior_pair in
+  let rng = Slc_prob.Rng.create 99 in
+  let seeds = Slc_device.Process.sample_batch rng tech 4 in
+  let budget = 3 in
+  let clean =
+    Statistical.extract_population ~method_:(Statistical.Bayes pair) ~tech
+      ~arc:inv_fall ~seeds ~budget ()
+  in
+  Array.iter
+    (fun st ->
+      Alcotest.(check bool) "clean run: all seeds ok" true
+        (st = Statistical.Seed_ok))
+    clean.Statistical.status;
+  (* Fault plan: seed 1 loses its first design point (degraded), seed 2
+     loses everything (failed). *)
+  let pts = Input_space.fitting_points tech ~k:budget in
+  Harness.set_fault_injector
+    (Some
+       (fun s (p : Harness.point) ->
+         (s.Slc_device.Process.index = 1 && p = pts.(0))
+         || s.Slc_device.Process.index = 2));
+  let was_on = Telemetry.on () in
+  Telemetry.enable ();
+  Telemetry.reset ();
+  let before = Harness.sim_count () in
+  let pop =
+    Fun.protect
+      ~finally:(fun () -> Harness.set_fault_injector None)
+      (fun () ->
+        Statistical.extract_population ~method_:(Statistical.Bayes pair) ~tech
+          ~arc:inv_fall ~seeds ~budget ())
+  in
+  let sims_run = Harness.sim_count () - before in
+  (* The telemetry counter and the global cost metric must reconcile:
+     injected faults fire before either is bumped. *)
+  Alcotest.(check int) "telemetry reconciles with sim_count" sims_run
+    (Telemetry.read Telemetry.simulations);
+  Alcotest.(check int) "one degraded seed counted" 1
+    (Telemetry.read Telemetry.degraded_seeds);
+  Alcotest.(check int) "one failed seed counted" 1
+    (Telemetry.read Telemetry.failed_seeds);
+  if not was_on then Telemetry.disable ();
+  (* Per-seed statuses. *)
+  Alcotest.(check bool) "seed 0 ok" true
+    (pop.Statistical.status.(0) = Statistical.Seed_ok);
+  Alcotest.(check bool) "seed 1 degraded by one point" true
+    (pop.Statistical.status.(1) = Statistical.Seed_degraded 1);
+  (match pop.Statistical.status.(2) with
+  | Statistical.Seed_failed (Slc_obs.Slc_error.No_convergence _) -> ()
+  | _ -> Alcotest.fail "seed 2 should be Seed_failed with the typed cause");
+  Alcotest.(check bool) "seed 3 ok" true
+    (pop.Statistical.status.(3) = Statistical.Seed_ok);
+  (* Unaffected seeds: bitwise-identical predictions. *)
+  let pt = { Harness.sin = 6e-12; cload = 3e-15; vdd = 0.85 } in
+  List.iter
+    (fun i ->
+      let v = pop.Statistical.predict_td seeds.(i) pt in
+      let v' = clean.Statistical.predict_td seeds.(i) pt in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d prediction bitwise identical" i)
+        true
+        (Int64.bits_of_float v = Int64.bits_of_float v'))
+    [ 0; 3 ];
+  (* The degraded seed still predicts (from its surviving points). *)
+  Alcotest.(check bool) "degraded seed predicts" true
+    (pop.Statistical.predict_td seeds.(1) pt > 0.0);
+  (* The failed seed re-raises its cause on prediction... *)
+  (match pop.Statistical.predict_td seeds.(2) pt with
+  | _ -> Alcotest.fail "failed seed should raise"
+  | exception Slc_obs.Slc_error.No_convergence _ -> ());
+  (* ...and is skipped by predict_samples. *)
+  Alcotest.(check int) "samples over surviving seeds" 3
+    (Array.length (Statistical.predict_samples pop pt ~td:true))
+
+(* The Monte-Carlo baseline under a fully-failing seed: the failed
+   pairs are recorded, and the surviving moments are bitwise what a
+   baseline over only the surviving seeds computes. *)
+let test_baseline_degradation () =
+  let rng = Slc_prob.Rng.create 99 in
+  let seeds = Slc_device.Process.sample_batch rng tech 4 in
+  let points = Input_space.validation_set ~n:2 ~seed:6 tech in
+  Harness.set_fault_injector
+    (Some (fun s _ -> s.Slc_device.Process.index = 2));
+  let base =
+    Fun.protect
+      ~finally:(fun () -> Harness.set_fault_injector None)
+      (fun () ->
+        Statistical.monte_carlo_baseline ~tech ~arc:inv_fall ~seeds ~points)
+  in
+  Alcotest.(check int) "one failed pair per point" 2
+    (List.length base.Statistical.failed);
+  List.iter
+    (fun (_, si) -> Alcotest.(check int) "failed seed index" 2 si)
+    base.Statistical.failed;
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check bool) "failed slot is NaN" true
+        (Float.is_nan row.(2));
+      Alcotest.(check bool)
+        (Printf.sprintf "point %d other slots finite" i)
+        true
+        (Float.is_finite row.(0) && Float.is_finite row.(1)
+       && Float.is_finite row.(3)))
+    base.Statistical.samples_td;
+  (* Survivor moments match a clean baseline over the surviving seeds. *)
+  let survivors = [| seeds.(0); seeds.(1); seeds.(3) |] in
+  let base' =
+    Statistical.monte_carlo_baseline ~tech ~arc:inv_fall ~seeds:survivors
+      ~points
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "survivor mu bitwise" true
+        (Int64.bits_of_float v
+        = Int64.bits_of_float base'.Statistical.mu_td.(i));
+      Alcotest.(check bool) "survivor sigma bitwise" true
+        (Int64.bits_of_float base.Statistical.sigma_td.(i)
+        = Int64.bits_of_float base'.Statistical.sigma_td.(i)))
+    base.Statistical.mu_td
 
 (* ------------------------------------------------------------------ *)
 (* Bayes_library *)
@@ -876,6 +1003,10 @@ let () =
             test_statistical_pool_bitwise_sequential;
           Alcotest.test_case "random design deterministic" `Slow
             test_statistical_random_design_deterministic;
+          Alcotest.test_case "graceful degradation" `Slow
+            test_statistical_degradation;
+          Alcotest.test_case "baseline degradation" `Slow
+            test_baseline_degradation;
         ] );
       ( "rsm",
         [

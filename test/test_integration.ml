@@ -229,11 +229,11 @@ let test_full_flow_cost_model () =
   let bayes_pop =
     Statistical.extract_population
       ~method_:(Statistical.Bayes (Lazy.force prior))
-      ~tech:Tech.n28 ~arc ~seeds ~budget:k
+      ~tech:Tech.n28 ~arc ~seeds ~budget:k ()
   in
   let lut_pop =
     Statistical.extract_population ~method_:Statistical.Lut ~tech:Tech.n28
-      ~arc ~seeds ~budget:n_lut
+      ~arc ~seeds ~budget:n_lut ()
   in
   Alcotest.(check int) "bayes cost k*N" (k * 5) bayes_pop.Statistical.train_cost;
   Alcotest.(check bool) "lut cost ~ N_LUT*N" true

@@ -286,6 +286,37 @@ let test_lm_linear_fit () =
   check_close ~tol:1e-6 "b" 3.0 r.Slc_num.Optimize.x.(1);
   Alcotest.(check bool) "converged" true r.Slc_num.Optimize.converged
 
+let test_lm_nan_cost_rejected () =
+  (* Residuals are NaN everywhere but the starting point: every trial
+     step must be rejected immediately as non-finite (no NaN may leak
+     into the accepted state), the solver must terminate, and the
+     rejections must be surfaced in the diagnostics. *)
+  let residuals x =
+    if Float.abs (x.(0) -. 1.0) < 1e-15 then [| 0.5 |] else [| Float.nan |]
+  in
+  let r =
+    Slc_num.Optimize.levenberg_marquardt ~max_iter:5 ~residuals ~x0:[| 1.0 |] ()
+  in
+  check_close ~tol:1e-12 "stays at start point" 1.0 r.Slc_num.Optimize.x.(0);
+  Alcotest.(check bool) "cost stays finite" true
+    (Float.is_finite r.Slc_num.Optimize.cost);
+  check_close ~tol:1e-12 "cost is the start cost" 0.125
+    r.Slc_num.Optimize.cost;
+  Alcotest.(check bool) "non-finite rejections surfaced" true
+    (r.Slc_num.Optimize.non_finite_steps > 0)
+
+let test_lm_nan_region_recovers () =
+  (* A model with a NaN region next to the optimum: the fit must still
+     converge from a start point whose early steps overshoot into it. *)
+  let residuals x =
+    [| (if x.(0) > 4.0 then Float.nan else x.(0) -. 3.0) |]
+  in
+  let r =
+    Slc_num.Optimize.levenberg_marquardt ~residuals ~x0:[| 0.0 |] ()
+  in
+  Alcotest.(check bool) "converged" true r.Slc_num.Optimize.converged;
+  check_close ~tol:1e-6 "optimum" 3.0 r.Slc_num.Optimize.x.(0)
+
 let test_numeric_jacobian () =
   let f v = [| v.(0) *. v.(0); v.(0) *. v.(1) |] in
   let j = Slc_num.Optimize.numeric_jacobian f [| 2.0; 3.0 |] in
@@ -625,6 +656,10 @@ let () =
         [
           Alcotest.test_case "LM rosenbrock" `Quick test_lm_rosenbrock_residuals;
           Alcotest.test_case "LM linear fit" `Quick test_lm_linear_fit;
+          Alcotest.test_case "LM NaN cost rejected" `Quick
+            test_lm_nan_cost_rejected;
+          Alcotest.test_case "LM NaN region recovers" `Quick
+            test_lm_nan_region_recovers;
           Alcotest.test_case "numeric jacobian" `Quick test_numeric_jacobian;
           Alcotest.test_case "nelder-mead" `Quick test_nelder_mead;
           Alcotest.test_case "golden section" `Quick test_golden_section;

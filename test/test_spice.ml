@@ -406,6 +406,96 @@ let test_rc_ladder_matches_expm () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Fault handling: typed failures and the recovery escalation ladder. *)
+
+let test_recovery_ladder () =
+  (* Tolerances no Newton solve can meet: the plain run must raise the
+     typed convergence failure, and the escalation ladder must rescue
+     the run at its relaxed-tolerance rung with the degraded flag. *)
+  let tech = Tech.n14 in
+  let vdd = 0.8 in
+  let net, nin, nout = inverter_netlist tech vdd in
+  Netlist.add_vsource net
+    (Stimulus.ramp ~t0:2e-12 ~duration:5e-12 ~v_from:0.0 ~v_to:vdd)
+    nin;
+  let opts =
+    {
+      (Transient.default_options ~tstop:60e-12) with
+      abstol = 1e-30;
+      dxtol = 1e-30;
+      breakpoints = Stimulus.breakpoints ~t0:2e-12 ~duration:5e-12;
+    }
+  in
+  let c = Transient.compile net in
+  (match Transient.run_compiled opts c with
+  | _ -> Alcotest.fail "expected No_convergence at abstol = 1e-30"
+  | exception Slc_obs.Slc_error.No_convergence d ->
+    Alcotest.(check bool)
+      "diagnostic has finite residual" true
+      (Float.is_finite d.Slc_obs.Slc_error.residual);
+    Alcotest.(check bool)
+      "diagnostic counted Newton iterations" true
+      (d.Slc_obs.Slc_error.newton_iters > 0));
+  let res = Transient.run_recovered opts c in
+  Alcotest.(check bool) "rescued run is degraded" true
+    (Transient.degraded res);
+  Alcotest.(check bool) "relaxed-tol rung reached" true
+    (List.mem "relaxed-tol" (Transient.recovery_log res));
+  let wout = Transient.waveform res nout in
+  Alcotest.(check bool) "rescued waveform still falls" true
+    (Waveform.final_value wout < 0.05 *. vdd)
+
+let test_recovery_exhaustion_reports_rungs () =
+  (* No rung changes the Newton iteration budget, so a zero budget
+     fails at every rung: the ladder must give up and re-raise the
+     ORIGINAL failure annotated with every rung it tried. *)
+  let tech = Tech.n14 in
+  let vdd = 0.8 in
+  let net, nin, _ = inverter_netlist tech vdd in
+  Netlist.add_vsource net
+    (Stimulus.ramp ~t0:2e-12 ~duration:5e-12 ~v_from:0.0 ~v_to:vdd)
+    nin;
+  let opts =
+    { (Transient.default_options ~tstop:60e-12) with max_newton = 0 }
+  in
+  let c = Transient.compile net in
+  match Transient.run_recovered opts c with
+  | _ -> Alcotest.fail "expected exhaustion"
+  | exception Slc_obs.Slc_error.No_convergence d ->
+    List.iter
+      (fun rung ->
+        Alcotest.(check bool)
+          (Printf.sprintf "rung %s recorded" rung)
+          true
+          (List.mem rung d.Slc_obs.Slc_error.recovery))
+      [ "tight-step"; "gmin-boost"; "relaxed-tol" ]
+
+let test_dc_sweep_restores_state () =
+  (* Regression: the sweep used to leave the compiled circuit's swept
+     stimulus at the last sweep value (and the fallback solved at the
+     WRONG voltage), corrupting cached templates.  After a sweep the
+     same compiled object must still simulate with its original
+     stimulus. *)
+  let tech = Tech.n14 in
+  let vdd = 0.8 in
+  let net, nin, nout = inverter_netlist tech vdd in
+  Netlist.add_vsource net (Stimulus.dc 0.0) nin;
+  let c = Transient.compile net in
+  let vins = Slc_num.Vec.linspace 0.0 vdd 9 in
+  let sols = Transient.dc_sweep_compiled c ~node:nin ~values:vins in
+  Alcotest.(check bool) "sweep reaches low rail" true
+    (sols.(8).(nout) < 0.02 *. vdd);
+  (* vin must be back at DC 0: output high, both at DC and transient. *)
+  let v = ref [||] in
+  v := Transient.dc_sweep_compiled c ~node:nin ~values:[| 0.0 |];
+  Alcotest.(check bool) "second sweep still works" true
+    ((!v).(0).(nout) > 0.98 *. vdd);
+  let res = Transient.run_compiled (Transient.default_options ~tstop:1e-11) c in
+  let w = Transient.waveform res nout in
+  Alcotest.(check bool) "original stimulus restored after sweep" true
+    (Waveform.final_value w > 0.95 *. vdd)
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let prop_rc_monotone_rise =
@@ -474,5 +564,14 @@ let () =
           Alcotest.test_case "RC ladder matches matrix exponential" `Quick
             test_rc_ladder_matches_expm;
           QCheck_alcotest.to_alcotest prop_rc_monotone_rise;
+        ] );
+      ( "fault handling",
+        [
+          Alcotest.test_case "recovery ladder rescues" `Quick
+            test_recovery_ladder;
+          Alcotest.test_case "recovery exhaustion reports rungs" `Quick
+            test_recovery_exhaustion_reports_rungs;
+          Alcotest.test_case "dc sweep restores state" `Quick
+            test_dc_sweep_restores_state;
         ] );
     ]

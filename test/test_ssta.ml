@@ -205,7 +205,7 @@ let test_path_statistical_shapes () =
   let population arc =
     Statistical.extract_population
       ~method_:(Statistical.Bayes (Lazy.force tiny_prior))
-      ~tech ~arc ~seeds ~budget:2
+      ~tech ~arc ~seeds ~budget:2 ()
   in
   let samples = Path.statistical ~population ~seeds ch ~sin ~vdd ~in_rises:true in
   Alcotest.(check int) "one sample per seed" 5 (Array.length samples);
@@ -222,7 +222,7 @@ let test_yield_of_dag () =
   let population arc =
     Statistical.extract_population
       ~method_:(Statistical.Bayes (Lazy.force tiny_prior))
-      ~tech ~arc ~seeds ~budget:2
+      ~tech ~arc ~seeds ~budget:2 ()
   in
   let dag = Sdag.create tech ~vdd in
   let x = Sdag.input dag "x" in
@@ -491,7 +491,7 @@ let test_yield_of_path () =
   let population arc =
     Statistical.extract_population
       ~method_:(Statistical.Bayes (Lazy.force tiny_prior))
-      ~tech ~arc ~seeds ~budget:2
+      ~tech ~arc ~seeds ~budget:2 ()
   in
   (* A generous clock passes everything; a tiny one fails everything. *)
   let loose =
