@@ -72,6 +72,54 @@ let seed_fixture =
     (let rng = Slc_prob.Rng.create 11 in
      Process.sample rng tech28 0)
 
+(* Persistent-store fixtures: a tiny LSE population (2 seeds x 2 points)
+   against a throwaway store.  The cold kernel deletes the final
+   artifact each run, so every iteration pays simulate + fit +
+   serialize + atomic write; the warm kernel measures the pure hit
+   path (read + parse + predictor rebuild, zero simulations). *)
+module Store = Slc_store.Store
+
+let store_seeds =
+  lazy (Process.sample_batch (Slc_prob.Rng.create 17) tech14 2)
+
+let store_fixture =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "slc-bench-store-%d" (Unix.getpid ()))
+     in
+     let st = Store.open_ dir in
+     let seeds = Lazy.force store_seeds in
+     let key =
+       Store.population_key ~method_:Statistical.Lse
+         ~design:Statistical.Curated ~tech:tech14 ~arc:inv_fall ~seeds
+         ~budget:2 ~min_points:2
+     in
+     (* Prime the final artifact so the warm kernel always hits. *)
+     ignore
+       (Store.extract_population ~store:st ~method_:Statistical.Lse
+          ~design:Statistical.Curated ~tech:tech14 ~arc:inv_fall ~seeds
+          ~budget:2 ());
+     (st, seeds, Store.artifact_path st `Population key))
+
+let store_extract st seeds =
+  Store.extract_population ~store:st ~method_:Statistical.Lse
+    ~design:Statistical.Curated ~tech:tech14 ~arc:inv_fall ~seeds ~budget:2 ()
+
+let bench_store_cold =
+  Test.make ~name:"store/population-cold"
+    (Staged.stage (fun () ->
+         let st, seeds, final = Lazy.force store_fixture in
+         (try Sys.remove final with Sys_error _ -> ());
+         store_extract st seeds))
+
+let bench_store_warm =
+  Test.make ~name:"store/population-warm"
+    (Staged.stage (fun () ->
+         let st, seeds, _ = Lazy.force store_fixture in
+         store_extract st seeds))
+
 (* ------------------------------------------------------------------ *)
 (* One benchmark per table/figure. *)
 
@@ -159,7 +207,7 @@ let all_benches =
     [
       bench_table1; bench_fig2; bench_fig3; bench_fig5; bench_fig6_map;
       bench_fig6_lut; bench_fig78; bench_fig9; bench_ablation_beta;
-      bench_ablation_chain; bench_ssta;
+      bench_ablation_chain; bench_ssta; bench_store_cold; bench_store_warm;
     ]
 
 let run_benchmarks ~quick () =

@@ -10,6 +10,7 @@ module Tech = Slc_device.Tech
 module Cells = Slc_cell.Cells
 module Arc = Slc_cell.Arc
 module Harness = Slc_cell.Harness
+module Store = Slc_store.Store
 
 let std = Format.std_formatter
 
@@ -29,6 +30,32 @@ let tech_of_name name =
     exit 2
 
 let config_of scale = Config.with_scale scale
+
+let store_arg =
+  let doc =
+    "Persistent characterization store directory (created if missing). \
+     Artifacts found there are reused instead of re-simulated; new ones \
+     are written back, so a second identical invocation runs zero \
+     simulations."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~doc ~docv:"DIR")
+
+let store_of = function
+  | None -> None
+  | Some dir -> (
+    match Store.open_ dir with
+    | st -> Some st
+    | exception Slc_obs.Slc_error.Store_failed f ->
+      Printf.eprintf "store: %s\n" (Slc_obs.Slc_error.store_fault_message f);
+      exit 2)
+
+(* Learn the historical prior — or load it from the store, where a
+   previous process already paid for it. *)
+let prior_for ?store tech =
+  let historical = Tech.historical_for tech in
+  match store with
+  | Some st -> Store.get_prior st ~historical
+  | None -> Prior.learn_pair ~historical ()
 
 let with_timer f =
   let t0 = Unix.gettimeofday () in
@@ -138,7 +165,7 @@ let characterize_cmd =
   let k_arg =
     Arg.(value & opt int 2 & info [ "k" ] ~doc:"Fitting simulations.")
   in
-  let run tech cell pin k =
+  let run tech cell pin k store_dir =
     let tech = tech_of_name tech in
     let cell =
       match Cells.by_name cell with
@@ -155,11 +182,27 @@ let characterize_cmd =
         exit 2
     in
     with_timer (fun () ->
+        let store = store_of store_dir in
         Format.fprintf std "Learning prior from %s...@."
           (String.concat ","
              (List.map (fun t -> t.Tech.name) (Tech.historical_for tech)));
-        let prior = Prior.learn_pair ~historical:(Tech.historical_for tech) () in
-        let p = Char_flow.train_bayes ~prior tech arc ~k in
+        let prior = prior_for ?store tech in
+        let p =
+          match store with
+          | None -> Char_flow.train_bayes ~prior tech arc ~k
+          | Some st -> (
+            let key =
+              Store.predictor_key
+                ~prior_fp:(Store.prior_fingerprint prior)
+                ~tech ~arc ~k ~seed:None
+            in
+            match Store.find_predictor st ~key ~tech ~arc with
+            | Some p -> p
+            | None ->
+              let p = Char_flow.train_bayes ~prior tech arc ~k in
+              Store.put_predictor st ~key p;
+              p)
+        in
         let ds =
           Char_flow.simulate_dataset tech arc
             (Input_space.validation_set ~n:100 ~seed:1 tech)
@@ -174,7 +217,7 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Characterize one arc with the Bayesian flow and report error")
-    Term.(const run $ tech_arg "n14" $ cell_arg $ pin_arg $ k_arg)
+    Term.(const run $ tech_arg "n14" $ cell_arg $ pin_arg $ k_arg $ store_arg)
 
 let prior_cmd =
   let save_arg =
@@ -263,10 +306,30 @@ let liberty_cmd =
   let out_arg =
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc:"Output file.")
   in
-  let run tech out =
+  let run tech out store_dir =
     let tech = tech_of_name tech in
     with_timer (fun () ->
-        let lib = Slc_cell.Library.characterize tech ~levels:[| 3; 3; 2 |] in
+        let levels = [| 3; 3; 2 |] in
+        let lib =
+          match store_of store_dir with
+          | None -> Slc_cell.Library.characterize tech ~levels
+          | Some st -> (
+            let key =
+              Store.library_key ~seed:None ~tech
+                ~cells:(List.map (fun c -> c.Cells.name) Cells.all)
+                ~levels
+            in
+            match Store.find_library st ~key with
+            | Some lib ->
+              Slc_obs.Telemetry.incr Slc_obs.Telemetry.store_hits;
+              Format.fprintf std "store: library served with zero simulations@.";
+              lib
+            | None ->
+              Slc_obs.Telemetry.incr Slc_obs.Telemetry.store_misses;
+              let lib = Slc_cell.Library.characterize tech ~levels in
+              Store.put_library st ~key lib;
+              lib)
+        in
         let text =
           Slc_cell.Liberty.to_string ~vdd:tech.Tech.vdd_nom lib
         in
@@ -279,7 +342,7 @@ let liberty_cmd =
   in
   Cmd.v
     (Cmd.info "liberty" ~doc:"Characterize a full library and emit .lib text")
-    Term.(const run $ tech_arg "n28" $ out_arg)
+    Term.(const run $ tech_arg "n28" $ out_arg $ store_arg)
 
 let sta_cmd =
   let netlist_arg =
@@ -292,8 +355,9 @@ let sta_cmd =
   let prior_arg =
     Arg.(value & opt (some string) None & info [ "prior" ] ~doc:"Load the prior from FILE (else learn it).")
   in
-  let run tech netlist clock k prior_path =
+  let run tech netlist clock k prior_path store_dir =
     let tech = tech_of_name tech in
+    let store = store_of store_dir in
     let src = In_channel.with_open_text netlist In_channel.input_all in
     let v =
       match Slc_ssta.Verilog.parse src with
@@ -309,9 +373,9 @@ let sta_cmd =
         let prior =
           match prior_path with
           | Some p -> Prior_io.load p
-          | None -> Prior.learn_pair ~historical:(Tech.historical_for tech) ()
+          | None -> prior_for ?store tech
         in
-        let oracle = Slc_ssta.Oracle.bayes_bank ~prior tech ~k in
+        let oracle = Slc_ssta.Oracle.bayes_bank ?store ~prior tech ~k in
         let input_arrivals _ =
           Slc_ssta.Sdag.input_edge ~at:0.0 ~slew:5e-12 ~rises:true
         in
@@ -339,7 +403,144 @@ let sta_cmd =
   Cmd.v
     (Cmd.info "sta"
        ~doc:"Slack report for a structural-Verilog netlist (Bayes-characterized library)")
-    Term.(const run $ tech_arg "n14" $ netlist_arg $ clock_arg $ k_arg $ prior_arg)
+    Term.(
+      const run $ tech_arg "n14" $ netlist_arg $ clock_arg $ k_arg $ prior_arg
+      $ store_arg)
+
+let population_cmd =
+  let cell_arg =
+    Arg.(value & opt string "INV" & info [ "c"; "cell" ] ~doc:"Cell name.")
+  in
+  let pin_arg =
+    Arg.(value & opt string "A" & info [ "p"; "pin" ] ~doc:"Input pin.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "n"; "seeds" ] ~doc:"Number of Monte-Carlo process seeds.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "k" ] ~doc:"Per-seed training budget (simulator runs).")
+  in
+  let method_arg =
+    Arg.(
+      value & opt string "bayes"
+      & info [ "m"; "method" ] ~doc:"Extraction method: bayes, lse or lut.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ]
+          ~doc:"Seeds per checkpoint batch (only meaningful with --store).")
+  in
+  let rng_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "rng-seed" ] ~doc:"Seed-batch generator seed.")
+  in
+  let run tech cell pin nseeds k meth batch rng_seed store_dir =
+    let tech = tech_of_name tech in
+    let cell =
+      match Cells.by_name cell with
+      | c -> c
+      | exception Not_found ->
+        Printf.eprintf "unknown cell %S\n" cell;
+        exit 2
+    in
+    let arc =
+      match Arc.find cell ~pin ~out_dir:Arc.Fall with
+      | a -> a
+      | exception Not_found ->
+        Printf.eprintf "no falling arc on pin %S\n" pin;
+        exit 2
+    in
+    with_timer (fun () ->
+        let store = store_of store_dir in
+        let seeds =
+          Slc_device.Process.sample_batch (Slc_prob.Rng.create rng_seed) tech
+            nseeds
+        in
+        let method_ =
+          match meth with
+          | "bayes" -> Statistical.Bayes (prior_for ?store tech)
+          | "lse" -> Statistical.Lse
+          | "lut" -> Statistical.Lut
+          | m ->
+            Printf.eprintf "unknown method %S (want bayes, lse or lut)\n" m;
+            exit 2
+        in
+        let pop =
+          match store with
+          | None ->
+            Statistical.extract_population_design ~design:Statistical.Curated
+              ~method_ ~tech ~arc ~seeds ~budget:k ()
+          | Some st ->
+            let pop, outcome =
+              Store.extract_population ~batch_size:batch ~store:st ~method_
+                ~design:Statistical.Curated ~tech ~arc ~seeds ~budget:k ()
+            in
+            (match outcome with
+            | Store.Hit ->
+              Format.fprintf std
+                "store: hit — population served with zero simulations@."
+            | Store.Computed { resumed_seeds; computed_seeds; batches } ->
+              Format.fprintf std
+                "store: computed %d seed(s) in %d checkpoint batch(es), \
+                 resumed %d from a checkpoint@."
+                computed_seeds batches resumed_seeds);
+            pop
+        in
+        let ok, degraded, failed =
+          Array.fold_left
+            (fun (ok, de, fa) -> function
+              | Statistical.Seed_ok -> (ok + 1, de, fa)
+              | Statistical.Seed_degraded _ -> (ok, de + 1, fa)
+              | Statistical.Seed_failed _ -> (ok, de, fa + 1))
+            (0, 0, 0) pop.Statistical.status
+        in
+        Format.fprintf std
+          "%s in %s: %d seeds, method %s, train cost %d simulator runs@."
+          (Arc.name arc) tech.Tech.name nseeds
+          (Statistical.method_label method_)
+          pop.Statistical.train_cost;
+        Format.fprintf std "seed status: %d ok, %d degraded, %d failed@." ok
+          degraded failed;
+        let s_lo, s_hi = tech.Tech.sin_range in
+        let c_lo, c_hi = tech.Tech.cload_range in
+        let point =
+          {
+            Harness.sin = 0.5 *. (s_lo +. s_hi);
+            cload = 0.5 *. (c_lo +. c_hi);
+            vdd = tech.Tech.vdd_nom;
+          }
+        in
+        let samples = Statistical.predict_samples pop point ~td:true in
+        let n = float_of_int (Array.length samples) in
+        if n > 0.0 then begin
+          let mu = Array.fold_left ( +. ) 0.0 samples /. n in
+          let var =
+            Array.fold_left (fun a x -> a +. ((x -. mu) ** 2.0)) 0.0 samples
+            /. n
+          in
+          Format.fprintf std
+            "predicted Td at (Sin=%.1fps, Cload=%.1ffF, Vdd=%.2fV): mu %.2f \
+             ps, sigma %.3f ps@."
+            (point.Harness.sin *. 1e12)
+            (point.Harness.cload *. 1e15)
+            point.Harness.vdd (mu *. 1e12)
+            (sqrt var *. 1e12)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "population"
+       ~doc:
+         "Per-seed statistical parameter extraction, with checkpoint/resume \
+          and zero-simulation replay when --store is given")
+    Term.(
+      const run $ tech_arg "n28" $ cell_arg $ pin_arg $ seeds_arg $ k_arg
+      $ method_arg $ batch_arg $ rng_arg $ store_arg)
 
 let all_cmd =
   let run scale = with_timer (fun () ->
@@ -364,7 +565,7 @@ let main =
     [
       table1_cmd; fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig78_cmd; fig9_cmd;
       ablations_cmd; characterize_cmd; corners_cmd; liberty_cmd; prior_cmd;
-      sta_cmd; all_cmd;
+      population_cmd; sta_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

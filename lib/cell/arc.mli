@@ -14,6 +14,7 @@ type t = {
 }
 
 val direction_to_string : direction -> string
+(** ["rise"] / ["fall"]. *)
 
 val input_rises : t -> bool
 (** All built-in cells are inverting, so the input rises exactly when

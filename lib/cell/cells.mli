@@ -16,12 +16,16 @@ type t = {
 }
 
 val inv : t
+(** The reference inverter — every other cell's drive is sized
+    relative to it, and it anchors the equivalent-inverter reduction. *)
 
 val nand2 : t
+(** 2-input NAND: series NMOS stack (upsized 2x), parallel PMOS. *)
 
 val nand3 : t
 
 val nor2 : t
+(** 2-input NOR: parallel NMOS, series PMOS stack (upsized 2x). *)
 
 val nor3 : t
 
@@ -42,6 +46,8 @@ val oai22 : t
 (** out = not ((A or B) and (C or D)). *)
 
 val all : t list
+(** Every built-in cell, in a stable order — the default cell set of
+    {!Library.characterize} and of the whole-library experiments. *)
 
 val by_name : string -> t
 (** Raises [Not_found] for unknown names. *)

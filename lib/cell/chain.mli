@@ -14,6 +14,8 @@ type stage = {
 }
 
 val stage : ?wire_cap:float -> Cells.t -> string -> stage
+(** [stage cell pin] — a chain stage whose [pin] is driven by the
+    previous stage; [wire_cap] defaults to 0. *)
 
 type t = {
   tech : Slc_device.Tech.t;

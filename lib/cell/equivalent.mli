@@ -23,6 +23,8 @@ val of_arc_cached : Slc_device.Tech.t -> Arc.t -> t
     inverter on every call. *)
 
 val ieff : t -> vdd:float -> float
+(** Effective switching current of the equivalent device (paper
+    Eq. 4): [(Id(Vdd, Vdd/2) + Id(Vdd/2, Vdd)) / 2]. *)
 
 val ieff_with_seed :
   Slc_device.Tech.t -> Slc_device.Process.seed -> Arc.t -> vdd:float -> float

@@ -14,11 +14,13 @@ type point = { sin : float; cload : float; vdd : float }
 (** One library input condition [ξ = (Sin, Cload, Vdd)]. *)
 
 val pp_point : Format.formatter -> point -> unit
+(** Human-readable rendering in engineering units (ps, fF, V). *)
 
 val point_of_vec : Slc_num.Vec.t -> point
 (** From a 3-vector [(sin, cload, vdd)]. *)
 
 val vec_of_point : point -> Slc_num.Vec.t
+(** Inverse of {!point_of_vec}. *)
 
 type measurement = {
   td : float;    (** 50%-to-50% propagation delay, s *)
@@ -91,6 +93,8 @@ val sim_count : unit -> int
     speedup claim in the paper is stated in. *)
 
 val reset_sim_count : unit -> unit
+(** Zeroes {!sim_count} — only tests and cost-accounting experiments
+    should call this. *)
 
 val count_simulation : unit -> unit
 (** Adds one to the global simulation counter — for engines (e.g.

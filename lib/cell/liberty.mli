@@ -17,6 +17,7 @@ val write : Format.formatter -> vdd:float -> Library.t -> unit
     tables. *)
 
 val to_string : vdd:float -> Library.t -> string
+(** {!write} into a string. *)
 
 (** {1 Reading} *)
 

@@ -36,6 +36,121 @@ let delay t arc point = Nldm.lookup_td (entry_for t arc).table point
 
 let slew t arc point = Nldm.lookup_sout (entry_for t arc).table point
 
+(* ------------------------------------------------------------------ *)
+(* Serialization: the library header plus one embedded NLDM block per
+   entry.  Arcs are stored as (cell, pin, direction) and rebuilt
+   through [Arc.find], which is exactly how [characterize] derived
+   them — the round trip reproduces the same side-input assignment. *)
+
+exception Format_error of string
+
+let fail msg = raise (Format_error ("Library: " ^ msg))
+
+let direction_of_string = function
+  | "rise" -> Arc.Rise
+  | "fall" -> Arc.Fall
+  | s -> fail ("bad direction " ^ s)
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "slc-library 1\n";
+  Buffer.add_string b (Printf.sprintf "tech %s\n" t.tech.Slc_device.Tech.name);
+  Buffer.add_string b (Printf.sprintf "sim_runs %d\n" t.sim_runs);
+  Buffer.add_string b (Printf.sprintf "entries %d\n" (List.length t.entries));
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "entry %s %s %s\n" e.arc.Arc.cell.Cells.name
+           e.arc.Arc.pin
+           (Arc.direction_to_string e.arc.Arc.out_dir));
+      Nldm.to_buffer b e.table)
+    t.entries;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let of_string ?tech src =
+  let lines =
+    ref
+      (String.split_on_char '\n' src
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> ""))
+  in
+  let next_line () =
+    match !lines with
+    | [] -> fail "unexpected end of input"
+    | l :: rest ->
+      lines := rest;
+      l
+  in
+  let fields l = String.split_on_char ' ' l |> List.filter (fun s -> s <> "") in
+  let expect key =
+    let l = next_line () in
+    match fields l with
+    | k :: rest when String.equal k key -> rest
+    | _ -> fail (Printf.sprintf "expected %S, got %S" key l)
+  in
+  (match expect "slc-library" with
+  | [ "1" ] -> ()
+  | _ -> fail "unsupported format version (want 1)");
+  let tech_name =
+    match expect "tech" with [ n ] -> n | _ -> fail "bad tech line"
+  in
+  let tech =
+    match tech with
+    | Some t ->
+      if t.Slc_device.Tech.name <> tech_name then
+        fail
+          (Printf.sprintf "stored for tech %s, caller supplied %s" tech_name
+             t.Slc_device.Tech.name);
+      t
+    | None -> (
+      match Slc_device.Tech.by_name tech_name with
+      | t -> t
+      | exception Not_found -> fail ("unknown tech " ^ tech_name))
+  in
+  let sim_runs =
+    match expect "sim_runs" with
+    | [ n ] -> (
+      match int_of_string_opt n with Some i -> i | None -> fail "bad sim_runs")
+    | _ -> fail "bad sim_runs line"
+  in
+  let n_entries =
+    match expect "entries" with
+    | [ n ] -> (
+      match int_of_string_opt n with
+      | Some i when i >= 0 -> i
+      | _ -> fail "bad entries count")
+    | _ -> fail "bad entries line"
+  in
+  let entries =
+    List.init n_entries (fun _ ->
+        match expect "entry" with
+        | [ cell_name; pin; dir ] ->
+          let cell =
+            match Cells.by_name cell_name with
+            | c -> c
+            | exception Not_found -> fail ("unknown cell " ^ cell_name)
+          in
+          let out_dir = direction_of_string dir in
+          let arc =
+            match Arc.find cell ~pin ~out_dir with
+            | a -> a
+            | exception Not_found ->
+              fail
+                (Printf.sprintf "no %s arc on %s/%s" dir cell_name pin)
+          in
+          let table =
+            try Nldm.parse_lines next_line
+            with Nldm.Format_error msg -> fail msg
+          in
+          { arc; table }
+        | _ -> fail "bad entry line")
+  in
+  (match fields (next_line ()) with
+  | [ "end" ] -> ()
+  | _ -> fail "missing end marker");
+  { tech; entries; sim_runs }
+
 let summary ppf t =
   Format.fprintf ppf "library(%s) { /* %d arcs, %d simulator runs */@."
     t.tech.Slc_device.Tech.name (List.length t.entries) t.sim_runs;

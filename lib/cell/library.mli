@@ -19,15 +19,42 @@ val characterize :
     {!Cells.all}). *)
 
 val find : t -> cell:string -> pin:string -> out_dir:Arc.direction -> entry option
+(** The entry for one arc, by cell name, switching pin and output
+    direction; [None] if the library does not contain it. *)
 
 val arcs : t -> Arc.t list
+(** Every arc the library has a table for, in entry order. *)
 
 val delay : t -> Arc.t -> Harness.point -> float
 (** Interpolated delay; raises [Not_found] for an arc that is not in the
     library. *)
 
 val slew : t -> Arc.t -> Harness.point -> float
+(** Interpolated output slew; raises [Not_found] like {!delay}. *)
 
 val summary : Format.formatter -> t -> unit
 (** Liberty-flavored human-readable dump (cells, arcs, table sizes and
     corner values). *)
+
+(** {2 Serialization}
+
+    A characterized library is the most expensive artifact the flow
+    produces (one simulation per grid point per arc); the persistent
+    store keeps it on disk so a second process pays zero simulations.
+    Values round-trip bitwise via the embedded {!Nldm} hex-float
+    blocks. *)
+
+exception Format_error of string
+
+val to_string : t -> string
+(** Versioned line-oriented text: a header naming the technology
+    followed by one embedded {!Nldm} block per entry. *)
+
+val of_string : ?tech:Slc_device.Tech.t -> string -> t
+(** Rebuilds the library.  Arcs are reconstructed by name through
+    {!Arc.find} (the same derivation {!characterize} used).  With
+    [?tech] the stored technology name must match the supplied card
+    (use this for temperature or Vt variants whose cards are not
+    registered under {!Slc_device.Tech.by_name}); without it the name
+    is resolved via [Tech.by_name].  Raises {!Format_error} on
+    malformed input, an unsupported version, or a tech mismatch. *)

@@ -111,3 +111,125 @@ let lookup_td t p = lookup t.td t p
 let lookup_sout t p = lookup t.sout t p
 
 let lookup_energy t p = lookup t.energy t p
+
+(* ------------------------------------------------------------------ *)
+(* Serialization.  Line-oriented text with hex floats (Hexfloat), so a
+   stored table reloads with bitwise-identical axes and values — the
+   persistent store's correctness contract. *)
+
+exception Format_error of string
+
+let fail msg = raise (Format_error ("Nldm: " ^ msg))
+
+let hex = Slc_num.Hexfloat.to_string
+
+let to_buffer b t =
+  let axis name a =
+    Buffer.add_string b
+      (Printf.sprintf "axis %s %d %s\n" name (Array.length a)
+         (String.concat " " (Array.to_list (Array.map hex a))))
+  in
+  let grid name (values : float array array array) =
+    let flat = ref [] in
+    for i = Array.length t.sin_axis - 1 downto 0 do
+      for j = Array.length t.cload_axis - 1 downto 0 do
+        for k = Array.length t.vdd_axis - 1 downto 0 do
+          flat := hex values.(i).(j).(k) :: !flat
+        done
+      done
+    done;
+    Buffer.add_string b
+      (Printf.sprintf "%s %s\n" name (String.concat " " !flat))
+  in
+  Buffer.add_string b "slc-nldm 1\n";
+  Buffer.add_string b (Printf.sprintf "arc %s\n" t.arc_name);
+  axis "sin" t.sin_axis;
+  axis "cload" t.cload_axis;
+  axis "vdd" t.vdd_axis;
+  grid "td" t.td;
+  grid "sout" t.sout;
+  grid "energy" t.energy;
+  Buffer.add_string b "end\n"
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  to_buffer b t;
+  Buffer.contents b
+
+let fields l = String.split_on_char ' ' l |> List.filter (fun s -> s <> "")
+
+let float_of s =
+  match Slc_num.Hexfloat.of_string_opt s with
+  | Some f -> f
+  | None -> fail ("bad float " ^ s)
+
+(* Parse one table from a line cursor; shared with [Library.of_string],
+   which embeds table blocks inline. *)
+let parse_lines next_line =
+  let expect key =
+    let l = next_line () in
+    match fields l with
+    | k :: rest when String.equal k key -> rest
+    | _ -> fail (Printf.sprintf "expected %S, got %S" key l)
+  in
+  (match expect "slc-nldm" with
+  | [ "1" ] -> ()
+  | _ -> fail "unsupported format version (want 1)");
+  let arc_name =
+    match expect "arc" with [ a ] -> a | _ -> fail "bad arc line"
+  in
+  let axis name =
+    match expect "axis" with
+    | n :: rest when n = name -> (
+      match rest with
+      | count :: vals ->
+        let count =
+          match int_of_string_opt count with
+          | Some c when c >= 1 -> c
+          | _ -> fail ("bad axis count for " ^ name)
+        in
+        let a = Array.of_list (List.map float_of vals) in
+        if Array.length a <> count then fail ("axis length mismatch for " ^ name);
+        a
+      | [] -> fail ("empty axis " ^ name))
+    | _ -> fail ("expected axis " ^ name)
+  in
+  let sin_axis = axis "sin" in
+  let cload_axis = axis "cload" in
+  let vdd_axis = axis "vdd" in
+  let n_s = Array.length sin_axis
+  and n_c = Array.length cload_axis
+  and n_v = Array.length vdd_axis in
+  let grid name =
+    let vals = Array.of_list (List.map float_of (expect name)) in
+    if Array.length vals <> n_s * n_c * n_v then
+      fail (name ^ " grid size mismatch");
+    Array.init n_s (fun i ->
+        Array.init n_c (fun j ->
+            Array.init n_v (fun k -> vals.((((i * n_c) + j) * n_v) + k))))
+  in
+  let td = grid "td" in
+  let sout = grid "sout" in
+  let energy = grid "energy" in
+  (match fields (next_line ()) with
+  | [ "end" ] -> ()
+  | _ -> fail "missing end marker");
+  { arc_name; sin_axis; cload_axis; vdd_axis; td; sout; energy }
+
+let of_string src =
+  let lines =
+    ref
+      (String.split_on_char '\n' src
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> ""))
+  in
+  let next_line () =
+    match !lines with
+    | [] -> fail "unexpected end of input"
+    | l :: rest ->
+      lines := rest;
+      l
+  in
+  let t = parse_lines next_line in
+  if !lines <> [] then fail "trailing garbage after end marker";
+  t

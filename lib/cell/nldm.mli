@@ -46,7 +46,37 @@ val build_on_axes :
   t
 
 val lookup_td : t -> Harness.point -> float
+(** Trilinearly interpolated delay at an arbitrary ξ (linear
+    extrapolation outside the grid, constant along singleton axes). *)
 
 val lookup_sout : t -> Harness.point -> float
+(** Interpolated output slew; same scheme as {!lookup_td}. *)
 
 val lookup_energy : t -> Harness.point -> float
+(** Interpolated switching energy, J; same scheme as {!lookup_td}. *)
+
+(** {2 Serialization}
+
+    Tables are the unit of paid-for characterization work, so the
+    persistent store keeps them on disk.  The format is line-oriented
+    text whose floats use the exact hexadecimal encoding
+    ({!Slc_num.Hexfloat}): a reloaded table is bitwise identical to the
+    one written — lookups through it return the same 64-bit values. *)
+
+exception Format_error of string
+
+val to_string : t -> string
+(** Versioned line-oriented text (header, axes, value grids). *)
+
+val of_string : string -> t
+(** Raises {!Format_error} on malformed input or an unsupported format
+    version. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Appends exactly what {!to_string} returns — used by containers
+    (e.g. {!Library}) that embed table blocks in their own format. *)
+
+val parse_lines : (unit -> string) -> t
+(** Parses one table block from a line cursor (the inverse of
+    {!to_buffer}); the cursor must yield trimmed, non-empty lines.
+    Raises {!Format_error}. *)

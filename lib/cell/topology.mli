@@ -15,6 +15,7 @@ val pins : t -> string list
 (** Distinct pin names in first-appearance order. *)
 
 val device_count : t -> int
+(** Total number of transistors in the network. *)
 
 val conducts : t -> on:(string -> bool) -> bool
 (** Whether the network conducts when [on pin] says a device whose gate

@@ -76,6 +76,9 @@ let validate ?(n = 40) ?(rng_seed = 7) t =
         {
           Char_flow.label = "bayes-library";
           train_cost = t.k;
+          model =
+            Char_flow.Timing_pair
+              { td = e.delay_params; sout = e.slew_params };
           predict_td = delay t e.arc;
           predict_sout = slew t e.arc;
         }

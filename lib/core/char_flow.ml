@@ -41,9 +41,15 @@ let observations_of_dataset ?(seed = Process.nominal) tech ds ~metric =
         value = values.(i);
       })
 
+type model =
+  | Timing_pair of { td : Timing_model.params; sout : Timing_model.params }
+  | Nldm_table of Slc_cell.Nldm.t
+  | Opaque
+
 type predictor = {
   label : string;
   train_cost : int;
+  model : model;
   predict_td : Input_space.point -> float;
   predict_sout : Input_space.point -> float;
 }
@@ -52,11 +58,29 @@ let model_predictor ~label ~seed ~tech ~arc ~cost p_td p_sout =
   {
     label;
     train_cost = cost;
+    model = Timing_pair { td = p_td; sout = p_sout };
     predict_td =
       (fun pt -> Timing_model.eval p_td ~ieff:(ieff_at ?seed tech arc pt) pt);
     predict_sout =
       (fun pt -> Timing_model.eval p_sout ~ieff:(ieff_at ?seed tech arc pt) pt);
   }
+
+let table_predictor ~label ~cost table =
+  {
+    label;
+    train_cost = cost;
+    model = Nldm_table table;
+    predict_td = (fun pt -> Nldm.lookup_td table pt);
+    predict_sout = (fun pt -> Nldm.lookup_sout table pt);
+  }
+
+let predictor_of_model ?seed ~label ~train_cost tech arc model =
+  match model with
+  | Timing_pair { td; sout } ->
+    model_predictor ~label ~seed ~tech ~arc ~cost:train_cost td sout
+  | Nldm_table table -> table_predictor ~label ~cost:train_cost table
+  | Opaque ->
+    invalid_arg "Char_flow.predictor_of_model: Opaque models cannot be rebuilt"
 
 let fitting_points_for ?points tech ~k =
   match points with
@@ -107,6 +131,7 @@ let train_rsm ?seed ?points tech arc ~k =
   {
     label = "rsm";
     train_cost = ds.cost;
+    model = Opaque;
     predict_td = Rsm.eval rsm_td;
     predict_sout = Rsm.eval rsm_sout;
   }
@@ -116,12 +141,9 @@ let train_lut ?seed tech arc ~budget =
   let levels = Nldm.design_levels ~budget ~box in
   let before = Harness.sim_count () in
   let table = Nldm.build ?seed tech arc ~levels in
-  {
-    label = "lookup-table";
-    train_cost = Harness.sim_count () - before;
-    predict_td = (fun pt -> Nldm.lookup_td table pt);
-    predict_sout = (fun pt -> Nldm.lookup_sout table pt);
-  }
+  table_predictor ~label:"lookup-table"
+    ~cost:(Harness.sim_count () - before)
+    table
 
 type errors = { td_err : float; sout_err : float }
 

@@ -37,12 +37,42 @@ val observations_of_dataset :
 (** Attaches per-condition [Ieff] (with the seed's global shifts) to the
     measured values. *)
 
+(** The serializable substance behind a predictor: what must be
+    persisted so another process can rebuild the same predictions
+    without re-simulating.  The closures in {!predictor} are pure
+    functions of this model (plus tech/arc/seed), so storing the model
+    and rebuilding with {!predictor_of_model} reproduces every
+    prediction bitwise. *)
+type model =
+  | Timing_pair of { td : Timing_model.params; sout : Timing_model.params }
+      (** the paper's 4-parameter compact model, one fit per metric
+          (Bayes/MAP and LSE flows) *)
+  | Nldm_table of Slc_cell.Nldm.t  (** a conventional look-up table *)
+  | Opaque
+      (** not serializable (e.g. the RSM baseline); the persistent
+          store refuses these *)
+
 type predictor = {
   label : string;
   train_cost : int;  (** simulator runs spent training *)
+  model : model;     (** the persistable parameters behind the closures *)
   predict_td : Input_space.point -> float;
   predict_sout : Input_space.point -> float;
 }
+
+val predictor_of_model :
+  ?seed:Slc_device.Process.seed ->
+  label:string ->
+  train_cost:int ->
+  Slc_device.Tech.t ->
+  Slc_cell.Arc.t ->
+  model ->
+  predictor
+(** Rebuilds a predictor from its persisted model.  The closures are
+    constructed exactly as training would have built them, so for the
+    same (model, tech, arc, seed) the predictions are bitwise identical
+    to the original predictor's.  Raises [Invalid_argument] for
+    {!Opaque}. *)
 
 val train_bayes :
   ?seed:Slc_device.Process.seed ->

@@ -16,9 +16,15 @@ type population = {
   meth : method_;
   seeds : Process.seed array;
   status : seed_status array;
+  predictors : Char_flow.predictor option array;
   train_cost : int;
   predict_td : Process.seed -> Input_space.point -> float;
   predict_sout : Process.seed -> Input_space.point -> float;
+}
+
+type seed_models = {
+  sm_predictors : Char_flow.predictor option array;
+  sm_status : seed_status array;
 }
 
 type design = Curated | Random_per_seed of Slc_prob.Rng.t
@@ -47,15 +53,14 @@ let compact_dataset ~arc ~points ~budget ok ms =
     cost = !cost;
   }
 
-let extract_population_design ?(min_points = 2) ~design ~method_ ~tech ~arc
-    ~seeds ~budget () =
+let extract_seed_models ?(min_points = 2) ~design ~method_ ~tech ~arc ~seeds
+    ~budget () =
   if Array.length seeds = 0 then
     invalid_arg "Statistical.extract_population: no seeds";
   if budget < 1 then invalid_arg "Statistical.extract_population: budget < 1";
   if min_points < 1 then
     invalid_arg "Statistical.extract_population: min_points < 1";
   Telemetry.with_span Telemetry.span_extract @@ fun () ->
-  let before = Harness.sim_count () in
   let ns = Array.length seeds in
   let status = Array.make ns Seed_ok in
   let record_degraded si n_fail =
@@ -182,6 +187,12 @@ let extract_population_design ?(min_points = 2) ~design ~method_ ~tech ~arc
               | Lut -> assert false))
         (Array.init ns Fun.id)
   in
+  { sm_predictors = predictors; sm_status = status }
+
+let assemble ~method_ ~seeds ~predictors ~status ~train_cost =
+  let ns = Array.length seeds in
+  if Array.length predictors <> ns || Array.length status <> ns then
+    invalid_arg "Statistical.assemble: array length mismatch";
   let find seed =
     if seed.Process.index < 0 || seed.Process.index >= Array.length seeds then
       invalid_arg "Statistical.population: unknown seed";
@@ -196,10 +207,21 @@ let extract_population_design ?(min_points = 2) ~design ~method_ ~tech ~arc
     meth = method_;
     seeds;
     status;
-    train_cost = Harness.sim_count () - before;
+    predictors;
+    train_cost;
     predict_td = (fun seed pt -> (find seed).Char_flow.predict_td pt);
     predict_sout = (fun seed pt -> (find seed).Char_flow.predict_sout pt);
   }
+
+let extract_population_design ?min_points ~design ~method_ ~tech ~arc ~seeds
+    ~budget () =
+  let before = Harness.sim_count () in
+  let { sm_predictors; sm_status } =
+    extract_seed_models ?min_points ~design ~method_ ~tech ~arc ~seeds ~budget
+      ()
+  in
+  assemble ~method_ ~seeds ~predictors:sm_predictors ~status:sm_status
+    ~train_cost:(Harness.sim_count () - before)
 
 let extract_population ?min_points ~method_ ~tech ~arc ~seeds ~budget () =
   extract_population_design ?min_points ~design:Curated ~method_ ~tech ~arc

@@ -31,6 +31,11 @@ type population = {
   status : seed_status array;
       (** per-seed outcome, indexed by [Process.index]; all [Seed_ok]
           when every simulation converged *)
+  predictors : Char_flow.predictor option array;
+      (** the per-seed trained predictors behind [predict_td]/
+          [predict_sout], indexed like [status] ([None] = failed seed).
+          Each predictor's {!Char_flow.model} is what the persistent
+          store serializes. *)
   train_cost : int;  (** total simulator runs over all seeds *)
   predict_td : Slc_device.Process.seed -> Input_space.point -> float;
   predict_sout : Slc_device.Process.seed -> Input_space.point -> float;
@@ -83,6 +88,53 @@ val extract_population_design :
   population
 (** {!extract_population} with an explicit fitting-point design (the
     design choice is ignored by [Lut], which builds its own grid). *)
+
+(** {2 Checkpointable decomposition}
+
+    [Slc_store] resumes interrupted extractions by re-running only the
+    seeds a checkpoint is missing.  That requires the extraction core
+    in a subset-friendly shape: {!extract_seed_models} trains any seed
+    subset (arrays are positional; per-seed designs still key off each
+    seed's [Process.index], so a subset computes exactly what the full
+    batch would), and {!assemble} packages per-seed results — fresh,
+    resumed, or loaded — into a {!population}. *)
+
+type seed_models = {
+  sm_predictors : Char_flow.predictor option array;
+      (** positional: entry [i] belongs to [seeds.(i)] of the call *)
+  sm_status : seed_status array;
+}
+
+val extract_seed_models :
+  ?min_points:int ->
+  design:design ->
+  method_:method_ ->
+  tech:Slc_device.Tech.t ->
+  arc:Slc_cell.Arc.t ->
+  seeds:Slc_device.Process.seed array ->
+  budget:int ->
+  unit ->
+  seed_models
+(** The simulation-and-fitting core of {!extract_population_design},
+    returning positional per-seed results instead of a population.
+    Because every seed's design and fit depend only on that seed (the
+    [Random_per_seed] design derives from [Process.index], not array
+    position), running seeds in any grouping — one batch, many
+    checkpointed batches, or a resumed remainder — produces bitwise
+    identical per-seed predictors. *)
+
+val assemble :
+  method_:method_ ->
+  seeds:Slc_device.Process.seed array ->
+  predictors:Char_flow.predictor option array ->
+  status:seed_status array ->
+  train_cost:int ->
+  population
+(** Packages per-seed results into a {!population}.  [seeds] must be
+    indexed by [Process.index] (i.e. [seeds.(i).index = i]), as
+    {!Slc_device.Process.sample_batch} produces; [predictors] and
+    [status] are positional and must have the same length.  Raises
+    [Invalid_argument] on a length mismatch. *)
 
 val predict_samples :
   population -> Input_space.point -> td:bool -> float array

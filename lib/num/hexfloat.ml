@@ -1,0 +1,8 @@
+let to_string x = Printf.sprintf "%h" x
+
+let of_string_opt s = float_of_string_opt s
+
+let of_string s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "Hexfloat.of_string: %S" s)

@@ -1,0 +1,25 @@
+(** Exact textual encoding of IEEE-754 doubles.
+
+    The persistent artifact store's correctness contract is {e bitwise}
+    identity: a float written to disk must come back as the same 64
+    bits.  Decimal formats make that promise only when every writer
+    remembers to use 17 significant digits; the C99 hexadecimal float
+    form ([0x1.8p+0]) is exact by construction — the mantissa digits
+    are the mantissa bits — while staying human-readable and
+    greppable.
+
+    All finite values (including negative zero and subnormals) and the
+    infinities round-trip to identical bits.  NaNs round-trip as NaN
+    but collapse to the canonical quiet NaN: payload bits are not
+    preserved (no stored artifact contains NaN — baseline failure
+    markers are never persisted). *)
+
+val to_string : float -> string
+(** Shortest exact representation: [%h] for finite values,
+    ["infinity"]/["-infinity"]/["nan"] for the specials. *)
+
+val of_string : string -> float
+(** Inverse of {!to_string}; also accepts any float syntax
+    [float_of_string] does.  Raises [Failure] on malformed input. *)
+
+val of_string_opt : string -> float option

@@ -97,10 +97,34 @@ let with_context ctx f =
   | Simulation_failed s when is_empty_context s.sf_context ->
     raise (Simulation_failed { s with sf_context = ctx })
 
+type store_fault_kind = Store_version_mismatch | Store_corrupt | Store_key_mismatch
+
+let store_fault_kind_label = function
+  | Store_version_mismatch -> "version-mismatch"
+  | Store_corrupt -> "corrupt"
+  | Store_key_mismatch -> "key-mismatch"
+
+type store_fault = {
+  st_path : string;
+  st_kind : store_fault_kind;
+  st_detail : string;
+}
+
+exception Store_failed of store_fault
+
+let store_fault_message f =
+  Printf.sprintf "Store_failed: %s (%s): %s" f.st_path
+    (store_fault_kind_label f.st_kind)
+    f.st_detail
+
+let raise_store_failed ~path ~kind detail =
+  raise (Store_failed { st_path = path; st_kind = kind; st_detail = detail })
+
 (* Render the structured payloads when these exceptions escape to the
    toplevel or a [Printexc] backtrace. *)
 let () =
   Printexc.register_printer (function
     | No_convergence d -> Some (convergence_message d)
     | Simulation_failed f -> Some (sim_failure_message f)
+    | Store_failed f -> Some (store_fault_message f)
     | _ -> None)

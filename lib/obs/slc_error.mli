@@ -88,3 +88,39 @@ val with_context : context -> (unit -> 'a) -> 'a
     {!Simulation_failed} with an empty context, re-raises the same
     failure with the given context attached.  A non-empty context is
     left untouched (the innermost annotation wins). *)
+
+(** {2 Artifact-store faults}
+
+    The persistent characterization store ([Slc_store]) raises typed
+    faults instead of leaking raw parse exceptions: callers can tell a
+    store written by an incompatible code version apart from on-disk
+    corruption or from being handed a directory that is not a store at
+    all. *)
+
+type store_fault_kind =
+  | Store_version_mismatch
+      (** the directory (or an artifact in it) declares an on-disk
+          format version this build does not speak *)
+  | Store_corrupt
+      (** an artifact exists but cannot be parsed — truncated, hand-
+          edited, or damaged.  Checkpoints are exempt: an unreadable
+          checkpoint is silently discarded (it only costs recompute),
+          a final artifact is not (it silently loses paid-for work) *)
+  | Store_key_mismatch
+      (** an artifact's embedded key disagrees with the path it was
+          found under — the store was manually rearranged *)
+
+val store_fault_kind_label : store_fault_kind -> string
+
+type store_fault = {
+  st_path : string;   (** offending file or directory *)
+  st_kind : store_fault_kind;
+  st_detail : string; (** human-readable specifics *)
+}
+
+exception Store_failed of store_fault
+
+val store_fault_message : store_fault -> string
+
+val raise_store_failed :
+  path:string -> kind:store_fault_kind -> string -> 'a

@@ -69,6 +69,14 @@ let trained_misses = make_counter "trained_misses"
 
 let pool_chunks = make_counter "pool_chunks"
 
+let store_hits = make_counter "store_hits"
+
+let store_misses = make_counter "store_misses"
+
+let store_checkpoints = make_counter "store_checkpoints"
+
+let store_resumed_seeds = make_counter "store_resumed_seeds"
+
 let degraded_seeds = make_counter "degraded_seeds"
 
 let failed_seeds = make_counter "failed_seeds"

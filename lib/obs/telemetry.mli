@@ -92,6 +92,20 @@ val trained_misses : counter
 val pool_chunks : counter
 (** Worker-pool chunk claims. *)
 
+val store_hits : counter
+(** Persistent-store artifact loads that avoided recomputation. *)
+
+val store_misses : counter
+(** Persistent-store lookups that found nothing (artifact computed
+    and written). *)
+
+val store_checkpoints : counter
+(** Checkpoint files written during statistical extraction. *)
+
+val store_resumed_seeds : counter
+(** Seeds whose fits were recovered from a checkpoint instead of
+    being re-simulated. *)
+
 val degraded_seeds : counter
 (** Statistical seeds fitted on a partial design. *)
 

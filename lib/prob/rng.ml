@@ -60,6 +60,17 @@ let split_ix r ix =
   let s3 = splitmix_next state in
   { s0; s1; s2; s3 }
 
+let save r = Printf.sprintf "%Lx %Lx %Lx %Lx" r.s0 r.s1 r.s2 r.s3
+
+let restore s =
+  match
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun f -> f <> "")
+    |> List.map (fun f -> Int64.of_string_opt ("0x" ^ f))
+  with
+  | [ Some s0; Some s1; Some s2; Some s3 ] -> { s0; s1; s2; s3 }
+  | _ -> invalid_arg (Printf.sprintf "Rng.restore: malformed state %S" s)
+
 let float r =
   (* Top 53 bits scaled into [0,1). *)
   let bits = Int64.shift_right_logical (uint64 r) 11 in

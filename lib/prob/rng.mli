@@ -24,6 +24,19 @@ val split_ix : t -> int -> t
     results stay bitwise identical for any domain count or claim
     order. *)
 
+val save : t -> string
+(** The full generator state as text (four hex limbs) — the exact
+    point in the stream, not the original integer seed.  Persisting it
+    lets a resumed process rebuild the generator {e as it was}, which
+    is what makes checkpoint/resume of randomized designs
+    deterministic: the artifact store keys random fitting designs by
+    this state, so a resume with the same generator reproduces the
+    same designs bit for bit. *)
+
+val restore : string -> t
+(** Inverse of {!save}; raises [Invalid_argument] on malformed
+    input. *)
+
 val uint64 : t -> int64
 (** Next raw 64-bit output. *)
 

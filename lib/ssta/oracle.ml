@@ -161,8 +161,15 @@ let trained : (trained_key, Char_flow.predictor) Hashtbl.t = Hashtbl.create 32
 
 let trained_lock = Mutex.create ()
 
-let bayes_bank ?seed ~prior tech ~k =
+let bayes_bank ?seed ?store ~prior tech ~k =
   let pid = prior_id prior in
+  (* The persistent tier keys by prior content, not physical identity:
+     serialize the prior once per bank, not once per arc. *)
+  let persistent =
+    Option.map
+      (fun st -> (st, Slc_store.Store.prior_fingerprint prior))
+      store
+  in
   of_predictors ~label:(Printf.sprintf "bayes-k%d" k) (fun arc ->
       let key = (pid, tech.Slc_device.Tech.name, k, seed, Arc.name arc) in
       Mutex.lock trained_lock;
@@ -174,9 +181,37 @@ let bayes_bank ?seed ~prior tech ~k =
         p
       | None ->
         Telemetry.incr Telemetry.trained_misses;
-        (* Train outside the lock: training runs simulations (possibly
-           through the worker pool) and must not serialize on it. *)
-        let p = Char_flow.train_bayes ?seed ~prior tech arc ~k in
+        let skey =
+          Option.map
+            (fun (st, prior_fp) ->
+              (st, Slc_store.Store.predictor_key ~prior_fp ~tech ~arc ~k ~seed))
+            persistent
+        in
+        let p =
+          match skey with
+          | None -> None
+          | Some (st, skey) -> (
+            match Slc_store.Store.find_predictor ?seed st ~key:skey ~tech ~arc with
+            | Some p ->
+              Telemetry.incr Telemetry.store_hits;
+              Some p
+            | None ->
+              Telemetry.incr Telemetry.store_misses;
+              None)
+        in
+        let p =
+          match p with
+          | Some p -> p
+          | None ->
+            (* Train outside the lock: training runs simulations
+               (possibly through the worker pool) and must not
+               serialize on it. *)
+            let p = Char_flow.train_bayes ?seed ~prior tech arc ~k in
+            Option.iter
+              (fun (st, skey) -> Slc_store.Store.put_predictor st ~key:skey p)
+              skey;
+            p
+        in
         Mutex.lock trained_lock;
         let p =
           match Hashtbl.find_opt trained key with

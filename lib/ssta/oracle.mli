@@ -27,6 +27,7 @@ val of_simulator :
 
 val bayes_bank :
   ?seed:Slc_device.Process.seed ->
+  ?store:Slc_store.Store.t ->
   prior:Slc_core.Prior.pair ->
   Slc_device.Tech.t ->
   k:int ->
@@ -38,7 +39,16 @@ val bayes_bank :
     {e physical identity}, technology name, [k], [seed], arc name):
     rebuilding a [bayes_bank] value with the same learned prior object
     reuses the existing predictors and costs zero simulations.
-    Training is deterministic, so the cache never changes results. *)
+    Training is deterministic, so the cache never changes results.
+
+    With [?store], a second {e persistent} tier sits behind the
+    in-process cache: an arc missing from the process cache is looked
+    up in the artifact store — keyed by prior {e content}
+    ({!Slc_store.Store.prior_fingerprint}), technology fingerprint,
+    arc, [k] and [seed] — and only trained (then persisted) when the
+    store misses too.  A later process querying the same bank pays
+    zero simulations, and the rebuilt predictors answer bitwise
+    identically to freshly trained ones. *)
 
 (** {2 Query-result caching} *)
 

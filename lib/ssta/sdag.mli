@@ -15,6 +15,8 @@ type t
 type net
 
 val create : Slc_device.Tech.t -> vdd:float -> t
+(** An empty DAG; the technology supplies pin input capacitances (for
+    loads) and [vdd] is the operating supply every arc is timed at. *)
 
 val input : t -> string -> net
 (** Declares a primary input net. *)
@@ -73,8 +75,10 @@ val slack_report :
     Oracle queries are memoized as in {!analyze}. *)
 
 val net_name : t -> net -> string
+(** The label the net was created under. *)
 
 val at_edge : arrival -> rises:bool -> edge_arrival option
+(** Selects the rising or falling component of an arrival. *)
 
 val input_edge : at:float -> slew:float -> rises:bool -> arrival
 (** Convenience constructor for a single-edge input arrival. *)

@@ -1,0 +1,635 @@
+(* Persistent content-addressed characterization store.  See store.mli
+   and docs/store.md for the contract; the short version: line-oriented
+   text artifacts under <root>/{priors,predictors,libraries,populations},
+   exact hex floats, atomic temp+rename writes, MD5 content keys. *)
+
+module Err = Slc_obs.Slc_error
+module Tel = Slc_obs.Telemetry
+module Hex = Slc_num.Hexfloat
+module Rng = Slc_prob.Rng
+module Tech = Slc_device.Tech
+module Mosfet = Slc_device.Mosfet
+module Process = Slc_device.Process
+module Arc = Slc_cell.Arc
+module Nldm = Slc_cell.Nldm
+module Library = Slc_cell.Library
+module Harness = Slc_cell.Harness
+module Char_flow = Slc_core.Char_flow
+module Statistical = Slc_core.Statistical
+module Prior = Slc_core.Prior
+module Prior_io = Slc_core.Prior_io
+module Timing_model = Slc_core.Timing_model
+
+type t = { root : string }
+
+let root t = t.root
+let format_version = 1
+
+type key = string
+
+exception Stored_failure of string
+
+let () =
+  Printexc.register_printer (function
+    | Stored_failure m -> Some (Printf.sprintf "Stored_failure(%s)" m)
+    | _ -> None)
+
+(* Internal parse failures; converted to [Slc_error.Store_failed] (final
+   artifacts) or swallowed (checkpoints) before leaving this module. *)
+exception Parse_error of string
+
+let fail msg = raise (Parse_error msg)
+let corrupt path m = Err.raise_store_failed ~path ~kind:Err.Store_corrupt m
+
+(* ---------------------------------------------------------------- *)
+(* Filesystem primitives                                            *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_atomic path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "tmp-" ".part" in
+  (try
+     Out_channel.with_open_bin tmp (fun oc ->
+         Out_channel.output_string oc content)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+let version_line = Printf.sprintf "slc-store %d" format_version
+let marker_name = "VERSION"
+let subdirs = [ "priors"; "predictors"; "libraries"; "populations" ]
+
+let init_root rootd =
+  ensure_dir rootd;
+  List.iter (fun s -> ensure_dir (Filename.concat rootd s)) subdirs;
+  write_atomic (Filename.concat rootd marker_name) (version_line ^ "\n")
+
+let check_marker marker =
+  let content =
+    try read_file marker
+    with Sys_error m -> Err.raise_store_failed ~path:marker ~kind:Err.Store_corrupt m
+  in
+  match String.split_on_char ' ' (String.trim content) with
+  | [ "slc-store"; v ] -> (
+    match int_of_string_opt v with
+    | Some v when v = format_version -> ()
+    | Some v ->
+      Err.raise_store_failed ~path:marker ~kind:Err.Store_version_mismatch
+        (Printf.sprintf "store is on-disk format %d; this build speaks %d" v
+           format_version)
+    | None ->
+      Err.raise_store_failed ~path:marker ~kind:Err.Store_corrupt
+        ("malformed version marker: " ^ String.trim content))
+  | _ ->
+    Err.raise_store_failed ~path:marker ~kind:Err.Store_corrupt
+      ("malformed version marker: " ^ String.trim content)
+
+let open_ rootd =
+  let marker = Filename.concat rootd marker_name in
+  (if not (Sys.file_exists rootd) then init_root rootd
+   else if not (Sys.is_directory rootd) then
+     Err.raise_store_failed ~path:rootd ~kind:Err.Store_version_mismatch
+       "path exists and is not a directory"
+   else if Sys.file_exists marker then check_marker marker
+   else if Array.length (Sys.readdir rootd) = 0 then init_root rootd
+   else
+     Err.raise_store_failed ~path:rootd ~kind:Err.Store_version_mismatch
+       "directory is not an artifact store (missing VERSION marker)");
+  List.iter (fun s -> ensure_dir (Filename.concat rootd s)) subdirs;
+  { root = rootd }
+
+let kind_dir = function
+  | `Prior -> "priors"
+  | `Predictor -> "predictors"
+  | `Library -> "libraries"
+  | `Population -> "populations"
+
+let artifact_path t kind key =
+  Filename.concat (Filename.concat t.root (kind_dir kind)) key
+
+let ckpt_path t key = artifact_path t `Population key ^ ".ckpt"
+
+(* ---------------------------------------------------------------- *)
+(* Content fingerprints and keys                                    *)
+
+let digest s = Digest.to_hex (Digest.string s)
+let hx = Hex.to_string
+
+let tech_canonical (tc : Tech.t) =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "tech %s %d %s %s\n" tc.name tc.node_nm
+    (match tc.flavor with
+    | Tech.Bulk -> "bulk"
+    | Tech.Soi -> "soi"
+    | Tech.Finfet -> "finfet")
+    (hx tc.vdd_nom);
+  let mosfet name (m : Mosfet.params) =
+    Printf.bprintf b "%s %s" name
+      (match m.polarity with Mosfet.Nmos -> "n" | Mosfet.Pmos -> "p");
+    List.iter
+      (fun v -> Printf.bprintf b " %s" (hx v))
+      [ m.w; m.l; m.vt; m.kp; m.alpha; m.theta; m.vsat_frac; m.lambda;
+        m.cg; m.cj ];
+    Buffer.add_char b '\n'
+  in
+  mosfet "nmos" tc.nmos;
+  mosfet "pmos" tc.pmos;
+  Printf.bprintf b "var %s %s %s %s %s\n" (hx tc.avt) (hx tc.sigma_vt_global)
+    (hx tc.sigma_kp_rel) (hx tc.sigma_l_rel) (hx tc.sigma_cpar_rel);
+  let range name (lo, hi) = Printf.bprintf b "%s %s %s\n" name (hx lo) (hx hi) in
+  range "sin" tc.sin_range;
+  range "cload" tc.cload_range;
+  range "vdd" tc.vdd_range;
+  Buffer.contents b
+
+let tech_fingerprint tc = digest (tech_canonical tc)
+
+let seed_str (s : Process.seed) =
+  Printf.sprintf "%d %s %s %s %s %s %d" s.index (hx s.dvt_n) (hx s.dvt_p)
+    (hx s.dkp_rel) (hx s.dl_rel) (hx s.dcpar_rel) s.local_seed
+
+let seed_opt_str = function None -> "nominal" | Some s -> seed_str s
+
+let prior_fingerprint pair = digest (Prior_io.to_string pair)
+
+let method_fp = function
+  | Statistical.Bayes prior -> "bayes " ^ prior_fingerprint prior
+  | Statistical.Lse -> "lse"
+  | Statistical.Lut -> "lut"
+
+let design_fp = function
+  | Statistical.Curated -> "curated"
+  | Statistical.Random_per_seed rng -> "random " ^ Rng.save rng
+
+let key_of lines = digest (String.concat "\n" lines)
+
+let prior_key ~historical =
+  key_of
+    ("prior" :: string_of_int format_version
+    :: List.map tech_fingerprint historical)
+
+let predictor_key ~prior_fp ~tech ~arc ~k ~seed =
+  key_of
+    [ "predictor"; string_of_int format_version; prior_fp;
+      tech_fingerprint tech; Arc.name arc; string_of_int k;
+      seed_opt_str seed ]
+
+let library_key ~seed ~tech ~cells ~levels =
+  key_of
+    ([ "library"; string_of_int format_version; tech_fingerprint tech;
+       seed_opt_str seed;
+       String.concat " " (List.map string_of_int (Array.to_list levels)) ]
+    @ cells)
+
+let population_key ~method_ ~design ~tech ~arc ~seeds ~budget ~min_points =
+  let seeds_fp =
+    digest (String.concat "\n" (Array.to_list (Array.map seed_str seeds)))
+  in
+  key_of
+    [ "population"; string_of_int format_version; method_fp method_;
+      design_fp design; tech_fingerprint tech; Arc.name arc; seeds_fp;
+      string_of_int budget; string_of_int min_points ]
+
+(* ---------------------------------------------------------------- *)
+(* Line cursor (same discipline as [Prior_io])                      *)
+
+type cursor = { mutable lines : string list }
+
+let cursor_of_string s =
+  {
+    lines =
+      String.split_on_char '\n' s
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "");
+  }
+
+let next c =
+  match c.lines with
+  | [] -> fail "unexpected end of artifact"
+  | l :: rest ->
+    c.lines <- rest;
+    l
+
+let peek c = match c.lines with [] -> None | l :: _ -> Some l
+
+let fields l = String.split_on_char ' ' l |> List.filter (fun s -> s <> "")
+
+let int_of s =
+  match int_of_string_opt s with Some i -> i | None -> fail ("bad int " ^ s)
+
+let float_of s =
+  match Hex.of_string_opt s with
+  | Some f -> f
+  | None -> fail ("bad float " ^ s)
+
+(* ---------------------------------------------------------------- *)
+(* Priors                                                           *)
+
+let put_prior t ~key pair =
+  write_atomic (artifact_path t `Prior key) (Prior_io.to_string pair)
+
+let find_prior t ~key =
+  let path = artifact_path t `Prior key in
+  if not (Sys.file_exists path) then None
+  else
+    match Prior_io.parse (read_file path) with
+    | p -> Some p
+    | exception Prior_io.Format_error m -> corrupt path m
+
+let get_prior t ~historical =
+  let key = prior_key ~historical in
+  match find_prior t ~key with
+  | Some p ->
+    Tel.incr Tel.store_hits;
+    p
+  | None ->
+    Tel.incr Tel.store_misses;
+    let p = Prior.learn_pair ~historical () in
+    put_prior t ~key p;
+    p
+
+(* ---------------------------------------------------------------- *)
+(* Predictor blocks                                                 *)
+
+let params_str (q : Timing_model.params) =
+  Printf.sprintf "%s %s %s %s" (hx q.kd) (hx q.cpar) (hx q.v_off) (hx q.alpha)
+
+let pred_to_buffer b (p : Char_flow.predictor) =
+  Printf.bprintf b "slc-pred %d\n" format_version;
+  Printf.bprintf b "label %S\n" p.label;
+  Printf.bprintf b "train_cost %d\n" p.train_cost;
+  (match p.model with
+  | Char_flow.Timing_pair { td; sout } ->
+    Buffer.add_string b "timing\n";
+    Printf.bprintf b "td %s\n" (params_str td);
+    Printf.bprintf b "sout %s\n" (params_str sout)
+  | Char_flow.Nldm_table tbl ->
+    Buffer.add_string b "nldm\n";
+    Nldm.to_buffer b tbl
+  | Char_flow.Opaque ->
+    invalid_arg "Slc_store: a predictor with an Opaque model cannot be persisted");
+  Buffer.add_string b "end\n"
+
+let params_of name = function
+  | [ kd; cpar; v_off; alpha ] ->
+    {
+      Timing_model.kd = float_of kd;
+      cpar = float_of cpar;
+      v_off = float_of v_off;
+      alpha = float_of alpha;
+    }
+  | _ -> fail (name ^ " needs 4 values")
+
+let scan_string line fmt =
+  try Scanf.sscanf line fmt Fun.id with
+  | Scanf.Scan_failure m -> fail m
+  | End_of_file -> fail ("truncated line: " ^ line)
+  | Failure m -> fail m
+
+let parse_pred_block c =
+  (match fields (next c) with
+  | [ "slc-pred"; v ] when int_of v = format_version -> ()
+  | _ -> fail "bad predictor header (want: slc-pred 1)");
+  let label = scan_string (next c) "label %S" in
+  let train_cost =
+    match fields (next c) with
+    | [ "train_cost"; n ] -> int_of n
+    | _ -> fail "bad train_cost"
+  in
+  let model =
+    match fields (next c) with
+    | [ "timing" ] ->
+      let td =
+        match fields (next c) with
+        | "td" :: rest -> params_of "td" rest
+        | _ -> fail "expected td"
+      in
+      let sout =
+        match fields (next c) with
+        | "sout" :: rest -> params_of "sout" rest
+        | _ -> fail "expected sout"
+      in
+      Char_flow.Timing_pair { td; sout }
+    | [ "nldm" ] -> (
+      try Char_flow.Nldm_table (Nldm.parse_lines (fun () -> next c))
+      with Nldm.Format_error m -> fail m)
+    | _ -> fail "bad predictor model kind"
+  in
+  (match fields (next c) with
+  | [ "end" ] -> ()
+  | _ -> fail "missing predictor end");
+  (label, train_cost, model)
+
+let rebuild_pred ~tech ~arc ~seed = function
+  | None -> None
+  | Some (label, train_cost, model) ->
+    Some (Char_flow.predictor_of_model ~seed ~label ~train_cost tech arc model)
+
+let put_predictor t ~key (p : Char_flow.predictor) =
+  let b = Buffer.create 1024 in
+  pred_to_buffer b p;
+  write_atomic (artifact_path t `Predictor key) (Buffer.contents b)
+
+let find_predictor ?seed t ~key ~tech ~arc =
+  let path = artifact_path t `Predictor key in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let c = cursor_of_string (read_file path) in
+      let label, train_cost, model = parse_pred_block c in
+      (match peek c with
+      | None -> ()
+      | Some l -> fail ("trailing garbage: " ^ l));
+      Some (Char_flow.predictor_of_model ?seed ~label ~train_cost tech arc model)
+    with Parse_error m -> corrupt path m
+
+(* ---------------------------------------------------------------- *)
+(* Libraries                                                        *)
+
+let put_library t ~key lib =
+  write_atomic (artifact_path t `Library key) (Library.to_string lib)
+
+let find_library ?tech t ~key =
+  let path = artifact_path t `Library key in
+  if not (Sys.file_exists path) then None
+  else
+    try Some (Library.of_string ?tech (read_file path)) with
+    | Library.Format_error m | Nldm.Format_error m -> corrupt path m
+    | Not_found -> corrupt path "library references an unknown cell, arc or technology"
+
+(* ---------------------------------------------------------------- *)
+(* Populations: entries, final artifacts, checkpoints               *)
+
+type pop_entry = {
+  e_pred : Char_flow.predictor option;
+  e_status : Statistical.seed_status;
+}
+
+let entry_to_buffer b i e =
+  Printf.bprintf b "entry %d\n" i;
+  (match e.e_status with
+  | Statistical.Seed_ok -> Buffer.add_string b "status ok\n"
+  | Statistical.Seed_degraded n -> Printf.bprintf b "status degraded %d\n" n
+  | Statistical.Seed_failed exn ->
+    Printf.bprintf b "status failed %S\n" (Printexc.to_string exn));
+  match e.e_pred with
+  | None -> Buffer.add_string b "predictor none\n"
+  | Some p -> pred_to_buffer b p
+
+let parse_status l =
+  match fields l with
+  | [ "status"; "ok" ] -> Statistical.Seed_ok
+  | [ "status"; "degraded"; n ] -> Statistical.Seed_degraded (int_of n)
+  | "status" :: "failed" :: _ ->
+    Statistical.Seed_failed (Stored_failure (scan_string l "status failed %S"))
+  | _ -> fail ("bad status line: " ^ l)
+
+(* Returns the raw (label, cost, model) so the caller can rebuild the
+   predictor under the right process seed. *)
+let parse_entry c =
+  let i =
+    match fields (next c) with
+    | [ "entry"; n ] -> int_of n
+    | _ -> fail "expected entry"
+  in
+  let status = parse_status (next c) in
+  let pred =
+    match peek c with
+    | Some l when fields l = [ "predictor"; "none" ] ->
+      ignore (next c);
+      None
+    | _ -> Some (parse_pred_block c)
+  in
+  (i, status, pred)
+
+let pop_to_string ~key ~method_ ~(tech : Tech.t) ~arc ~budget ~min_points
+    ~train_cost (entries : pop_entry array) =
+  let b = Buffer.create 8192 in
+  Printf.bprintf b "slc-pop %d\n" format_version;
+  Printf.bprintf b "key %s\n" key;
+  Printf.bprintf b "method %s\n" (Statistical.method_label method_);
+  Printf.bprintf b "tech %s\n" tech.name;
+  Printf.bprintf b "arc %s\n" (Arc.name arc);
+  Printf.bprintf b "budget %d\n" budget;
+  Printf.bprintf b "min_points %d\n" min_points;
+  Printf.bprintf b "nseeds %d\n" (Array.length entries);
+  Printf.bprintf b "train_cost %d\n" train_cost;
+  Array.iteri (fun i e -> entry_to_buffer b i e) entries;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let load_population_exn ~key ~method_ ~tech ~arc ~seeds path =
+  let c = cursor_of_string (read_file path) in
+  (match fields (next c) with
+  | [ "slc-pop"; v ] ->
+    let v = int_of v in
+    if v <> format_version then
+      Err.raise_store_failed ~path ~kind:Err.Store_version_mismatch
+        (Printf.sprintf "population artifact is format %d; this build speaks %d"
+           v format_version)
+  | _ -> fail "bad population header (want: slc-pop 1)");
+  (match fields (next c) with
+  | [ "key"; k ] ->
+    if not (String.equal k key) then
+      Err.raise_store_failed ~path ~kind:Err.Store_key_mismatch
+        (Printf.sprintf "artifact embeds key %s but was found under key %s" k key)
+  | _ -> fail "missing key line");
+  (* The method/tech/arc/budget/min_points lines are informational for
+     humans poking at the store; the key already pins their content. *)
+  let expect name =
+    match fields (next c) with
+    | k :: rest when String.equal k name -> rest
+    | _ -> fail ("expected " ^ name)
+  in
+  ignore (expect "method");
+  ignore (expect "tech");
+  ignore (expect "arc");
+  ignore (expect "budget");
+  ignore (expect "min_points");
+  let n =
+    match expect "nseeds" with [ n ] -> int_of n | _ -> fail "bad nseeds"
+  in
+  if n <> Array.length seeds then
+    fail
+      (Printf.sprintf "artifact holds %d seeds; caller supplied %d" n
+         (Array.length seeds));
+  let train_cost =
+    match expect "train_cost" with
+    | [ n ] -> int_of n
+    | _ -> fail "bad train_cost"
+  in
+  let predictors = Array.make n None in
+  let status = Array.make n Statistical.Seed_ok in
+  for i = 0 to n - 1 do
+    let j, st, pred = parse_entry c in
+    if j <> i then fail (Printf.sprintf "entry %d out of order (expected %d)" j i);
+    status.(i) <- st;
+    predictors.(i) <- rebuild_pred ~tech ~arc ~seed:seeds.(i) pred
+  done;
+  (match fields (next c) with [ "end" ] -> () | _ -> fail "missing end");
+  (match peek c with None -> () | Some l -> fail ("trailing garbage: " ^ l));
+  Statistical.assemble ~method_ ~seeds ~predictors ~status ~train_cost
+
+let load_population ~key ~method_ ~tech ~arc ~seeds path =
+  try load_population_exn ~key ~method_ ~tech ~arc ~seeds path
+  with Parse_error m -> corrupt path m
+
+let ckpt_to_string ~key ~nseeds ~cost (entries : (int * pop_entry) list) =
+  let b = Buffer.create 8192 in
+  Printf.bprintf b "slc-pop-ckpt %d\n" format_version;
+  Printf.bprintf b "key %s\n" key;
+  Printf.bprintf b "nseeds %d\n" nseeds;
+  Printf.bprintf b "cost %d\n" cost;
+  Printf.bprintf b "ndone %d\n" (List.length entries);
+  List.iter (fun (i, e) -> entry_to_buffer b i e) entries;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+(* A checkpoint that cannot be read, or that belongs to a different key
+   or seed set, only costs recompute — discard it silently. *)
+let load_checkpoint ~key ~tech ~arc ~seeds path =
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let c = cursor_of_string (read_file path) in
+      (match fields (next c) with
+      | [ "slc-pop-ckpt"; v ] when int_of v = format_version -> ()
+      | _ -> fail "bad checkpoint header");
+      (match fields (next c) with
+      | [ "key"; k ] when String.equal k key -> ()
+      | _ -> fail "checkpoint key mismatch");
+      let n =
+        match fields (next c) with
+        | [ "nseeds"; n ] -> int_of n
+        | _ -> fail "bad nseeds"
+      in
+      if n <> Array.length seeds then fail "seed count mismatch";
+      let cost =
+        match fields (next c) with
+        | [ "cost"; n ] -> int_of n
+        | _ -> fail "bad cost"
+      in
+      let ndone =
+        match fields (next c) with
+        | [ "ndone"; n ] -> int_of n
+        | _ -> fail "bad ndone"
+      in
+      let entries = ref [] in
+      for _ = 1 to ndone do
+        let i, st, pred = parse_entry c in
+        if i < 0 || i >= n then fail "entry index out of range";
+        entries :=
+          (i, { e_pred = rebuild_pred ~tech ~arc ~seed:seeds.(i) pred; e_status = st })
+          :: !entries
+      done;
+      (match fields (next c) with [ "end" ] -> () | _ -> fail "missing end");
+      Some (List.rev !entries, cost)
+    with Parse_error _ | Sys_error _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Store-backed statistical extraction                              *)
+
+type outcome =
+  | Hit
+  | Computed of { resumed_seeds : int; computed_seeds : int; batches : int }
+
+let default_min_points = 2
+
+let chunk size lst =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 lst
+
+let sorted_entries tbl =
+  Hashtbl.fold (fun i e acc -> (i, e) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let extract_population ?min_points ?(batch_size = 4)
+    ?(after_batch = fun (_ : int) -> ()) ~store ~method_ ~design ~tech ~arc
+    ~seeds ~budget () =
+  if batch_size < 1 then
+    invalid_arg "Store.extract_population: batch_size must be >= 1";
+  let min_points_v = Option.value min_points ~default:default_min_points in
+  let key =
+    population_key ~method_ ~design ~tech ~arc ~seeds ~budget
+      ~min_points:min_points_v
+  in
+  let final = artifact_path store `Population key in
+  if Sys.file_exists final then begin
+    let pop = load_population ~key ~method_ ~tech ~arc ~seeds final in
+    Tel.incr Tel.store_hits;
+    (pop, Hit)
+  end
+  else begin
+    Tel.incr Tel.store_misses;
+    let ckpt = ckpt_path store key in
+    let tbl = Hashtbl.create 64 in
+    let cost = ref 0 in
+    (match load_checkpoint ~key ~tech ~arc ~seeds ckpt with
+    | Some (entries, c0) ->
+      List.iter (fun (i, e) -> Hashtbl.replace tbl i e) entries;
+      cost := c0;
+      Tel.add Tel.store_resumed_seeds (List.length entries)
+    | None -> ());
+    let resumed = Hashtbl.length tbl in
+    let n = Array.length seeds in
+    let missing = List.filter (fun i -> not (Hashtbl.mem tbl i)) (List.init n Fun.id) in
+    let nbatches = ref 0 in
+    List.iter
+      (fun batch ->
+        let sub = Array.of_list (List.map (fun i -> seeds.(i)) batch) in
+        let before = Harness.sim_count () in
+        let sm =
+          Statistical.extract_seed_models ~min_points:min_points_v ~design
+            ~method_ ~tech ~arc ~seeds:sub ~budget ()
+        in
+        cost := !cost + (Harness.sim_count () - before);
+        List.iteri
+          (fun pos i ->
+            Hashtbl.replace tbl i
+              {
+                e_pred = sm.Statistical.sm_predictors.(pos);
+                e_status = sm.Statistical.sm_status.(pos);
+              })
+          batch;
+        write_atomic ckpt (ckpt_to_string ~key ~nseeds:n ~cost:!cost (sorted_entries tbl));
+        Tel.incr Tel.store_checkpoints;
+        incr nbatches;
+        after_batch !nbatches)
+      (chunk batch_size missing);
+    let predictors = Array.init n (fun i -> (Hashtbl.find tbl i).e_pred) in
+    let status = Array.init n (fun i -> (Hashtbl.find tbl i).e_status) in
+    write_atomic final
+      (pop_to_string ~key ~method_ ~tech ~arc ~budget ~min_points:min_points_v
+         ~train_cost:!cost
+         (Array.init n (fun i -> Hashtbl.find tbl i)));
+    (try Sys.remove ckpt with Sys_error _ -> ());
+    let pop =
+      Statistical.assemble ~method_ ~seeds ~predictors ~status ~train_cost:!cost
+    in
+    ( pop,
+      Computed
+        {
+          resumed_seeds = resumed;
+          computed_seeds = List.length missing;
+          batches = !nbatches;
+        } )
+  end
+
+let find_population ~store ~method_ ~design ~tech ~arc ~seeds ~budget
+    ~min_points =
+  let key =
+    population_key ~method_ ~design ~tech ~arc ~seeds ~budget ~min_points
+  in
+  let final = artifact_path store `Population key in
+  if Sys.file_exists final then
+    Some (load_population ~key ~method_ ~tech ~arc ~seeds final)
+  else None

@@ -1,0 +1,525 @@
+(* Tests for the persistent characterization store: exact float codecs,
+   artifact round-trips, checkpoint/resume, crash safety and the
+   zero-simulation replay contract.
+
+   The store's headline guarantee is BITWISE identity: everything that
+   comes back from disk must equal the in-process result bit for bit.
+   Floats are therefore compared through [Int64.bits_of_float], never
+   with a tolerance. *)
+
+open Slc_core
+module Tech = Slc_device.Tech
+module Process = Slc_device.Process
+module Cells = Slc_cell.Cells
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Nldm = Slc_cell.Nldm
+module Library = Slc_cell.Library
+module Store = Slc_store.Store
+module Hexfloat = Slc_num.Hexfloat
+module Rng = Slc_prob.Rng
+module Err = Slc_obs.Slc_error
+module Tel = Slc_obs.Telemetry
+
+let tech = Tech.n14
+let inv_fall = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall
+
+let check_bits msg expected actual =
+  Alcotest.(check int64)
+    msg
+    (Int64.bits_of_float expected)
+    (Int64.bits_of_float actual)
+
+(* A unique empty directory per call: reserve a unique temp-file name,
+   then turn it into a directory. *)
+let fresh_dir () =
+  let f = Filename.temp_file "slc-test-store" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let seeds4 = Process.sample_batch (Rng.create 13) tech 4
+
+let points3 =
+  [|
+    { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 };
+    { Harness.sin = 17e-12; cload = 6e-15; vdd = 0.72 };
+    { Harness.sin = 9e-12; cload = 1.3e-15; vdd = 0.66 };
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Hexfloat: the exact codec everything else leans on *)
+
+let test_hexfloat_exact_corners () =
+  List.iter
+    (fun x ->
+      check_bits (Printf.sprintf "roundtrip %h" x) x
+        (Hexfloat.of_string (Hexfloat.to_string x)))
+    [
+      0.0; -0.0; 1.0; -1.0; Float.pi; infinity; neg_infinity; min_float;
+      max_float; 4.9e-324 (* smallest subnormal *); -2.2250738585072011e-308;
+      1.0000000000000002 (* 1 + ulp *); 3.141592653589793e-200;
+    ]
+
+let test_hexfloat_nan () =
+  (* NaN payloads collapse to the canonical nan — documented, and no
+     stored artifact contains NaN. *)
+  Alcotest.(check bool)
+    "nan stays nan" true
+    (Float.is_nan (Hexfloat.of_string (Hexfloat.to_string Float.nan)))
+
+let prop_hexfloat_roundtrip =
+  QCheck.Test.make ~name:"hexfloat roundtrips any finite float bitwise"
+    ~count:500
+    QCheck.(float)
+    (fun x ->
+      QCheck.assume (not (Float.is_nan x));
+      Int64.bits_of_float (Hexfloat.of_string (Hexfloat.to_string x))
+      = Int64.bits_of_float x)
+
+let test_rng_save_restore () =
+  let r = Rng.create 99 in
+  for _ = 1 to 10 do
+    ignore (Rng.float r)
+  done;
+  let saved = Rng.save r in
+  let r' = Rng.restore saved in
+  for i = 1 to 20 do
+    check_bits (Printf.sprintf "stream value %d" i) (Rng.float r)
+      (Rng.float r')
+  done;
+  match Rng.restore "zz" with
+  | _ -> Alcotest.fail "malformed state accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Store open / versioning *)
+
+let test_open_fresh_and_reopen () =
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  Alcotest.(check string) "root" dir (Store.root st);
+  (* reopen over the marker *)
+  ignore (Store.open_ dir);
+  (* a nested path is created from scratch *)
+  ignore (Store.open_ (Filename.concat dir "does-not-exist-yet"))
+
+let test_open_version_mismatch () =
+  let dir = fresh_dir () in
+  ignore (Store.open_ dir);
+  Out_channel.with_open_text (Filename.concat dir "VERSION") (fun oc ->
+      Out_channel.output_string oc "slc-store 999\n");
+  match Store.open_ dir with
+  | _ -> Alcotest.fail "expected Store_failed"
+  | exception Err.Store_failed f ->
+    Alcotest.(check bool)
+      "version mismatch" true
+      (f.Err.st_kind = Err.Store_version_mismatch)
+
+let test_open_non_store_dir () =
+  let dir = fresh_dir () in
+  Out_channel.with_open_text (Filename.concat dir "random.txt") (fun oc ->
+      Out_channel.output_string oc "hello");
+  match Store.open_ dir with
+  | _ -> Alcotest.fail "expected Store_failed"
+  | exception Err.Store_failed f ->
+    Alcotest.(check bool)
+      "refused" true
+      (f.Err.st_kind = Err.Store_version_mismatch)
+
+(* ------------------------------------------------------------------ *)
+(* NLDM table round-trip (property: random tables, bitwise floats) *)
+
+let random_table rng =
+  let axis n lo hi =
+    Array.init n (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (max 1 (n - 1))))
+  in
+  let n_s = 1 + Rng.int rng 3
+  and n_c = 1 + Rng.int rng 3
+  and n_v = 1 + Rng.int rng 2 in
+  let grid () =
+    Array.init n_s (fun _ ->
+        Array.init n_c (fun _ ->
+            Array.init n_v (fun _ -> Rng.uniform rng ~lo:(-1e-9) ~hi:1e-9)))
+  in
+  {
+    Nldm.arc_name = "INV/A/fall";
+    sin_axis = axis n_s 1e-12 2e-11;
+    cload_axis = axis n_c 5e-16 8e-15;
+    vdd_axis = axis n_v 0.6 1.0;
+    td = grid ();
+    sout = grid ();
+    energy = grid ();
+  }
+
+let prop_nldm_roundtrip =
+  QCheck.Test.make ~name:"NLDM to_string/of_string is bitwise lossless"
+    ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let t = random_table (Rng.create seed) in
+      let t' = Nldm.of_string (Nldm.to_string t) in
+      let eq3 a b =
+        Array.for_all2
+          (fun p q ->
+            Array.for_all2
+              (fun r s ->
+                Array.for_all2
+                  (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+                  r s)
+              p q)
+          a b
+      in
+      t'.Nldm.arc_name = t.Nldm.arc_name
+      && t'.Nldm.sin_axis = t.Nldm.sin_axis
+      && t'.Nldm.cload_axis = t.Nldm.cload_axis
+      && t'.Nldm.vdd_axis = t.Nldm.vdd_axis
+      && eq3 t'.Nldm.td t.Nldm.td
+      && eq3 t'.Nldm.sout t.Nldm.sout
+      && eq3 t'.Nldm.energy t.Nldm.energy)
+
+let test_nldm_rejects_garbage () =
+  match Nldm.of_string "slc-nldm 999\nend" with
+  | _ -> Alcotest.fail "future-format table accepted"
+  | exception Nldm.Format_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Prior round-trip *)
+
+let tiny_prior =
+  lazy
+    (Prior.learn_pair ~cells:[ Cells.inv ] ~grid_levels:[| 2; 2; 2 |]
+       ~historical:[ Tech.n20; Tech.n45 ] ())
+
+let test_prior_roundtrip_bitwise () =
+  let st = Store.open_ (fresh_dir ()) in
+  let prior = Lazy.force tiny_prior in
+  let key = Store.prior_key ~historical:[ Tech.n20; Tech.n45 ] in
+  Store.put_prior st ~key prior;
+  match Store.find_prior st ~key with
+  | None -> Alcotest.fail "prior not found after put"
+  | Some p ->
+    Alcotest.(check string)
+      "prior content identical"
+      (Store.prior_fingerprint prior)
+      (Store.prior_fingerprint p);
+    let mu = prior.Prior.delay.Prior.mvn.Slc_prob.Mvn.mu in
+    let mu' = p.Prior.delay.Prior.mvn.Slc_prob.Mvn.mu in
+    Array.iteri (fun i x -> check_bits "mu component" x mu'.(i)) mu;
+    Alcotest.(check int)
+      "learn_cost" prior.Prior.delay.Prior.learn_cost
+      p.Prior.delay.Prior.learn_cost
+
+(* ------------------------------------------------------------------ *)
+(* Predictor round-trip *)
+
+let test_predictor_roundtrip_bitwise () =
+  let st = Store.open_ (fresh_dir ()) in
+  let p = Char_flow.train_lse tech inv_fall ~k:2 in
+  let key =
+    Store.predictor_key ~prior_fp:"lse" ~tech ~arc:inv_fall ~k:2 ~seed:None
+  in
+  Store.put_predictor st ~key p;
+  match Store.find_predictor st ~key ~tech ~arc:inv_fall with
+  | None -> Alcotest.fail "predictor not found after put"
+  | Some p' ->
+    Alcotest.(check string) "label" p.Char_flow.label p'.Char_flow.label;
+    Alcotest.(check int)
+      "train_cost" p.Char_flow.train_cost p'.Char_flow.train_cost;
+    Array.iter
+      (fun pt ->
+        check_bits "td prediction"
+          (p.Char_flow.predict_td pt)
+          (p'.Char_flow.predict_td pt);
+        check_bits "sout prediction"
+          (p.Char_flow.predict_sout pt)
+          (p'.Char_flow.predict_sout pt))
+      points3
+
+let test_predictor_opaque_rejected () =
+  let st = Store.open_ (fresh_dir ()) in
+  let p = Char_flow.train_rsm tech inv_fall ~k:4 in
+  Alcotest.(check bool)
+    "rsm model is opaque" true
+    (p.Char_flow.model = Char_flow.Opaque);
+  match Store.put_predictor st ~key:"deadbeef" p with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Library round-trip *)
+
+let test_library_roundtrip_bitwise () =
+  let st = Store.open_ (fresh_dir ()) in
+  let levels = [| 2; 2; 1 |] in
+  let lib = Library.characterize ~cells:[ Cells.inv ] tech ~levels in
+  let key = Store.library_key ~seed:None ~tech ~cells:[ "INV" ] ~levels in
+  Store.put_library st ~key lib;
+  match Store.find_library st ~key with
+  | None -> Alcotest.fail "library not found after put"
+  | Some lib' ->
+    Alcotest.(check int)
+      "sim_runs" lib.Library.sim_runs lib'.Library.sim_runs;
+    Array.iter
+      (fun pt ->
+        check_bits "library delay" (Library.delay lib inv_fall pt)
+          (Library.delay lib' inv_fall pt);
+        check_bits "library slew" (Library.slew lib inv_fall pt)
+          (Library.slew lib' inv_fall pt))
+      points3
+
+(* ------------------------------------------------------------------ *)
+(* Populations: store-served and resumed results are bitwise equal to
+   a fresh single-process extraction *)
+
+let check_pop_bitwise_equal (a : Statistical.population)
+    (b : Statistical.population) =
+  Alcotest.(check int) "train_cost" a.Statistical.train_cost
+    b.Statistical.train_cost;
+  Alcotest.(check int)
+    "seed count"
+    (Array.length a.Statistical.seeds)
+    (Array.length b.Statistical.seeds);
+  Array.iteri
+    (fun i seed ->
+      (match (a.Statistical.status.(i), b.Statistical.status.(i)) with
+      | Statistical.Seed_ok, Statistical.Seed_ok -> ()
+      | Statistical.Seed_degraded x, Statistical.Seed_degraded y ->
+        Alcotest.(check int) "degraded count" x y
+      | Statistical.Seed_failed _, Statistical.Seed_failed _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "status mismatch at seed %d" i));
+      match a.Statistical.status.(i) with
+      | Statistical.Seed_failed _ -> ()
+      | _ ->
+        Array.iter
+          (fun pt ->
+            check_bits "td sample"
+              (a.Statistical.predict_td seed pt)
+              (b.Statistical.predict_td seed pt);
+            check_bits "sout sample"
+              (a.Statistical.predict_sout seed pt)
+              (b.Statistical.predict_sout seed pt))
+          points3)
+    a.Statistical.seeds
+
+let extract_fresh () =
+  Statistical.extract_population_design ~design:Statistical.Curated
+    ~method_:Statistical.Lse ~tech ~arc:inv_fall ~seeds:seeds4 ~budget:2 ()
+
+let store_extract ?after_batch st =
+  Store.extract_population ?after_batch ~batch_size:2 ~store:st
+    ~method_:Statistical.Lse ~design:Statistical.Curated ~tech ~arc:inv_fall
+    ~seeds:seeds4 ~budget:2 ()
+
+let test_population_store_equals_fresh () =
+  let fresh = extract_fresh () in
+  let st = Store.open_ (fresh_dir ()) in
+  let cold, outcome = store_extract st in
+  (match outcome with
+  | Store.Computed { resumed_seeds = 0; computed_seeds = 4; batches = 2 } -> ()
+  | Store.Computed { resumed_seeds; computed_seeds; batches } ->
+    Alcotest.fail
+      (Printf.sprintf "unexpected outcome: resumed %d computed %d batches %d"
+         resumed_seeds computed_seeds batches)
+  | Store.Hit -> Alcotest.fail "cold store cannot hit");
+  check_pop_bitwise_equal fresh cold;
+  (* second call: served from the artifact, zero simulations *)
+  let before = Harness.sim_count () in
+  let warm, outcome = store_extract st in
+  Alcotest.(check int) "hit runs zero simulations" before (Harness.sim_count ());
+  Alcotest.(check bool) "hit" true (outcome = Store.Hit);
+  check_pop_bitwise_equal fresh warm;
+  (* peek also sees it *)
+  match
+    Store.find_population ~store:st ~method_:Statistical.Lse
+      ~design:Statistical.Curated ~tech ~arc:inv_fall ~seeds:seeds4 ~budget:2
+      ~min_points:2
+  with
+  | Some peek -> check_pop_bitwise_equal fresh peek
+  | None -> Alcotest.fail "find_population missed a finished artifact"
+
+exception Injected_crash
+
+let test_population_resume_after_crash () =
+  let fresh = extract_fresh () in
+  let st = Store.open_ (fresh_dir ()) in
+  let sims0 = Harness.sim_count () in
+  (* Crash at the first checkpoint boundary: batch 1 (2 of 4 seeds) is
+     durably checkpointed, batch 2 never runs. *)
+  (match
+     store_extract st ~after_batch:(fun n -> if n = 1 then raise Injected_crash)
+   with
+  | _ -> Alcotest.fail "crash did not propagate"
+  | exception Injected_crash -> ());
+  let crash_sims = Harness.sim_count () - sims0 in
+  (* Resume: only the missing batch is simulated... *)
+  let sims1 = Harness.sim_count () in
+  let resumed, outcome = store_extract st in
+  let resume_sims = Harness.sim_count () - sims1 in
+  (match outcome with
+  | Store.Computed { resumed_seeds = 2; computed_seeds = 2; batches = 1 } -> ()
+  | Store.Computed { resumed_seeds; computed_seeds; batches } ->
+    Alcotest.fail
+      (Printf.sprintf "unexpected resume: resumed %d computed %d batches %d"
+         resumed_seeds computed_seeds batches)
+  | Store.Hit -> Alcotest.fail "checkpoint must not look like a final artifact");
+  (* ...and the interrupted + resumed total equals one uninterrupted
+     run, in both simulator runs and accounted train_cost. *)
+  Alcotest.(check int)
+    "crash + resume sims = fresh cost" fresh.Statistical.train_cost
+    (crash_sims + resume_sims);
+  check_pop_bitwise_equal fresh resumed
+
+let test_corrupt_checkpoint_discarded () =
+  let fresh = extract_fresh () in
+  let st = Store.open_ (fresh_dir ()) in
+  let key =
+    Store.population_key ~method_:Statistical.Lse ~design:Statistical.Curated
+      ~tech ~arc:inv_fall ~seeds:seeds4 ~budget:2 ~min_points:2
+  in
+  let ckpt = Store.artifact_path st `Population key ^ ".ckpt" in
+  Out_channel.with_open_text ckpt (fun oc ->
+      Out_channel.output_string oc "slc-pop-ckpt 1\nkey ");
+  let pop, outcome = store_extract st in
+  (match outcome with
+  | Store.Computed { resumed_seeds = 0; computed_seeds = 4; _ } -> ()
+  | _ -> Alcotest.fail "corrupt checkpoint should be discarded silently");
+  check_pop_bitwise_equal fresh pop
+
+let test_corrupt_final_artifact_raises () =
+  let st = Store.open_ (fresh_dir ()) in
+  ignore (store_extract st);
+  let key =
+    Store.population_key ~method_:Statistical.Lse ~design:Statistical.Curated
+      ~tech ~arc:inv_fall ~seeds:seeds4 ~budget:2 ~min_points:2
+  in
+  let path = Store.artifact_path st `Population key in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "slc-pop 1\nkey truncated-mid-write");
+  match store_extract st with
+  | _ -> Alcotest.fail "expected Store_failed on a corrupt final artifact"
+  | exception Err.Store_failed f ->
+    Alcotest.(check bool)
+      "corrupt or key mismatch" true
+      (f.Err.st_kind = Err.Store_corrupt || f.Err.st_kind = Err.Store_key_mismatch)
+
+let test_version_mismatch_artifact_raises () =
+  let st = Store.open_ (fresh_dir ()) in
+  ignore (store_extract st);
+  let key =
+    Store.population_key ~method_:Statistical.Lse ~design:Statistical.Curated
+      ~tech ~arc:inv_fall ~seeds:seeds4 ~budget:2 ~min_points:2
+  in
+  let path = Store.artifact_path st `Population key in
+  let content = In_channel.with_open_text path In_channel.input_all in
+  let rewritten =
+    "slc-pop 999\n"
+    ^ String.concat "\n" (List.tl (String.split_on_char '\n' content))
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc rewritten);
+  match store_extract st with
+  | _ -> Alcotest.fail "expected Store_failed on a future-format artifact"
+  | exception Err.Store_failed f ->
+    Alcotest.(check bool)
+      "version mismatch" true
+      (f.Err.st_kind = Err.Store_version_mismatch)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry reconciliation: a hit is observable as zero simulations *)
+
+let test_store_hit_telemetry () =
+  let st = Store.open_ (fresh_dir ()) in
+  ignore (store_extract st);
+  let was_on = Tel.on () in
+  Tel.enable ();
+  Tel.reset ();
+  ignore (store_extract st);
+  Alcotest.(check int) "zero simulations" 0 (Tel.read Tel.simulations);
+  Alcotest.(check int) "one store hit" 1 (Tel.read Tel.store_hits);
+  Alcotest.(check int) "no store miss" 0 (Tel.read Tel.store_misses);
+  Tel.reset ();
+  if not was_on then Tel.disable ()
+
+(* ------------------------------------------------------------------ *)
+(* Bayes method keys off prior content *)
+
+let test_population_bayes_key_tracks_prior () =
+  let prior = Lazy.force tiny_prior in
+  let key_of ~budget =
+    Store.population_key
+      ~method_:(Statistical.Bayes prior)
+      ~design:Statistical.Curated ~tech ~arc:inv_fall ~seeds:seeds4 ~budget
+      ~min_points:2
+  in
+  Alcotest.(check bool)
+    "same inputs, same key" true
+    (key_of ~budget:2 = key_of ~budget:2);
+  Alcotest.(check bool)
+    "budget changes the key" false
+    (key_of ~budget:2 = key_of ~budget:3);
+  let rng = Rng.create 3 in
+  let k_curated = key_of ~budget:2 in
+  let k_random =
+    Store.population_key
+      ~method_:(Statistical.Bayes prior)
+      ~design:(Statistical.Random_per_seed rng) ~tech ~arc:inv_fall
+      ~seeds:seeds4 ~budget:2 ~min_points:2
+  in
+  Alcotest.(check bool) "design changes the key" false (k_curated = k_random)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "slc_store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "hexfloat corners" `Quick
+            test_hexfloat_exact_corners;
+          Alcotest.test_case "hexfloat nan" `Quick test_hexfloat_nan;
+          QCheck_alcotest.to_alcotest prop_hexfloat_roundtrip;
+          Alcotest.test_case "rng save/restore" `Quick test_rng_save_restore;
+        ] );
+      ( "open",
+        [
+          Alcotest.test_case "fresh and reopen" `Quick
+            test_open_fresh_and_reopen;
+          Alcotest.test_case "version mismatch" `Quick
+            test_open_version_mismatch;
+          Alcotest.test_case "non-store dir refused" `Quick
+            test_open_non_store_dir;
+        ] );
+      ( "artifacts",
+        [
+          QCheck_alcotest.to_alcotest prop_nldm_roundtrip;
+          Alcotest.test_case "nldm rejects garbage" `Quick
+            test_nldm_rejects_garbage;
+          Alcotest.test_case "prior roundtrip" `Slow
+            test_prior_roundtrip_bitwise;
+          Alcotest.test_case "predictor roundtrip" `Quick
+            test_predictor_roundtrip_bitwise;
+          Alcotest.test_case "opaque predictor rejected" `Quick
+            test_predictor_opaque_rejected;
+          Alcotest.test_case "library roundtrip" `Quick
+            test_library_roundtrip_bitwise;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "store equals fresh (bitwise)" `Slow
+            test_population_store_equals_fresh;
+          Alcotest.test_case "resume after crash equals fresh" `Slow
+            test_population_resume_after_crash;
+          Alcotest.test_case "corrupt checkpoint discarded" `Slow
+            test_corrupt_checkpoint_discarded;
+          Alcotest.test_case "corrupt final artifact raises" `Slow
+            test_corrupt_final_artifact_raises;
+          Alcotest.test_case "future-format artifact raises" `Slow
+            test_version_mismatch_artifact_raises;
+          Alcotest.test_case "hit is zero simulations (telemetry)" `Slow
+            test_store_hit_telemetry;
+          Alcotest.test_case "bayes key tracks prior content" `Slow
+            test_population_bayes_key_tracks_prior;
+        ] );
+    ]
