@@ -428,7 +428,9 @@ let write_json path ~kernels ~regen =
    ["name": { "ns_per_run": N }] line per kernel inside the FIRST
    top-level "kernels" object (embedded baseline sections further down
    the file are ignored).  Exits non-zero if any kernel regressed by
-   more than 10%. *)
+   more than 10%, or if a baseline kernel disappeared and --allow-gone
+   was not passed (a silently vanishing kernel usually means a rename
+   broke the trajectory, not a deliberate removal). *)
 
 let parse_section path ~header parse_line =
   let ic =
@@ -488,10 +490,11 @@ let parse_regen path =
 
 let usable = function Some ns -> Float.is_finite ns && ns > 0.0 | None -> false
 
-let compare_trajectories base_path new_path =
+let compare_trajectories ~allow_gone base_path new_path =
   let base = parse_kernels base_path in
   let fresh = parse_kernels new_path in
   let regressions = ref [] in
+  let gone = ref [] in
   Printf.printf "== Kernel comparison: %s -> %s ==\n" base_path new_path;
   Printf.printf "%-36s %12s %12s %9s\n" "kernel" "base ns" "new ns" "speedup";
   let pretty = function
@@ -502,7 +505,8 @@ let compare_trajectories base_path new_path =
     (fun (name, b_est) ->
       match List.assoc_opt name fresh with
       | None ->
-        (* Kernel removed (or renamed): report, never gate. *)
+        (* Kernel removed (or renamed): gate unless --allow-gone. *)
+        gone := name :: !gone;
         Printf.printf "%-36s %s %12s %9s\n" name (pretty b_est) "-" "gone"
       | Some n_est ->
         if usable b_est && usable n_est then begin
@@ -541,7 +545,9 @@ let compare_trajectories base_path new_path =
     List.iter
       (fun (name, b_sims) ->
         match List.assoc_opt name new_r with
-        | None -> Printf.printf "%-36s %10d %10s\n" name b_sims "gone"
+        | None ->
+          gone := (name ^ " (regen)") :: !gone;
+          Printf.printf "%-36s %10d %10s\n" name b_sims "gone"
         | Some n_sims ->
           let flag =
             if n_sims > b_sims then begin
@@ -574,13 +580,30 @@ let compare_trajectories base_path new_path =
       "SIMULATION-COUNT REGRESSION: %d section(s) now run more simulations: %s\n"
       (List.length rs)
       (String.concat ", " (List.rev rs)));
+  (match List.rev !gone with
+  | [] -> ()
+  | gs when allow_gone ->
+    Printf.printf "%d baseline entr%s gone (allowed by --allow-gone): %s\n"
+      (List.length gs)
+      (if List.length gs = 1 then "y" else "ies")
+      (String.concat ", " gs)
+  | gs ->
+    failed := true;
+    Printf.printf
+      "GONE: %d baseline entr%s missing from the new trajectory: %s\n\
+       (pass --allow-gone if the removal is deliberate)\n"
+      (List.length gs)
+      (if List.length gs = 1 then "y" else "ies")
+      (String.concat ", " gs));
   exit (if !failed then 1 else 0)
 
 let () =
   (match Array.to_list Sys.argv with
   | _ :: rest ->
     let rec find = function
-      | "--compare" :: a :: b :: _ -> compare_trajectories a b
+      | "--compare" :: a :: b :: _ ->
+        let allow_gone = Array.exists (fun x -> x = "--allow-gone") Sys.argv in
+        compare_trajectories ~allow_gone a b
       | [ "--compare" ] | [ "--compare"; _ ] ->
         prerr_endline "bench: --compare requires two JSON paths";
         exit 2

@@ -16,7 +16,7 @@ let assignment side_values pin value p =
   else
     match List.assoc_opt p side_values with
     | Some v -> v
-    | None -> invalid_arg "Arc: unknown pin in assignment"
+    | None -> Slc_obs.Slc_error.invalid_input ~site:"Arc" "unknown pin in assignment"
 
 let find cell ~pin ~out_dir =
   if not (List.mem pin cell.Cells.inputs) then raise Not_found;

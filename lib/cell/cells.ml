@@ -155,7 +155,7 @@ let is_complementary cell =
     let on pin =
       match List.find_index (String.equal pin) cell.inputs with
       | Some i -> mask land (1 lsl i) <> 0
-      | None -> invalid_arg "Cells.is_complementary: unknown pin"
+      | None -> Slc_obs.Slc_error.invalid_input ~site:"Cells.is_complementary" "unknown pin"
     in
     match logic_value cell ~on with Some _ -> () | None -> ok := false
   done;

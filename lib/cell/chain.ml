@@ -9,14 +9,13 @@ let stage ?(wire_cap = 0.0) cell pin = { cell; pin; wire_cap }
 type t = { tech : Tech.t; stages : stage list; final_load : float }
 
 let make ?(final_load = 2e-15) tech stages =
-  if stages = [] then invalid_arg "Chain.make: empty chain";
+  if stages = [] then Slc_obs.Slc_error.invalid_input ~site:"Chain.make" "empty chain";
   List.iter
     (fun s ->
       if not (List.mem s.pin s.cell.Cells.inputs) then
-        invalid_arg
-          (Printf.sprintf "Chain.make: cell %s has no pin %s"
-             s.cell.Cells.name s.pin);
-      if s.wire_cap < 0.0 then invalid_arg "Chain.make: negative wire cap")
+        Slc_obs.Slc_error.invalid_input ~site:"Chain.make"
+          (Printf.sprintf "cell %s has no pin %s" s.cell.Cells.name s.pin);
+      if s.wire_cap < 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Chain.make" "negative wire cap")
     stages;
   { tech; stages; final_load }
 
@@ -46,7 +45,7 @@ let ramp_start = 1e-12
 
 let simulate ?(seed = Process.nominal) t ~sin ~vdd ~in_rises =
   if sin <= 0.0 || vdd <= 0.0 then
-    invalid_arg "Chain.simulate: invalid stimulus";
+    Slc_obs.Slc_error.invalid_input ~site:"Chain.simulate" "invalid stimulus";
   let arcs = arcs_of t ~in_rises in
   let net = Netlist.create () in
   let nvdd = Netlist.fresh_node net "vdd" in

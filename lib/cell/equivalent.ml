@@ -26,7 +26,7 @@ let of_arc ?(stack_factor = 0.95) (tech : Tech.t) (arc : Arc.t) =
   let on pin = if falling then on_input pin else not (on_input pin) in
   let w_eq = Topology.equivalent_width_mult network ~on in
   if w_eq <= 0.0 then
-    invalid_arg "Equivalent.of_arc: arc network does not conduct";
+    Slc_obs.Slc_error.invalid_input ~site:"Equivalent.of_arc" "arc network does not conduct";
   let derate = stack_factor ** float_of_int (series_depth network) in
   let width_mult = w_eq *. base_mult *. derate in
   { device = Mosfet.scale_width template width_mult; width_mult }
@@ -35,7 +35,9 @@ let of_arc ?(stack_factor = 0.95) (tech : Tech.t) (arc : Arc.t) =
    sizing, so memoize the default-stack-factor case.  Keys are compared
    structurally (both types are plain data); the table is guarded by a
    mutex because simulations run concurrently under Slc_num.Parallel. *)
-let memo : (Tech.t * Arc.t, t) Hashtbl.t = Hashtbl.create 32
+let[@slc.domain_safe "guarded by memo_lock"] memo :
+    (Tech.t * Arc.t, t) Hashtbl.t =
+  Hashtbl.create 32
 
 let memo_lock = Mutex.create ()
 

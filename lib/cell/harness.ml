@@ -12,7 +12,7 @@ let pp_point ppf p =
     (p.cload *. 1e15) p.vdd
 
 let point_of_vec v =
-  if Array.length v <> 3 then invalid_arg "Harness.point_of_vec: need 3 coords";
+  if Array.length v <> 3 then Slc_obs.Slc_error.invalid_input ~site:"Harness.point_of_vec" "need 3 coords";
   { sin = v.(0); cload = v.(1); vdd = v.(2) }
 
 let vec_of_point p = [| p.sin; p.cload; p.vdd |]
@@ -109,7 +109,7 @@ let instantiate_impl ?(seed = Process.nominal) ?recorder (tech : Tech.t) net
           expand sub template base_mult ~bulk ~top:from ~bottom:mid;
           walk (i + 1) mid rest
       in
-      if n = 0 then invalid_arg "Harness: empty series group"
+      if n = 0 then Slc_obs.Slc_error.invalid_input ~site:"Harness" "empty series group"
       else walk 0 top subs
   in
   Topology.validate cell.Cells.pull_down;
@@ -125,7 +125,7 @@ let instantiate ?seed tech net cell ~gate_node ~out ~vdd_node =
 let build_netlist_impl ?(seed = Process.nominal) ?recorder (tech : Tech.t)
     (arc : Arc.t) point =
   if point.sin <= 0.0 || point.cload < 0.0 || point.vdd <= 0.0 then
-    invalid_arg "Harness.build_netlist: invalid input condition";
+    Slc_obs.Slc_error.invalid_input ~site:"Harness.build_netlist" "invalid input condition";
   let cell = arc.Arc.cell in
   let net = Netlist.create () in
   let nvdd = Netlist.fresh_node net "vdd" in
@@ -194,7 +194,9 @@ type template = {
    the capacitor). *)
 let template_point = { sin = 1e-12; cload = 1e-15; vdd = 1.0 }
 
-let templates : (Tech.t * Arc.t, template) Hashtbl.t = Hashtbl.create 32
+let[@slc.domain_safe "guarded by templates_lock"] templates :
+    (Tech.t * Arc.t, template) Hashtbl.t =
+  Hashtbl.create 32
 
 let templates_lock = Mutex.create ()
 
@@ -330,7 +332,7 @@ let context_of ~seed tech (arc : Arc.t) point =
 
 let simulate ?(seed = Process.nominal) tech (arc : Arc.t) point =
   if point.sin <= 0.0 || point.cload < 0.0 || point.vdd <= 0.0 then
-    invalid_arg "Harness.build_netlist: invalid input condition";
+    Slc_obs.Slc_error.invalid_input ~site:"Harness.build_netlist" "invalid input condition";
   let ctx = context_of ~seed tech arc point in
   (match Atomic.get fault_injector with
   | Some inject when inject seed point ->

@@ -12,8 +12,8 @@ let size t =
   Array.length t.sin_axis * Array.length t.cload_axis * Array.length t.vdd_axis
 
 let design_levels ~budget ~box =
-  if Array.length box <> 3 then invalid_arg "Nldm.design_levels: need 3-D box";
-  if budget < 1 then invalid_arg "Nldm.design_levels: budget must be >= 1";
+  if Array.length box <> 3 then Slc_obs.Slc_error.invalid_input ~site:"Nldm.design_levels" "need 3-D box";
+  if budget < 1 then Slc_obs.Slc_error.invalid_input ~site:"Nldm.design_levels" "budget must be >= 1";
   (* Enumerate (n_sin, n_cload, n_vdd); maximize the grid size, then
      prefer sin/cload resolution and balance. *)
   let best = ref [| 1; 1; 1 |] in
@@ -41,17 +41,32 @@ let design_levels ~budget ~box =
   !best
 
 let axis_of_level (lo, hi) n =
-  if n < 1 then invalid_arg "Nldm.axes_of_levels: level < 1";
+  if n < 1 then Slc_obs.Slc_error.invalid_input ~site:"Nldm.axes_of_levels" "level < 1";
   if n = 1 then [| 0.5 *. (lo +. hi) |]
   else Slc_num.Vec.linspace lo hi n
 
 let axes_of_levels ~box levels =
   if Array.length box <> 3 || Array.length levels <> 3 then
-    invalid_arg "Nldm.axes_of_levels: need 3-D box and levels";
+    Slc_obs.Slc_error.invalid_input ~site:"Nldm.axes_of_levels" "need 3-D box and levels";
   Array.init 3 (fun d -> axis_of_level box.(d) levels.(d))
 
 let build_on_axes ?seed tech arc ~axes =
-  if Array.length axes <> 3 then invalid_arg "Nldm.build_on_axes: need 3 axes";
+  if Array.length axes <> 3 then Slc_obs.Slc_error.invalid_input ~site:"Nldm.build_on_axes" "need 3 axes";
+  (* Per-simulation failures get their (seed, ξ-point) context from
+     [Harness.simulate]; this annotates anything else escaping the grid
+     build with the arc/tech being tabulated. *)
+  Slc_obs.Slc_error.with_context
+    {
+      Slc_obs.Slc_error.arc = Some (Arc.name arc);
+      tech = Some tech.Slc_device.Tech.name;
+      seed =
+        (match seed with
+        | Some s when not (s == Slc_device.Process.nominal) ->
+          Some s.Slc_device.Process.index
+        | Some _ | None -> None);
+      point = None;
+    }
+  @@ fun () ->
   let sin_axis = axes.(0) and cload_axis = axes.(1) and vdd_axis = axes.(2) in
   let measure s c v =
     Harness.simulate ?seed tech arc { Harness.sin = s; cload = c; vdd = v }

@@ -14,8 +14,8 @@ exception No_oscillation
 let simulate ?(seed = Process.nominal) ?(stages = 5) ?(extra_load = 0.0)
     (tech : Tech.t) ~vdd =
   if stages < 3 || stages mod 2 = 0 then
-    invalid_arg "Ring.simulate: stages must be odd and >= 3";
-  if vdd <= 0.0 then invalid_arg "Ring.simulate: vdd must be > 0";
+    Slc_obs.Slc_error.invalid_input ~site:"Ring.simulate" "stages must be odd and >= 3";
+  if vdd <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Ring.simulate" "vdd must be > 0";
   let net = Netlist.create () in
   let nvdd = Netlist.fresh_node net "vdd" in
   Netlist.add_vsource net (Stimulus.dc vdd) nvdd;

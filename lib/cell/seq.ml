@@ -1,5 +1,6 @@
 module Tech = Slc_device.Tech
 module Process = Slc_device.Process
+module Slc_error = Slc_obs.Slc_error
 open Slc_spice
 
 type capture_result = {
@@ -42,7 +43,7 @@ let build ?(seed = Process.nominal) (tech : Tech.t) ~vdd ~data_rises
   | Some after ->
     let t_back = t_clk +. after in
     if t_back <= t_d +. edge then
-      invalid_arg "Seq.build: revert before the data edge completes";
+      Slc_obs.Slc_error.invalid_input ~site:"Seq.build" "revert before the data edge completes";
     Netlist.add_vsource net
       (Stimulus.pwl
          [
@@ -96,9 +97,9 @@ let build ?(seed = Process.nominal) (tech : Tech.t) ~vdd ~data_rises
 
 let simulate_capture_gen ?seed ?d_revert (tech : Tech.t) ~vdd ~data_rises
     ~d_to_clk =
-  if vdd <= 0.0 then invalid_arg "Seq.simulate_capture: vdd must be > 0";
+  if vdd <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Seq.simulate_capture" "vdd must be > 0";
   if d_to_clk > 55e-12 then
-    invalid_arg "Seq.simulate_capture: data edge would precede the priming pulse";
+    Slc_obs.Slc_error.invalid_input ~site:"Seq.simulate_capture" "data edge would precede the priming pulse";
   (* Fixed timeline: priming pulse first, then both edges comfortably
      inside the window even for negative offsets. *)
   let t_clk = 90e-12 in
@@ -140,7 +141,35 @@ let simulate_capture_gen ?seed ?d_revert (tech : Tech.t) ~vdd ~data_rises
 let simulate_capture ?seed tech ~vdd ~data_rises ~d_to_clk =
   simulate_capture_gen ?seed tech ~vdd ~data_rises ~d_to_clk
 
+(* The bisection brackets below are simulated-behavior checks, not
+   caller preconditions: the DFF testbench produced a capture pattern
+   the search cannot bracket.  They raise the typed
+   [Slc_error.Simulation_failed] (like an uncapturable output edge in
+   [Harness]) so callers can tell them apart from argument misuse. *)
+let bracket_failure ~site detail =
+  raise
+    (Slc_error.Simulation_failed
+       {
+         Slc_error.sf_detail = site ^ ": " ^ detail;
+         sf_retries = 0;
+         sf_window = 0.0;
+         sf_cause = None;
+         sf_context = Slc_error.no_context;
+       })
+
+let search_context ?seed (tech : Tech.t) =
+  {
+    Slc_error.arc = Some "DFF/capture";
+    tech = Some tech.Tech.name;
+    seed =
+      (match seed with
+      | Some s when not (s == Process.nominal) -> Some s.Process.index
+      | Some _ | None -> None);
+    point = None;
+  }
+
 let hold_time ?seed ?(resolution = 5e-14) tech ~vdd ~data_rises =
+  Slc_error.with_context (search_context ?seed tech) @@ fun () ->
   (* Safe setup margin; only the revert time varies. *)
   let d_to_clk = 30e-12 in
   let try_at after =
@@ -152,9 +181,10 @@ let hold_time ?seed ?(resolution = 5e-14) tech ~vdd ~data_rises =
      the bracket extends to reverts before the clock edge. *)
   let long = 50e-12 and short = -15e-12 in
   if not (try_at long) then
-    failwith "Seq.hold_time: capture fails even when data held long";
+    bracket_failure ~site:"Seq.hold_time" "capture fails even when data held long";
   if try_at short then
-    failwith "Seq.hold_time: capture survives reverting before the edge";
+    bracket_failure ~site:"Seq.hold_time"
+      "capture survives reverting before the edge";
   let lo = ref short and hi = ref long in
   while !hi -. !lo > resolution do
     let mid = 0.5 *. (!lo +. !hi) in
@@ -163,14 +193,17 @@ let hold_time ?seed ?(resolution = 5e-14) tech ~vdd ~data_rises =
   0.5 *. (!lo +. !hi)
 
 let setup_time ?seed ?(resolution = 5e-14) tech ~vdd ~data_rises =
+  Slc_error.with_context (search_context ?seed tech) @@ fun () ->
   let try_at d_to_clk =
     (simulate_capture ?seed tech ~vdd ~data_rises ~d_to_clk).captured
   in
   let early = 40e-12 and late = -10e-12 in
   if not (try_at early) then
-    failwith "Seq.setup_time: capture fails even with very early data";
+    bracket_failure ~site:"Seq.setup_time"
+      "capture fails even with very early data";
   if try_at late then
-    failwith "Seq.setup_time: capture succeeds with data after the edge";
+    bracket_failure ~site:"Seq.setup_time"
+      "capture succeeds with data after the edge";
   (* Bisect on the offset: large offset = safe, small/negative = fail. *)
   let lo = ref late and hi = ref early in
   while !hi -. !lo > resolution do

@@ -41,7 +41,7 @@ let rec equivalent_width_mult net ~on =
 let rec validate = function
   | Dev { width_mult; _ } ->
     if width_mult <= 0.0 then
-      invalid_arg "Topology.validate: width multiplier must be > 0"
+      Slc_obs.Slc_error.invalid_input ~site:"Topology.validate" "width multiplier must be > 0"
   | Series [] | Parallel [] ->
-    invalid_arg "Topology.validate: empty series/parallel group"
+    Slc_obs.Slc_error.invalid_input ~site:"Topology.validate" "empty series/parallel group"
   | Series l | Parallel l -> List.iter validate l

@@ -6,7 +6,7 @@ module Mvn = Slc_prob.Mvn
 type message = { mu : Vec.t; cov : Mat.t }
 
 let diffuse ?(scale = 10.0) dim =
-  if dim < 1 then invalid_arg "Belief.diffuse: dimension must be >= 1";
+  if dim < 1 then Slc_obs.Slc_error.invalid_input ~site:"Belief.diffuse" "dimension must be >= 1";
   { mu = Vec.create dim; cov = Mat.scale scale (Mat.identity dim) }
 
 let observe msg rows =
@@ -36,7 +36,7 @@ let observe msg rows =
 
 let drift msg q =
   if Mat.rows q <> Vec.dim msg.mu then
-    invalid_arg "Belief.drift: dimension mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Belief.drift" "dimension mismatch";
   { msg with cov = Mat.add msg.cov q }
 
 (* Node-to-node movement of {kd, Cpar, V', alpha} in their natural
@@ -49,7 +49,7 @@ let default_drift dim =
 
 let chain ?drift_cov nodes =
   match nodes with
-  | [] -> invalid_arg "Belief.chain: empty chain"
+  | [] -> Slc_obs.Slc_error.invalid_input ~site:"Belief.chain" "empty chain"
   | (_, first) :: _ ->
     let dim =
       if Array.length first > 0 then Vec.dim first.(0)
@@ -79,7 +79,7 @@ let chain_prior (prior : Prior.t) ~ordered =
         | rows -> Some (name, Array.of_list rows))
       ordered
   in
-  if nodes = [] then invalid_arg "Belief.chain_prior: no matching nodes";
+  if nodes = [] then Slc_obs.Slc_error.invalid_input ~site:"Belief.chain_prior" "no matching nodes";
   let msg = chain nodes in
   (* The chain tracks the mean; widen by the within-node parameter
      spread so the prior remains honest about arc-to-arc variation. *)

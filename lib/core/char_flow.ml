@@ -80,14 +80,14 @@ let predictor_of_model ?seed ~label ~train_cost tech arc model =
     model_predictor ~label ~seed ~tech ~arc ~cost:train_cost td sout
   | Nldm_table table -> table_predictor ~label ~cost:train_cost table
   | Opaque ->
-    invalid_arg "Char_flow.predictor_of_model: Opaque models cannot be rebuilt"
+    Slc_obs.Slc_error.invalid_input ~site:"Char_flow.predictor_of_model" "Opaque models cannot be rebuilt"
 
 let fitting_points_for ?points tech ~k =
   match points with
   | None -> Input_space.fitting_points tech ~k
   | Some pts ->
     if Array.length pts <> k then
-      invalid_arg "Char_flow: points override must have length k";
+      Slc_obs.Slc_error.invalid_input ~site:"Char_flow" "points override must have length k";
     pts
 
 let train_bayes_on ?workspace ?seed ~(prior : Prior.pair) tech ds =
@@ -149,7 +149,7 @@ type errors = { td_err : float; sout_err : float }
 
 let mean_abs_rel pred actual =
   let n = Array.length actual in
-  if n = 0 then invalid_arg "Char_flow.evaluate: empty dataset";
+  if n = 0 then Slc_obs.Slc_error.invalid_input ~site:"Char_flow.evaluate" "empty dataset";
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
     acc := !acc +. Float.abs ((pred.(i) -. actual.(i)) /. actual.(i))

@@ -14,7 +14,7 @@ type t = {
 let scaled scale base lo = max lo (int_of_float (float_of_int base *. scale))
 
 let with_scale scale =
-  if scale <= 0.0 then invalid_arg "Config.with_scale: scale must be > 0";
+  if scale <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Config.with_scale" "scale must be > 0";
   {
     scale;
     n_validation = scaled scale 300 30;

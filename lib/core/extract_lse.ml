@@ -24,15 +24,15 @@ let jacobian_of ?(weights = [||]) obs v =
       w *. g.(j) /. o.value)
 
 let fit ?workspace ?(init = Timing_model.default_init) ?weights obs =
-  if Array.length obs = 0 then invalid_arg "Extract_lse.fit: no observations";
+  if Array.length obs = 0 then Slc_obs.Slc_error.invalid_input ~site:"Extract_lse.fit" "no observations";
   Array.iter
     (fun o ->
       if o.value <= 0.0 then
-        invalid_arg "Extract_lse.fit: non-positive observation")
+        Slc_obs.Slc_error.invalid_input ~site:"Extract_lse.fit" "non-positive observation")
     obs;
   (match weights with
   | Some w when Array.length w <> Array.length obs ->
-    invalid_arg "Extract_lse.fit: weights length mismatch"
+    Slc_obs.Slc_error.invalid_input ~site:"Extract_lse.fit" "weights length mismatch"
   | _ -> ());
   let result =
     Optimize.levenberg_marquardt ?workspace
@@ -50,9 +50,9 @@ let abs_rel_errors p obs =
     obs
 
 let avg_abs_rel_error p obs =
-  if Array.length obs = 0 then invalid_arg "Extract_lse.avg_abs_rel_error: empty";
+  if Array.length obs = 0 then Slc_obs.Slc_error.invalid_input ~site:"Extract_lse.avg_abs_rel_error" "empty";
   Slc_num.Vec.mean (abs_rel_errors p obs)
 
 let max_abs_rel_error p obs =
-  if Array.length obs = 0 then invalid_arg "Extract_lse.max_abs_rel_error: empty";
+  if Array.length obs = 0 then Slc_obs.Slc_error.invalid_input ~site:"Extract_lse.max_abs_rel_error" "empty";
   Slc_num.Vec.max_elt (abs_rel_errors p obs)

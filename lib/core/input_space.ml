@@ -32,7 +32,7 @@ let lead_design =
   |]
 
 let fitting_points tech ~k =
-  if k < 1 then invalid_arg "Input_space.fitting_points: k must be >= 1";
+  if k < 1 then Slc_obs.Slc_error.invalid_input ~site:"Input_space.fitting_points" "k must be >= 1";
   let b = box tech in
   let lead = Array.length lead_design in
   Array.init k (fun i ->
@@ -46,11 +46,11 @@ let fitting_points tech ~k =
       end)
 
 let random_fitting_points_rng rng tech ~k =
-  if k < 1 then invalid_arg "Input_space.random_fitting_points_rng: k >= 1";
+  if k < 1 then Slc_obs.Slc_error.invalid_input ~site:"Input_space.random_fitting_points_rng" "k >= 1";
   Array.map Harness.point_of_vec (Sampling.random_box rng (box tech) k)
 
 let random_fitting_points tech ~k ~seed =
-  if k < 1 then invalid_arg "Input_space.random_fitting_points: k >= 1";
+  if k < 1 then Slc_obs.Slc_error.invalid_input ~site:"Input_space.random_fitting_points" "k >= 1";
   random_fitting_points_rng (Slc_prob.Rng.create seed) tech ~k
 
 let unit_grid ~levels =

@@ -10,7 +10,7 @@ let n_params = 5
 let to_vec p = Array.append (Timing_model.to_vec p.base) [| p.gamma |]
 
 let of_vec v =
-  if Array.length v <> 5 then invalid_arg "Model_ext.of_vec: need 5 coords";
+  if Array.length v <> 5 then Slc_obs.Slc_error.invalid_input ~site:"Model_ext.of_vec" "need 5 coords";
   { base = Timing_model.of_vec (Array.sub v 0 4); gamma = v.(4) }
 
 let fF = 1e-15
@@ -61,7 +61,7 @@ let jacobian_of obs v =
       g.(j) /. o.Extract_lse.value)
 
 let fit ?init obs =
-  if Array.length obs = 0 then invalid_arg "Model_ext.fit: no observations";
+  if Array.length obs = 0 then Slc_obs.Slc_error.invalid_input ~site:"Model_ext.fit" "no observations";
   let init =
     match init with Some p -> p | None -> of_base Timing_model.default_init
   in
@@ -73,7 +73,7 @@ let fit ?init obs =
 
 let avg_abs_rel_error p obs =
   if Array.length obs = 0 then
-    invalid_arg "Model_ext.avg_abs_rel_error: empty";
+    Slc_obs.Slc_error.invalid_input ~site:"Model_ext.avg_abs_rel_error" "empty";
   let acc = ref 0.0 in
   Array.iter
     (fun (o : Extract_lse.observation) ->

@@ -80,7 +80,7 @@ let gather ~cells ~grid_levels historical =
     historical
 
 let build ~metric ~grid_levels ~beta_rel_floor ~learn_cost raws =
-  if raws = [] then invalid_arg "Prior.build: no historical data";
+  if raws = [] then Slc_obs.Slc_error.invalid_input ~site:"Prior.build" "no historical data";
   let values r = match metric with Delay -> r.r_td | Slew -> r.r_sout in
   (* Fit each historical arc and keep its per-condition relative
      residuals. *)
@@ -157,7 +157,7 @@ let build ~metric ~grid_levels ~beta_rel_floor ~learn_cost raws =
   let axes = axes_of_grid_levels grid_levels in
   let n_s = grid_levels.(0) and n_c = grid_levels.(1) and n_v = grid_levels.(2) in
   if n_s * n_c * n_v <> n_points then
-    invalid_arg "Prior.build: grid shape mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Prior.build" "grid shape mismatch";
   let values3 =
     Array.init n_s (fun i ->
         Array.init n_c (fun j ->
@@ -170,7 +170,7 @@ let build ~metric ~grid_levels ~beta_rel_floor ~learn_cost raws =
 
 let learn ?(cells = Cells.paper_set) ?(grid_levels = grid_levels_default)
     ?(beta_rel_floor = 0.01) ~historical metric =
-  if historical = [] then invalid_arg "Prior.learn: no historical nodes";
+  if historical = [] then Slc_obs.Slc_error.invalid_input ~site:"Prior.learn" "no historical nodes";
   let before = Harness.sim_count () in
   let raws = gather ~cells ~grid_levels historical in
   let learn_cost = Harness.sim_count () - before in
@@ -180,7 +180,7 @@ type pair = { delay : t; slew : t }
 
 let learn_pair ?(cells = Cells.paper_set) ?(grid_levels = grid_levels_default)
     ~historical () =
-  if historical = [] then invalid_arg "Prior.learn_pair: no historical nodes";
+  if historical = [] then Slc_obs.Slc_error.invalid_input ~site:"Prior.learn_pair" "no historical nodes";
   let before = Harness.sim_count () in
   let raws = gather ~cells ~grid_levels historical in
   let learn_cost = Harness.sim_count () - before in

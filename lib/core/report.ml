@@ -46,7 +46,7 @@ let series ppf ~title ~x_label ~xs named =
   table ppf ~header rows
 
 let bar ~width value vmax =
-  if width < 1 then invalid_arg "Report.bar: width must be >= 1";
+  if width < 1 then Slc_obs.Slc_error.invalid_input ~site:"Report.bar" "width must be >= 1";
   let frac =
     if vmax <= 0.0 then 0.0 else Float.max 0.0 (Float.min 1.0 (value /. vmax))
   in

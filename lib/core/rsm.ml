@@ -12,7 +12,7 @@ let n_coeffs ~degree =
   | 0 -> 1
   | 1 -> 4
   | 2 -> 10
-  | _ -> invalid_arg "Rsm.n_coeffs: degree must be 0, 1 or 2"
+  | _ -> Slc_obs.Slc_error.invalid_input ~site:"Rsm.n_coeffs" "degree must be 0, 1 or 2"
 
 (* Monomial basis over normalized coordinates u = (u0, u1, u2). *)
 let basis ~degree u =
@@ -25,15 +25,15 @@ let basis ~degree u =
       u.(0) *. u.(0); u.(1) *. u.(1); u.(2) *. u.(2);
       u.(0) *. u.(1); u.(0) *. u.(2); u.(1) *. u.(2);
     |]
-  | _ -> invalid_arg "Rsm.basis: degree must be 0, 1 or 2"
+  | _ -> Slc_obs.Slc_error.invalid_input ~site:"Rsm.basis" "degree must be 0, 1 or 2"
 
 let degree_for n = if n >= 10 then 2 else if n >= 4 then 1 else 0
 
 let fit tech samples =
   let n = Array.length samples in
-  if n = 0 then invalid_arg "Rsm.fit: no samples";
+  if n = 0 then Slc_obs.Slc_error.invalid_input ~site:"Rsm.fit" "no samples";
   Array.iter
-    (fun (_, y) -> if y <= 0.0 then invalid_arg "Rsm.fit: non-positive value")
+    (fun (_, y) -> if y <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Rsm.fit" "non-positive value")
     samples;
   let degree = degree_for n in
   let m = n_coeffs ~degree in
@@ -58,7 +58,7 @@ let eval t point =
   !acc
 
 let avg_abs_rel_error t samples =
-  if Array.length samples = 0 then invalid_arg "Rsm.avg_abs_rel_error: empty";
+  if Array.length samples = 0 then Slc_obs.Slc_error.invalid_input ~site:"Rsm.avg_abs_rel_error" "empty";
   let acc = ref 0.0 in
   Array.iter
     (fun (point, y) -> acc := !acc +. Float.abs ((eval t point -. y) /. y))

@@ -2,6 +2,20 @@ module Process = Slc_device.Process
 module Harness = Slc_cell.Harness
 module Describe = Slc_prob.Describe
 module Telemetry = Slc_obs.Telemetry
+module Slc_error = Slc_obs.Slc_error
+
+(* Outer-most context annotation for failures escaping a whole
+   extraction: per-simulation failures are already annotated (with seed
+   and ξ-point) by [Harness.simulate]'s inner [with_context], which
+   wins; this fills in arc/tech for anything raised outside a
+   simulation (design construction, fitting preconditions, ...). *)
+let flow_context (tech : Slc_device.Tech.t) arc =
+  {
+    Slc_error.arc = Some (Slc_cell.Arc.name arc);
+    tech = Some tech.Slc_device.Tech.name;
+    seed = None;
+    point = None;
+  }
 
 type method_ = Bayes of Prior.pair | Lse | Lut
 
@@ -56,10 +70,11 @@ let compact_dataset ~arc ~points ~budget ok ms =
 let extract_seed_models ?(min_points = 2) ~design ~method_ ~tech ~arc ~seeds
     ~budget () =
   if Array.length seeds = 0 then
-    invalid_arg "Statistical.extract_population: no seeds";
-  if budget < 1 then invalid_arg "Statistical.extract_population: budget < 1";
+    Slc_obs.Slc_error.invalid_input ~site:"Statistical.extract_population" "no seeds";
+  if budget < 1 then Slc_obs.Slc_error.invalid_input ~site:"Statistical.extract_population" "budget < 1";
   if min_points < 1 then
-    invalid_arg "Statistical.extract_population: min_points < 1";
+    Slc_obs.Slc_error.invalid_input ~site:"Statistical.extract_population" "min_points < 1";
+  Slc_error.with_context (flow_context tech arc) @@ fun () ->
   Telemetry.with_span Telemetry.span_extract @@ fun () ->
   let ns = Array.length seeds in
   let status = Array.make ns Seed_ok in
@@ -192,10 +207,10 @@ let extract_seed_models ?(min_points = 2) ~design ~method_ ~tech ~arc ~seeds
 let assemble ~method_ ~seeds ~predictors ~status ~train_cost =
   let ns = Array.length seeds in
   if Array.length predictors <> ns || Array.length status <> ns then
-    invalid_arg "Statistical.assemble: array length mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Statistical.assemble" "array length mismatch";
   let find seed =
     if seed.Process.index < 0 || seed.Process.index >= Array.length seeds then
-      invalid_arg "Statistical.population: unknown seed";
+      Slc_obs.Slc_error.invalid_input ~site:"Statistical.population" "unknown seed";
     match predictors.(seed.Process.index) with
     | Some p -> p
     | None -> (
@@ -253,7 +268,8 @@ type baseline = {
 
 let monte_carlo_baseline ~tech ~arc ~seeds ~points =
   if Array.length seeds < 2 then
-    invalid_arg "Statistical.monte_carlo_baseline: need >= 2 seeds";
+    Slc_obs.Slc_error.invalid_input ~site:"Statistical.monte_carlo_baseline" "need >= 2 seeds";
+  Slc_error.with_context (flow_context tech arc) @@ fun () ->
   Telemetry.with_span Telemetry.span_baseline @@ fun () ->
   let before = Harness.sim_count () in
   let np = Array.length points in
@@ -327,7 +343,7 @@ type stat_errors = {
 
 let evaluate pop base =
   let n = Array.length base.points in
-  if n = 0 then invalid_arg "Statistical.evaluate: empty baseline";
+  if n = 0 then Slc_obs.Slc_error.invalid_input ~site:"Statistical.evaluate" "empty baseline";
   let acc_mu_td = ref 0.0
   and acc_sg_td = ref 0.0
   and acc_mu_so = ref 0.0

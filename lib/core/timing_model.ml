@@ -3,7 +3,7 @@ type params = { kd : float; cpar : float; v_off : float; alpha : float }
 let to_vec p = [| p.kd; p.cpar; p.v_off; p.alpha |]
 
 let of_vec v =
-  if Array.length v <> 4 then invalid_arg "Timing_model.of_vec: need 4 coords";
+  if Array.length v <> 4 then Slc_obs.Slc_error.invalid_input ~site:"Timing_model.of_vec" "need 4 coords";
   { kd = v.(0); cpar = v.(1); v_off = v.(2); alpha = v.(3) }
 
 let n_params = 4
@@ -23,7 +23,7 @@ let charge p (pt : Slc_cell.Harness.point) =
   (pt.Slc_cell.Harness.vdd +. p.v_off) *. cap_term p pt
 
 let eval p ~ieff pt =
-  if ieff <= 0.0 then invalid_arg "Timing_model.eval: ieff must be > 0";
+  if ieff <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Timing_model.eval" "ieff must be > 0";
   p.kd *. charge p pt /. ieff
 
 let grad p ~ieff pt =
@@ -38,7 +38,7 @@ let grad p ~ieff pt =
   |]
 
 let rel_residual p ~ieff pt ~observed =
-  if observed = 0.0 then invalid_arg "Timing_model.rel_residual: observed = 0";
+  if observed = 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Timing_model.rel_residual" "observed = 0";
   (eval p ~ieff pt -. observed) /. observed
 
 let pp ppf p =

@@ -15,14 +15,14 @@ type params = {
 }
 
 let scale_width p f =
-  if f <= 0.0 then invalid_arg "Mosfet.scale_width: factor must be > 0";
+  if f <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Mosfet.scale_width" "factor must be > 0";
   { p with w = p.w *. f }
 
 let t_ref_kelvin = 298.15
 
 let at_temperature p ~celsius =
   let t = celsius +. 273.15 in
-  if t <= 0.0 then invalid_arg "Mosfet.at_temperature: below absolute zero";
+  if t <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Mosfet.at_temperature" "below absolute zero";
   let ratio = t /. t_ref_kelvin in
   {
     p with
@@ -70,7 +70,7 @@ let intrinsic p vgs vds =
   (id, gm, gds)
 
 let channel_current p ~vgs ~vds =
-  if vds < 0.0 then invalid_arg "Mosfet.channel_current: vds must be >= 0";
+  if vds < 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Mosfet.channel_current" "vds must be >= 0";
   let id, _, _ = intrinsic p vgs vds in
   id
 
@@ -114,7 +114,7 @@ let make_eval_buf () = { b_id = 0.0; b_vg = 0.0; b_vd = 0.0; b_vs = 0.0 }
    overdrive branch stashes its pair in the buffer instead of returning
    a tuple so the whole call chain stays allocation-free without
    depending on the inliner. *)
-let[@inline] intrinsic_into p vgs vds buf =
+let[@inline] [@slc.hot] intrinsic_into p vgs vds buf =
   let x = (vgs -. p.vt) /. p.theta in
   (if x > 35.0 then begin
      buf.b_vg <- vgs -. p.vt;
@@ -151,7 +151,7 @@ let[@inline] intrinsic_into p vgs vds buf =
   buf.b_vg <- gm;
   buf.b_vd <- gds
 
-let[@inline] eval_nmos_into p ~vg ~vd ~vs buf =
+let[@inline] [@slc.hot] eval_nmos_into p ~vg ~vd ~vs buf =
   if vd >= vs then begin
     intrinsic_into p (vg -. vs) (vd -. vs) buf;
     buf.b_vs <- -.(buf.b_vg +. buf.b_vd)
@@ -165,7 +165,7 @@ let[@inline] eval_nmos_into p ~vg ~vd ~vs buf =
     buf.b_vs <- -.gds
   end
 
-let[@inline] eval_into p ~vg ~vd ~vs buf =
+let[@inline] [@slc.hot] eval_into p ~vg ~vd ~vs buf =
   match p.polarity with
   | Nmos -> eval_nmos_into p ~vg ~vd ~vs buf
   | Pmos ->

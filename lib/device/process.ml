@@ -67,7 +67,7 @@ let sample rng (tech : Tech.t) index =
 let sample_batch rng tech n = Array.init n (fun i -> sample rng tech i)
 
 let sample_batch_lhs rng (tech : Tech.t) n =
-  if n < 1 then invalid_arg "Process.sample_batch_lhs: n must be >= 1";
+  if n < 1 then Slc_obs.Slc_error.invalid_input ~site:"Process.sample_batch_lhs" "n must be >= 1";
   (* One stratified uniform per dimension, pushed through the Gaussian
      (or truncated-Gaussian-approximating clamp) quantile. *)
   let unit_box = Array.make 5 (0.0, 1.0) in

@@ -61,7 +61,7 @@ let solve_spd a b = cholesky_solve (cholesky a) b
    [cholesky] / [cholesky_solve] exactly, so results are bitwise
    identical to the allocating forms. *)
 
-let cholesky_into a l =
+let[@slc.hot] cholesky_into a l =
   if not (Mat.is_symmetric ~tol:1e-8 a) then
     raise (Singular "cholesky: matrix not symmetric");
   let n = Mat.rows a in
@@ -83,7 +83,7 @@ let cholesky_into a l =
     done
   done
 
-let cholesky_solve_into l b ~y ~x =
+let[@slc.hot] cholesky_solve_into l b ~y ~x =
   let n = Mat.rows l in
   if Array.length b <> n || Array.length y <> n || Array.length x <> n then
     invalid_arg "Linalg.cholesky_solve_into: size mismatch";
@@ -134,7 +134,7 @@ let spd_log_det a =
 
 type lu = { lu_mat : Mat.t; perm : int array; sign : float }
 
-let lu_factor_in_place a perm =
+let[@slc.hot] lu_factor_in_place a perm =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Linalg.lu_factor_in_place: not square";
   if Array.length perm <> n then
@@ -181,7 +181,7 @@ let lu_factor_in_place a perm =
   done;
   !sign
 
-let lu_solve_in_place a perm ~b ~x =
+let[@slc.hot] lu_solve_in_place a perm ~b ~x =
   let n = Mat.rows a in
   if Array.length b <> n || Array.length x <> n || Array.length perm <> n then
     invalid_arg "Linalg.lu_solve_in_place: size mismatch";

@@ -120,7 +120,7 @@ let tmul_vec m v =
 (* [gram_into j out] computes out <- JᵀJ with floating-point operations
    in the exact order of [mul (transpose j) j] (ikj loops, zero-skip),
    so workspace-reusing callers get bitwise-identical results. *)
-let gram_into j out =
+let[@slc.hot] gram_into j out =
   if out.r <> j.c || out.c <> j.c then
     invalid_arg "Mat.gram_into: output must be cols x cols";
   Array.fill out.data 0 (Array.length out.data) 0.0;
@@ -136,7 +136,7 @@ let gram_into j out =
     done
   done
 
-let tmul_vec_into m v out =
+let[@slc.hot] tmul_vec_into m v out =
   if m.r <> Array.length v || m.c <> Array.length out then
     invalid_arg "Mat.tmul_vec_into: dimension mismatch";
   Array.fill out 0 m.c 0.0;
@@ -183,7 +183,7 @@ let add_ridge m lambda =
   done;
   m'
 
-let add_ridge_into m lambda out =
+let[@slc.hot] add_ridge_into m lambda out =
   if m.r <> m.c then invalid_arg "Mat.add_ridge_into: not square";
   if out.r <> m.r || out.c <> m.c then
     invalid_arg "Mat.add_ridge_into: dimension mismatch";

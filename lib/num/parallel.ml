@@ -96,12 +96,19 @@ module Pool = struct
         end
       end
     in
-    claim ();
-    flag := saved;
-    Mutex.lock pool.m;
-    let now = Atomic.fetch_and_add j.running (-1) - 1 in
-    if now = 0 then Condition.broadcast pool.donec;
-    Mutex.unlock pool.m
+    (* The claim loop records item exceptions rather than raising, but an
+       asynchronous exception (Stack_overflow, Out_of_memory, a signal)
+       escaping it would otherwise leave this domain's in-task flag stuck
+       and its running ticket unreturned, wedging the submitter in
+       [Condition.wait] forever. *)
+    Fun.protect
+      ~finally:(fun () ->
+        flag := saved;
+        Mutex.lock pool.m;
+        let now = Atomic.fetch_and_add j.running (-1) - 1 in
+        if now = 0 then Condition.broadcast pool.donec;
+        Mutex.unlock pool.m)
+      claim
 
   let worker pool () =
     let seen = ref 0 in
@@ -130,7 +137,8 @@ module Pool = struct
   (* Process-wide pool, created on first parallel map.  Sized for
      max(domain_count, first requested width) - 1 workers: the
      submitting domain is always the extra participant. *)
-  let the_pool = ref None
+  let[@slc.domain_safe "read/written only under the creation mutex"] the_pool =
+    ref None
 
   let creation = Mutex.create ()
 

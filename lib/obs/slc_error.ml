@@ -29,6 +29,19 @@ let pp_context ppf c =
   | None -> ());
   if not !sep then Format.pp_print_string ppf "no context"
 
+type invalid = { iv_site : string; iv_detail : string; iv_context : context }
+
+exception Invalid_input of invalid
+
+let invalid ~site detail =
+  { iv_site = site; iv_detail = detail; iv_context = no_context }
+
+let invalid_input ~site detail = raise (Invalid_input (invalid ~site detail))
+
+let invalid_message iv =
+  Format.asprintf "Invalid_input: %s: %s [%a]" iv.iv_site iv.iv_detail
+    pp_context iv.iv_context
+
 type phase = Dc_operating_point | Dc_sweep | Transient_step
 
 let phase_label = function
@@ -96,6 +109,8 @@ let with_context ctx f =
     raise (No_convergence { d with context = ctx })
   | Simulation_failed s when is_empty_context s.sf_context ->
     raise (Simulation_failed { s with sf_context = ctx })
+  | Invalid_input iv when is_empty_context iv.iv_context ->
+    raise (Invalid_input { iv with iv_context = ctx })
 
 type store_fault_kind = Store_version_mismatch | Store_corrupt | Store_key_mismatch
 
@@ -127,4 +142,5 @@ let () =
     | No_convergence d -> Some (convergence_message d)
     | Simulation_failed f -> Some (sim_failure_message f)
     | Store_failed f -> Some (store_fault_message f)
+    | Invalid_input iv -> Some (invalid_message iv)
     | _ -> None)

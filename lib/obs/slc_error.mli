@@ -27,6 +27,30 @@ val no_context : context
 
 val pp_context : Format.formatter -> context -> unit
 
+(** {2 Precondition violations}
+
+    The typed replacement for the bare [Invalid_argument]/[Failure]
+    raises that used to pepper the domain layers.  [iv_site] is the
+    "Module.function" the caller misused, [iv_detail] the specific
+    precondition.  Raised with an empty context; the harness layer fills
+    it in through {!with_context} when the violation surfaces from
+    inside a characterization run.  The [slc_lint] R1 rule forbids new
+    raw raises outside [lib/num]; see [docs/lint.md]. *)
+
+type invalid = { iv_site : string; iv_detail : string; iv_context : context }
+
+exception Invalid_input of invalid
+
+val invalid : site:string -> string -> invalid
+(** Build an {!invalid} payload with {!no_context} — handy for tests
+    asserting on the exact exception value. *)
+
+val invalid_input : site:string -> string -> 'a
+(** [invalid_input ~site detail] raises {!Invalid_input} with
+    {!no_context}. *)
+
+val invalid_message : invalid -> string
+
 type phase =
   | Dc_operating_point  (** initial DC solve *)
   | Dc_sweep            (** transfer-curve sweep point *)

@@ -1,4 +1,5 @@
-let enabled =
+let[@slc.domain_safe "boolean toggle; racy reads only skip or count an event"]
+    enabled =
   ref
     (match Sys.getenv_opt "SLC_TELEMETRY" with
     | None | Some "" | Some "0" -> false
@@ -14,7 +15,9 @@ type counter = { c_name : string; c_cell : int Atomic.t }
 
 (* All counters and spans are created at module-initialization time, so
    the registries need no locking. *)
-let counters : counter list ref = ref []
+let[@slc.domain_safe "written only at module-initialization time"] counters :
+    counter list ref =
+  ref []
 
 let make_counter name =
   let c = { c_name = name; c_cell = Atomic.make 0 } in
@@ -85,7 +88,9 @@ let failed_seeds = make_counter "failed_seeds"
    a lock-free integer. *)
 type span = { s_name : string; s_count : int Atomic.t; s_ns : int Atomic.t }
 
-let spans : span list ref = ref []
+let[@slc.domain_safe "written only at module-initialization time"] spans :
+    span list ref =
+  ref []
 
 let make_span name =
   let s = { s_name = name; s_count = Atomic.make 0; s_ns = Atomic.make 0 } in

@@ -1,10 +1,10 @@
 let mean xs =
-  if Array.length xs = 0 then invalid_arg "Describe.mean: empty sample";
+  if Array.length xs = 0 then Slc_obs.Slc_error.invalid_input ~site:"Describe.mean" "empty sample";
   Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
 
 let variance xs =
   let n = Array.length xs in
-  if n < 2 then invalid_arg "Describe.variance: need >= 2 samples";
+  if n < 2 then Slc_obs.Slc_error.invalid_input ~site:"Describe.variance" "need >= 2 samples";
   let m = mean xs in
   let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs in
   acc /. float_of_int (n - 1)
@@ -18,7 +18,7 @@ let central_moment xs k =
 
 let skewness xs =
   let n = Array.length xs in
-  if n < 3 then invalid_arg "Describe.skewness: need >= 3 samples";
+  if n < 3 then Slc_obs.Slc_error.invalid_input ~site:"Describe.skewness" "need >= 3 samples";
   let m2 = central_moment xs 2 and m3 = central_moment xs 3 in
   let g1 = m3 /. (m2 ** 1.5) in
   let nf = float_of_int n in
@@ -26,13 +26,13 @@ let skewness xs =
 
 let kurtosis_excess xs =
   let n = Array.length xs in
-  if n < 4 then invalid_arg "Describe.kurtosis_excess: need >= 4 samples";
+  if n < 4 then Slc_obs.Slc_error.invalid_input ~site:"Describe.kurtosis_excess" "need >= 4 samples";
   let m2 = central_moment xs 2 and m4 = central_moment xs 4 in
   (m4 /. (m2 *. m2)) -. 3.0
 
 let quantile xs p =
-  if Array.length xs = 0 then invalid_arg "Describe.quantile: empty sample";
-  if p < 0.0 || p > 1.0 then invalid_arg "Describe.quantile: p outside [0,1]";
+  if Array.length xs = 0 then Slc_obs.Slc_error.invalid_input ~site:"Describe.quantile" "empty sample";
+  if p < 0.0 || p > 1.0 then Slc_obs.Slc_error.invalid_input ~site:"Describe.quantile" "p outside [0,1]";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let n = Array.length sorted in
@@ -47,15 +47,15 @@ let quantile xs p =
 let median xs = quantile xs 0.5
 
 let min_max xs =
-  if Array.length xs = 0 then invalid_arg "Describe.min_max: empty sample";
+  if Array.length xs = 0 then Slc_obs.Slc_error.invalid_input ~site:"Describe.min_max" "empty sample";
   Array.fold_left
     (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
     (xs.(0), xs.(0)) xs
 
 let covariance xs ys =
   let n = Array.length xs in
-  if n <> Array.length ys then invalid_arg "Describe.covariance: length mismatch";
-  if n < 2 then invalid_arg "Describe.covariance: need >= 2 samples";
+  if n <> Array.length ys then Slc_obs.Slc_error.invalid_input ~site:"Describe.covariance" "length mismatch";
+  if n < 2 then Slc_obs.Slc_error.invalid_input ~site:"Describe.covariance" "need >= 2 samples";
   let mx = mean xs and my = mean ys in
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
@@ -66,20 +66,20 @@ let covariance xs ys =
 let correlation xs ys = covariance xs ys /. (std xs *. std ys)
 
 let mean_vector rows =
-  if Array.length rows = 0 then invalid_arg "Describe.mean_vector: empty";
+  if Array.length rows = 0 then Slc_obs.Slc_error.invalid_input ~site:"Describe.mean_vector" "empty";
   let d = Array.length rows.(0) in
   let m = Slc_num.Vec.create d in
   Array.iter
     (fun r ->
       if Array.length r <> d then
-        invalid_arg "Describe.mean_vector: ragged rows";
+        Slc_obs.Slc_error.invalid_input ~site:"Describe.mean_vector" "ragged rows";
       Slc_num.Vec.axpy 1.0 r m)
     rows;
   Slc_num.Vec.scale (1.0 /. float_of_int (Array.length rows)) m
 
 let covariance_matrix rows =
   let n = Array.length rows in
-  if n < 2 then invalid_arg "Describe.covariance_matrix: need >= 2 samples";
+  if n < 2 then Slc_obs.Slc_error.invalid_input ~site:"Describe.covariance_matrix" "need >= 2 samples";
   let d = Array.length rows.(0) in
   let mu = mean_vector rows in
   let cov = Slc_num.Mat.create d d in

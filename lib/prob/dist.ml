@@ -18,7 +18,7 @@ let gaussian_quantile ~mu ~sigma p = Slc_num.Special.normal_quantile ~mu ~sigma 
 let lognormal rng ~mu ~sigma = exp (gaussian rng ~mu ~sigma)
 
 let truncated_gaussian rng ~mu ~sigma ~lo ~hi =
-  if lo >= hi then invalid_arg "Dist.truncated_gaussian: empty interval";
+  if lo >= hi then Slc_obs.Slc_error.invalid_input ~site:"Dist.truncated_gaussian" "empty interval";
   let rec draw attempts =
     if attempts > 10_000 then
       (* The interval carries almost no mass; fall back to clamping. *)
@@ -32,5 +32,5 @@ let truncated_gaussian rng ~mu ~sigma ~lo ~hi =
 let uniform = Rng.uniform
 
 let exponential rng ~rate =
-  if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be > 0";
+  if rate <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Dist.exponential" "rate must be > 0";
   -.log (1.0 -. Rng.float rng) /. rate

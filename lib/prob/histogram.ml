@@ -1,8 +1,8 @@
 type t = { lo : float; hi : float; counts : int array; total : int }
 
 let build_range ~bins ~lo ~hi xs =
-  if bins < 1 then invalid_arg "Histogram.build_range: bins must be >= 1";
-  if lo >= hi then invalid_arg "Histogram.build_range: empty range";
+  if bins < 1 then Slc_obs.Slc_error.invalid_input ~site:"Histogram.build_range" "bins must be >= 1";
+  if lo >= hi then Slc_obs.Slc_error.invalid_input ~site:"Histogram.build_range" "empty range";
   let counts = Array.make bins 0 in
   let w = (hi -. lo) /. float_of_int bins in
   Array.iter
@@ -16,7 +16,7 @@ let build_range ~bins ~lo ~hi xs =
   { lo; hi; counts; total = Array.length xs }
 
 let build ?(bins = 30) xs =
-  if Array.length xs = 0 then invalid_arg "Histogram.build: empty sample";
+  if Array.length xs = 0 then Slc_obs.Slc_error.invalid_input ~site:"Histogram.build" "empty sample";
   let lo, hi = Describe.min_max xs in
   let hi = if hi > lo then hi else lo +. 1.0 in
   build_range ~bins ~lo ~hi xs

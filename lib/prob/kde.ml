@@ -19,7 +19,7 @@ let cdf_cutoff_hi = 13.0
 
 let silverman_bandwidth xs =
   let n = Array.length xs in
-  if n < 2 then invalid_arg "Kde.silverman_bandwidth: need >= 2 samples";
+  if n < 2 then Slc_obs.Slc_error.invalid_input ~site:"Kde.silverman_bandwidth" "need >= 2 samples";
   let s = Describe.std xs in
   let iqr = Describe.quantile xs 0.75 -. Describe.quantile xs 0.25 in
   let spread =
@@ -30,11 +30,11 @@ let silverman_bandwidth xs =
   0.9 *. spread *. (float_of_int n ** (-0.2))
 
 let fit ?bandwidth xs =
-  if Array.length xs < 2 then invalid_arg "Kde.fit: need >= 2 samples";
+  if Array.length xs < 2 then Slc_obs.Slc_error.invalid_input ~site:"Kde.fit" "need >= 2 samples";
   let h =
     match bandwidth with
     | Some h when h > 0.0 -> h
-    | Some _ -> invalid_arg "Kde.fit: bandwidth must be > 0"
+    | Some _ -> Slc_obs.Slc_error.invalid_input ~site:"Kde.fit" "bandwidth must be > 0"
     | None -> silverman_bandwidth xs
   in
   let samples = Array.copy xs in

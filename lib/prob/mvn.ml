@@ -7,7 +7,7 @@ type t = { mu : Vec.t; cov : Mat.t; chol : Mat.t }
 let make ~mu ~cov =
   let d = Vec.dim mu in
   if Mat.rows cov <> d || Mat.cols cov <> d then
-    invalid_arg "Mvn.make: dimension mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Mvn.make" "dimension mismatch";
   let chol =
     try Linalg.cholesky cov
     with Linalg.Singular _ -> (
@@ -16,7 +16,7 @@ let make ~mu ~cov =
       let cov' = Mat.add_ridge (Mat.sym_part cov) (1e-9 *. tr) in
       try Linalg.cholesky cov'
       with Linalg.Singular _ ->
-        invalid_arg "Mvn.make: covariance not positive definite")
+        Slc_obs.Slc_error.invalid_input ~site:"Mvn.make" "covariance not positive definite")
   in
   { mu; cov; chol }
 

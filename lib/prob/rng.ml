@@ -69,7 +69,9 @@ let restore s =
     |> List.map (fun f -> Int64.of_string_opt ("0x" ^ f))
   with
   | [ Some s0; Some s1; Some s2; Some s3 ] -> { s0; s1; s2; s3 }
-  | _ -> invalid_arg (Printf.sprintf "Rng.restore: malformed state %S" s)
+  | _ ->
+    Slc_obs.Slc_error.invalid_input ~site:"Rng.restore"
+      (Printf.sprintf "malformed state %S" s)
 
 let float r =
   (* Top 53 bits scaled into [0,1). *)
@@ -79,7 +81,7 @@ let float r =
 let uniform r ~lo ~hi = lo +. ((hi -. lo) *. float r)
 
 let int r n =
-  if n <= 0 then invalid_arg "Rng.int: n must be > 0";
+  if n <= 0 then Slc_obs.Slc_error.invalid_input ~site:"Rng.int" "n must be > 0";
   (* Modulo of a 63-bit draw: the bias is below n/2^63, irrelevant for
      the shuffle/stratification uses in this project. *)
   let x = Int64.shift_right_logical (uint64 r) 1 in

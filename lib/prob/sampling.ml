@@ -5,12 +5,12 @@ type box = (float * float) array
 let check_box box =
   Array.iter
     (fun (lo, hi) ->
-      if lo >= hi then invalid_arg "Sampling: degenerate box dimension")
+      if lo >= hi then Slc_obs.Slc_error.invalid_input ~site:"Sampling" "degenerate box dimension")
     box
 
 let scale_unit box u =
   if Array.length box <> Array.length u then
-    invalid_arg "Sampling.scale_unit: dimension mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Sampling.scale_unit" "dimension mismatch";
   Array.mapi
     (fun d x ->
       let lo, hi = box.(d) in
@@ -19,7 +19,7 @@ let scale_unit box u =
 
 let to_unit box p =
   if Array.length box <> Array.length p then
-    invalid_arg "Sampling.to_unit: dimension mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Sampling.to_unit" "dimension mismatch";
   Array.mapi
     (fun d x ->
       let lo, hi = box.(d) in
@@ -33,7 +33,7 @@ let random_box rng box n =
 
 let latin_hypercube rng box n =
   check_box box;
-  if n < 1 then invalid_arg "Sampling.latin_hypercube: n must be >= 1";
+  if n < 1 then Slc_obs.Slc_error.invalid_input ~site:"Sampling.latin_hypercube" "n must be >= 1";
   let d = Array.length box in
   (* For each dimension, a shuffled assignment of strata to points. *)
   let strata =
@@ -63,7 +63,7 @@ let halton box n =
   check_box box;
   let d = Array.length box in
   if d > Array.length primes then
-    invalid_arg "Sampling.halton: supports at most 8 dimensions";
+    Slc_obs.Slc_error.invalid_input ~site:"Sampling.halton" "supports at most 8 dimensions";
   Array.init n (fun p ->
       let u = Vec.init d (fun dim -> radical_inverse primes.(dim) (p + 1)) in
       scale_unit box u)
@@ -72,9 +72,9 @@ let full_factorial box ~levels =
   check_box box;
   let d = Array.length box in
   if Array.length levels <> d then
-    invalid_arg "Sampling.full_factorial: levels/box mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Sampling.full_factorial" "levels/box mismatch";
   Array.iter
-    (fun l -> if l < 1 then invalid_arg "Sampling.full_factorial: level < 1")
+    (fun l -> if l < 1 then Slc_obs.Slc_error.invalid_input ~site:"Sampling.full_factorial" "level < 1")
     levels;
   let total = Array.fold_left ( * ) 1 levels in
   let coord dim i =

@@ -1,6 +1,6 @@
 let ks_two_sample xs ys =
   let nx = Array.length xs and ny = Array.length ys in
-  if nx = 0 || ny = 0 then invalid_arg "Stattest.ks_two_sample: empty sample";
+  if nx = 0 || ny = 0 then Slc_obs.Slc_error.invalid_input ~site:"Stattest.ks_two_sample" "empty sample";
   let sx = Array.copy xs and sy = Array.copy ys in
   Array.sort compare sx;
   Array.sort compare sy;
@@ -25,7 +25,7 @@ let ks_two_sample xs ys =
 
 let ks_against_cdf xs cdf =
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stattest.ks_against_cdf: empty sample";
+  if n = 0 then Slc_obs.Slc_error.invalid_input ~site:"Stattest.ks_against_cdf" "empty sample";
   let s = Array.copy xs in
   Array.sort compare s;
   let best = ref 0.0 in
@@ -39,7 +39,7 @@ let ks_against_cdf xs cdf =
 
 let total_variation_binned ~bins xs ys =
   if Array.length xs = 0 || Array.length ys = 0 then
-    invalid_arg "Stattest.total_variation_binned: empty sample";
+    Slc_obs.Slc_error.invalid_input ~site:"Stattest.total_variation_binned" "empty sample";
   let lo1, hi1 = Describe.min_max xs and lo2, hi2 = Describe.min_max ys in
   let lo = Float.min lo1 lo2 and hi = Float.max hi1 hi2 in
   let hi = if hi > lo then hi else lo +. 1.0 in

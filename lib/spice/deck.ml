@@ -198,7 +198,9 @@ let to_netlist t ~models =
     else
       match Hashtbl.find_opt nodes key with
       | Some n -> n
-      | None -> invalid_arg ("Deck.to_netlist: unknown node " ^ name)
+      | None ->
+        Slc_obs.Slc_error.invalid_input ~site:"Deck.to_netlist"
+          ("unknown node " ^ name)
   in
   (net, resolver)
 

@@ -27,13 +27,13 @@ let fresh_node t name =
 let node_name t n =
   if n = ground then "gnd"
   else if n > 0 && n < t.n_nodes then List.nth t.names (t.n_nodes - 1 - n)
-  else invalid_arg "Netlist.node_name: unknown node"
+  else Slc_obs.Slc_error.invalid_input ~site:"Netlist.node_name" "unknown node"
 
 let node_count t = t.n_nodes
 
 let check_node t n =
   if n < 0 || n >= t.n_nodes then
-    invalid_arg "Netlist: element references an unallocated node"
+    Slc_obs.Slc_error.invalid_input ~site:"Netlist" "element references an unallocated node"
 
 let add_mosfet t params ~g ~d ~s =
   check_node t g;
@@ -45,20 +45,20 @@ let add_mosfet t params ~g ~d ~s =
 let add_capacitor t c ~a ~b =
   check_node t a;
   check_node t b;
-  if c < 0.0 then invalid_arg "Netlist.add_capacitor: negative capacitance";
+  if c < 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Netlist.add_capacitor" "negative capacitance";
   if c > 0.0 && a <> b then t.elems <- Capacitor { c; a; b } :: t.elems
 
 let add_resistor t r ~a ~b =
   check_node t a;
   check_node t b;
-  if r <= 0.0 then invalid_arg "Netlist.add_resistor: resistance must be > 0";
+  if r <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Netlist.add_resistor" "resistance must be > 0";
   if a <> b then t.elems <- Resistor { r; a; b } :: t.elems
 
 let add_vsource t stim n =
   check_node t n;
-  if n = ground then invalid_arg "Netlist.add_vsource: cannot drive ground";
+  if n = ground then Slc_obs.Slc_error.invalid_input ~site:"Netlist.add_vsource" "cannot drive ground";
   if List.mem_assoc n t.srcs then
-    invalid_arg "Netlist.add_vsource: node already pinned";
+    Slc_obs.Slc_error.invalid_input ~site:"Netlist.add_vsource" "node already pinned";
   t.srcs <- (n, stim) :: t.srcs
 
 let elements t = List.rev t.elems
@@ -75,7 +75,7 @@ let validate t =
     if not (List.mem_assoc n t.srcs) then incr free
   done;
   if !free = 0 then
-    invalid_arg "Netlist.validate: no free nodes (nothing to solve)";
+    Slc_obs.Slc_error.invalid_input ~site:"Netlist.validate" "no free nodes (nothing to solve)";
   List.iter
     (fun e ->
       match e with

@@ -3,7 +3,7 @@ type t = float -> float
 let dc v _ = v
 
 let ramp ~t0 ~duration ~v_from ~v_to =
-  if duration <= 0.0 then invalid_arg "Stimulus.ramp: duration must be > 0";
+  if duration <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Stimulus.ramp" "duration must be > 0";
   fun t ->
     if t <= t0 then v_from
     else if t >= t0 +. duration then v_to
@@ -11,12 +11,12 @@ let ramp ~t0 ~duration ~v_from ~v_to =
 
 let pwl points =
   match points with
-  | [] -> invalid_arg "Stimulus.pwl: need at least one point"
+  | [] -> Slc_obs.Slc_error.invalid_input ~site:"Stimulus.pwl" "need at least one point"
   | (t0, _) :: rest ->
     let rec check prev = function
       | [] -> ()
       | (t, _) :: tl ->
-        if t <= prev then invalid_arg "Stimulus.pwl: times must increase";
+        if t <= prev then Slc_obs.Slc_error.invalid_input ~site:"Stimulus.pwl" "times must increase";
         check t tl
     in
     check t0 rest;

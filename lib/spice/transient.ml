@@ -20,7 +20,7 @@ type options = {
 }
 
 let default_options ~tstop =
-  if tstop <= 0.0 then invalid_arg "Transient.default_options: tstop <= 0";
+  if tstop <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Transient.default_options" "tstop <= 0";
   {
     integrator = Trapezoidal;
     tstop;
@@ -104,11 +104,11 @@ let node_count c = c.n_nodes
 
 let respecialize c ~mosfets ~caps ~sources =
   if Array.length mosfets <> Array.length c.mos_params then
-    invalid_arg "Transient.respecialize: mosfet count mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Transient.respecialize" "mosfet count mismatch";
   if Array.length caps <> Array.length c.cap_c then
-    invalid_arg "Transient.respecialize: capacitor count mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Transient.respecialize" "capacitor count mismatch";
   if Array.length sources <> Array.length c.src_stim then
-    invalid_arg "Transient.respecialize: source count mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Transient.respecialize" "source count mismatch";
   { c with mos_params = mosfets; cap_c = caps; src_stim = sources }
 
 let apply_sources c v t =
@@ -176,7 +176,7 @@ let check_workspace ws c =
     ws.w_free <> Array.length c.free_nodes
     || ws.w_nodes <> c.n_nodes
     || Array.length ws.icap <> Array.length c.cap_c
-  then invalid_arg "Transient: workspace does not match the compiled circuit"
+  then Slc_obs.Slc_error.invalid_input ~site:"Transient" "workspace does not match the compiled circuit"
 
 (* Stamp static (resistive + device + gmin) contributions into residual f
    and the raw row-major Jacobian storage jd (stride n).  v is the full
@@ -187,18 +187,18 @@ let check_workspace ws c =
    a float passed to a non-inlined local function is boxed, and at
    ~75 accumulations per Newton iteration that boxing dominated the
    loop's allocation profile. *)
-let[@inline] add_f f fi nd x =
+let[@inline] [@slc.hot] add_f f fi nd x =
   let i = Array.unsafe_get fi nd in
   if i >= 0 then Array.unsafe_set f i (Array.unsafe_get f i +. x)
 
-let[@inline] add_j jd n fi nd md x =
+let[@inline] [@slc.hot] add_j jd n fi nd md x =
   let i = Array.unsafe_get fi nd and j = Array.unsafe_get fi md in
   if i >= 0 && j >= 0 then begin
     let k = (i * n) + j in
     Array.unsafe_set jd k (Array.unsafe_get jd k +. x)
   end
 
-let stamp_static c ~gmin ~ebuf v f jd n =
+let[@slc.hot] stamp_static c ~gmin ~ebuf v f jd n =
   let fi = c.free_index in
   for k = 0 to Array.length c.res_r - 1 do
     let a = c.res_a.(k) and b = c.res_b.(k) in
@@ -240,17 +240,17 @@ let stamp_static c ~gmin ~ebuf v f jd n =
 (* Capacitor current for the chosen integration method.  For
    trapezoidal integration the companion model needs the capacitor
    current at the previous accepted step (icap_prev). *)
-let[@inline] cap_current ~method_ ~dt cap dv dv_prev i_prev =
+let[@inline] [@slc.hot] cap_current ~method_ ~dt cap dv dv_prev i_prev =
   match method_ with
   | Backward_euler -> cap /. dt *. (dv -. dv_prev)
   | Trapezoidal -> (2.0 *. cap /. dt *. (dv -. dv_prev)) -. i_prev
 
-let[@inline] cap_conductance ~method_ ~dt cap =
+let[@inline] [@slc.hot] cap_conductance ~method_ ~dt cap =
   match method_ with
   | Backward_euler -> cap /. dt
   | Trapezoidal -> 2.0 *. cap /. dt
 
-let stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jd n =
+let[@slc.hot] stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jd n =
   let fi = c.free_index in
   for idx = 0 to Array.length c.cap_c - 1 do
     let cap = c.cap_c.(idx) and a = c.cap_a.(idx) and b = c.cap_b.(idx) in
@@ -274,12 +274,18 @@ let stamp_caps c ~method_ ~dt ~icap_prev v v_prev f jd n =
    v is updated in place on success (and left modified on failure).
    All scratch storage comes from the workspace: the loop body performs
    no heap allocation. *)
-let newton ws c opts ~gmin ~caps ~v_prev v =
+let[@slc.hot] newton ws c opts ~gmin ~caps ~v_prev v =
   let n = ws.w_free in
   let f = ws.resid in
   let jd = Mat.data ws.jac in
-  let rec iterate k =
-    if k > opts.max_newton then None
+  (* Iteration state: 0 = still iterating, -1 = failed (iteration cap or
+     singular Jacobian), k > 0 = converged at iteration k.  A flat loop
+     rather than a local [rec iterate] closure keeps the body free of
+     heap allocation. *)
+  let outcome = ref 0 in
+  let k = ref 1 in
+  while !outcome = 0 do
+    if !k > opts.max_newton then outcome := -1
     else begin
       Array.fill f 0 n 0.0;
       Array.fill jd 0 (n * n) 0.0;
@@ -294,13 +300,13 @@ let newton ws c opts ~gmin ~caps ~v_prev v =
       done;
       let fnorm = !fnorm in
       ws.last_fnorm <- fnorm;
-      ws.last_iters <- k;
+      ws.last_iters <- !k;
       let factored =
         match Linalg.lu_factor_in_place ws.jac ws.perm with
         | (_ : float) -> true
         | exception Linalg.Singular _ -> false
       in
-      if not factored then None
+      if not factored then outcome := -1
       else begin
         (* Negate the residual in place; the solve reads it through the
            pivot permutation and writes the update into rhs. *)
@@ -320,12 +326,13 @@ let newton ws c opts ~gmin ~caps ~v_prev v =
           let node = Array.unsafe_get c.free_nodes i in
           v.(node) <- v.(node) +. (scale *. dx.(i))
         done;
-        if fnorm < opts.abstol && dmax *. scale < opts.dxtol then Some k
-        else iterate (k + 1)
+        if fnorm < opts.abstol && dmax *. scale < opts.dxtol then
+          outcome := !k
+        else incr k
       end
     end
-  in
-  iterate 1
+  done;
+  if !outcome < 0 then None else Some !outcome
 
 let dc_solve ws c opts ~at v =
   apply_sources c v at;
@@ -397,14 +404,14 @@ let dc_operating_point net ~at =
 
 let dc_sweep_compiled ?workspace c ~node ~values =
   if node <= 0 || node >= c.n_nodes || c.free_index.(node) >= 0 then
-    invalid_arg "Transient.dc_sweep: node must be driven by a source";
+    Slc_obs.Slc_error.invalid_input ~site:"Transient.dc_sweep" "node must be driven by a source";
   let src_i =
     let found = ref (-1) in
     Array.iteri
       (fun i n -> if n = node && !found < 0 then found := i)
       c.src_node;
     if !found < 0 then
-      invalid_arg "Transient.dc_sweep: node must be driven by a source";
+      Slc_obs.Slc_error.invalid_input ~site:"Transient.dc_sweep" "node must be driven by a source";
     !found
   in
   let ws =
@@ -471,7 +478,7 @@ type result = {
 }
 
 let run_compiled ?workspace ?record opts c =
-  if opts.tstop <= 0.0 then invalid_arg "Transient.run: tstop <= 0";
+  if opts.tstop <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Transient.run" "tstop <= 0";
   let ws =
     match workspace with
     | Some ws ->
@@ -484,7 +491,7 @@ let run_compiled ?workspace ?record opts c =
     Array.iter
       (fun n ->
         if n < 0 || n >= c.n_nodes then
-          invalid_arg "Transient.run: recorded node out of range")
+          Slc_obs.Slc_error.invalid_input ~site:"Transient.run" "recorded node out of range")
       nodes
   | None -> ());
   let snapshot v =
@@ -652,18 +659,18 @@ let run_recovered ?workspace ?record ?(max_recovery = 3) opts c =
 let times r = r.r_times
 
 let waveform r node =
-  if Array.length r.r_volts = 0 then invalid_arg "Transient.waveform: empty";
+  if Array.length r.r_volts = 0 then Slc_obs.Slc_error.invalid_input ~site:"Transient.waveform" "empty";
   let column =
     match r.r_record with
     | None ->
       if node < 0 || node >= Array.length r.r_volts.(0) then
-        invalid_arg "Transient.waveform: unknown node";
+        Slc_obs.Slc_error.invalid_input ~site:"Transient.waveform" "unknown node";
       node
     | Some nodes -> (
       let found = ref (-1) in
       Array.iteri (fun i n -> if n = node && !found < 0 then found := i) nodes;
       match !found with
-      | -1 -> invalid_arg "Transient.waveform: node was not recorded"
+      | -1 -> Slc_obs.Slc_error.invalid_input ~site:"Transient.waveform" "node was not recorded"
       | i -> i)
   in
   let values = Array.map (fun v -> v.(column)) r.r_volts in

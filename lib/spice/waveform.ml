@@ -2,11 +2,11 @@ type t = { times : Slc_num.Vec.t; values : Slc_num.Vec.t }
 
 let make ~times ~values =
   if Array.length times <> Array.length values then
-    invalid_arg "Waveform.make: length mismatch";
+    Slc_obs.Slc_error.invalid_input ~site:"Waveform.make" "length mismatch";
   if Array.length times < 2 then
-    invalid_arg "Waveform.make: need at least 2 samples";
+    Slc_obs.Slc_error.invalid_input ~site:"Waveform.make" "need at least 2 samples";
   if not (Slc_num.Interp.is_strictly_increasing times) then
-    invalid_arg "Waveform.make: times must be strictly increasing";
+    Slc_obs.Slc_error.invalid_input ~site:"Waveform.make" "times must be strictly increasing";
   { times; values }
 
 let length w = Array.length w.times
@@ -88,7 +88,7 @@ let settled w ~vdd ~target ~tol_frac =
 
 let to_csv ppf named =
   match named with
-  | [] -> invalid_arg "Waveform.to_csv: no waveforms"
+  | [] -> Slc_obs.Slc_error.invalid_input ~site:"Waveform.to_csv" "no waveforms"
   | (_, first) :: _ ->
     Format.fprintf ppf "time,%s@."
       (String.concat "," (List.map fst named));

@@ -78,7 +78,7 @@ type cache = {
 
 let make_cache ?slew_bucket () =
   (match slew_bucket with
-  | Some b when b <= 0.0 -> invalid_arg "Oracle.make_cache: bucket <= 0"
+  | Some b when b <= 0.0 -> Slc_obs.Slc_error.invalid_input ~site:"Oracle.make_cache" "bucket <= 0"
   | _ -> ());
   { c_tbl = Hashtbl.create 64; c_bucket = slew_bucket; c_lock = Mutex.create () }
 
@@ -138,7 +138,9 @@ let cached c oracle =
    prior pair an id): value equality over closures is not decidable,
    and the flows that matter reuse one learned prior object. *)
 
-let prior_registry : (Slc_core.Prior.pair * int) list ref = ref []
+let[@slc.domain_safe "guarded by prior_registry_lock"] prior_registry :
+    (Slc_core.Prior.pair * int) list ref =
+  ref []
 
 let prior_registry_lock = Mutex.create ()
 
@@ -157,7 +159,9 @@ let prior_id prior =
 
 type trained_key = int * string * int * Slc_device.Process.seed option * string
 
-let trained : (trained_key, Char_flow.predictor) Hashtbl.t = Hashtbl.create 32
+let[@slc.domain_safe "guarded by trained_lock"] trained :
+    (trained_key, Char_flow.predictor) Hashtbl.t =
+  Hashtbl.create 32
 
 let trained_lock = Mutex.create ()
 

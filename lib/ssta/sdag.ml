@@ -23,7 +23,7 @@ type t = {
 }
 
 let create tech ~vdd =
-  if vdd <= 0.0 then invalid_arg "Sdag.create: vdd must be > 0";
+  if vdd <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Sdag.create" "vdd must be > 0";
   {
     tech;
     vdd;
@@ -43,15 +43,14 @@ let fresh_net t name origin =
 let input t name = fresh_net t name `Input
 
 let check_net t n =
-  if n < 0 || n >= t.n_nets then invalid_arg "Sdag: unknown net"
+  if n < 0 || n >= t.n_nets then Slc_obs.Slc_error.invalid_input ~site:"Sdag" "unknown net"
 
 let gate t cell ~pins ?(wire_cap = 0.0) name =
   let expected = List.sort compare cell.Cells.inputs in
   let given = List.sort compare (List.map fst pins) in
   if expected <> given then
-    invalid_arg
-      (Printf.sprintf "Sdag.gate: %s needs pins {%s}, got {%s}"
-         cell.Cells.name
+    Slc_obs.Slc_error.invalid_input ~site:"Sdag.gate"
+      (Printf.sprintf "%s needs pins {%s}, got {%s}" cell.Cells.name
          (String.concat "," expected)
          (String.concat "," given));
   List.iter (fun (_, n) -> check_net t n) pins;
@@ -64,7 +63,7 @@ let gate t cell ~pins ?(wire_cap = 0.0) name =
 
 let set_load t net load =
   check_net t net;
-  if load < 0.0 then invalid_arg "Sdag.set_load: negative load";
+  if load < 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Sdag.set_load" "negative load";
   Hashtbl.replace t.loads net
     (load +. Option.value ~default:0.0 (Hashtbl.find_opt t.loads net))
 

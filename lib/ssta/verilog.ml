@@ -246,7 +246,8 @@ let to_sdag t tech ~vdd =
           let out =
             match Sdag.gate dag cell ~pins (out_net inst) with
             | net -> net
-            | exception Invalid_argument msg -> fail msg
+            | exception Slc_obs.Slc_error.Invalid_input iv ->
+              fail iv.Slc_obs.Slc_error.iv_detail
           in
           Hashtbl.replace nets (out_net inst) out;
           progress := true

@@ -13,8 +13,8 @@ type result = {
 
 let of_delays ~clock_period delays =
   let n = Array.length delays in
-  if n < 2 then invalid_arg "Yield.of_delays: need >= 2 seeds";
-  if clock_period <= 0.0 then invalid_arg "Yield.of_delays: bad period";
+  if n < 2 then Slc_obs.Slc_error.invalid_input ~site:"Yield.of_delays" "need >= 2 seeds";
+  if clock_period <= 0.0 then Slc_obs.Slc_error.invalid_input ~site:"Yield.of_delays" "bad period";
   let n_pass =
     Array.fold_left (fun acc d -> if d <= clock_period then acc + 1 else acc) 0 delays
   in
@@ -70,7 +70,7 @@ let of_dag ~population ~seeds ~clock_period dag ~input_arrivals ~outputs =
               [ true; false ])
           outputs;
         if !worst = neg_infinity then
-          invalid_arg "Yield.of_dag: no arrival at any output";
+          Slc_obs.Slc_error.invalid_input ~site:"Yield.of_dag" "no arrival at any output";
         !worst)
       seeds
   in
@@ -78,7 +78,7 @@ let of_dag ~population ~seeds ~clock_period dag ~input_arrivals ~outputs =
 
 let required_period r ~target_yield =
   if target_yield <= 0.0 || target_yield > 1.0 then
-    invalid_arg "Yield.required_period: target must be in (0,1]";
+    Slc_obs.Slc_error.invalid_input ~site:"Yield.required_period" "target must be in (0,1]";
   Describe.quantile r.delays target_yield
 
 let pp ppf r =

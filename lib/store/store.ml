@@ -271,7 +271,7 @@ let pred_to_buffer b (p : Char_flow.predictor) =
     Buffer.add_string b "nldm\n";
     Nldm.to_buffer b tbl
   | Char_flow.Opaque ->
-    invalid_arg "Slc_store: a predictor with an Opaque model cannot be persisted");
+    Slc_obs.Slc_error.invalid_input ~site:"Slc_store" "a predictor with an Opaque model cannot be persisted");
   Buffer.add_string b "end\n"
 
 let params_of name = function
@@ -556,7 +556,7 @@ let extract_population ?min_points ?(batch_size = 4)
     ?(after_batch = fun (_ : int) -> ()) ~store ~method_ ~design ~tech ~arc
     ~seeds ~budget () =
   if batch_size < 1 then
-    invalid_arg "Store.extract_population: batch_size must be >= 1";
+    Slc_obs.Slc_error.invalid_input ~site:"Store.extract_population" "batch_size must be >= 1";
   let min_points_v = Option.value min_points ~default:default_min_points in
   let key =
     population_key ~method_ ~design ~tech ~arc ~seeds ~budget

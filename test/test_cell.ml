@@ -47,10 +47,10 @@ let test_equivalent_width () =
 
 let test_validate () =
   Alcotest.check_raises "empty group"
-    (Invalid_argument "Topology.validate: empty series/parallel group")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Topology.validate" "empty series/parallel group"))
     (fun () -> Topology.validate (Topology.Series []));
   Alcotest.check_raises "bad width"
-    (Invalid_argument "Topology.validate: width multiplier must be > 0")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Topology.validate" "width multiplier must be > 0"))
     (fun () -> Topology.validate (dev ~w:0.0 "A"))
 
 (* ------------------------------------------------------------------ *)
@@ -373,7 +373,7 @@ let test_simulate_matches_uncached_reference () =
 let test_invalid_point_rejected () =
   let arc = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall in
   Alcotest.check_raises "bad sin"
-    (Invalid_argument "Harness.build_netlist: invalid input condition")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Harness.build_netlist" "invalid input condition"))
     (fun () ->
       ignore
         (Harness.build_netlist tech arc { mid_point with Harness.sin = 0.0 }))
@@ -569,10 +569,10 @@ let test_ring_slows_down () =
 
 let test_ring_validation () =
   Alcotest.check_raises "even ring"
-    (Invalid_argument "Ring.simulate: stages must be odd and >= 3") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Ring.simulate" "stages must be odd and >= 3")) (fun () ->
       ignore (Ring.simulate ~stages:4 tech ~vdd:0.8));
   Alcotest.check_raises "bad vdd"
-    (Invalid_argument "Ring.simulate: vdd must be > 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Ring.simulate" "vdd must be > 0")) (fun () ->
       ignore (Ring.simulate tech ~vdd:0.0))
 
 (* ------------------------------------------------------------------ *)

@@ -88,7 +88,7 @@ let test_rel_residual () =
 let test_eval_rejects_bad_ieff () =
   let pt = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 } in
   Alcotest.check_raises "ieff <= 0"
-    (Invalid_argument "Timing_model.eval: ieff must be > 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Timing_model.eval" "ieff must be > 0")) (fun () ->
       ignore (Timing_model.eval p_true ~ieff:0.0 pt))
 
 (* ------------------------------------------------------------------ *)
@@ -164,12 +164,12 @@ let test_lse_weighted () =
 
 let test_lse_rejects_empty_and_bad () =
   Alcotest.check_raises "empty"
-    (Invalid_argument "Extract_lse.fit: no observations") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Extract_lse.fit" "no observations")) (fun () ->
       ignore (Extract_lse.fit [||]));
   let obs = synthetic_obs p_true 3 in
   obs.(0) <- { obs.(0) with Extract_lse.value = -1.0 };
   Alcotest.check_raises "negative observation"
-    (Invalid_argument "Extract_lse.fit: non-positive observation") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Extract_lse.fit" "non-positive observation")) (fun () ->
       ignore (Extract_lse.fit obs))
 
 let test_max_abs_rel_error () =
@@ -239,7 +239,7 @@ let test_constant_beta_flattens () =
 
 let test_prior_requires_history () =
   Alcotest.check_raises "no nodes"
-    (Invalid_argument "Prior.learn: no historical nodes") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Prior.learn" "no historical nodes")) (fun () ->
       ignore (Prior.learn ~historical:[] Prior.Delay))
 
 (* ------------------------------------------------------------------ *)
@@ -320,7 +320,7 @@ let test_belief_chain_and_prior () =
 
 let test_belief_empty_chain_rejected () =
   Alcotest.check_raises "empty"
-    (Invalid_argument "Belief.chain: empty chain") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Belief.chain" "empty chain")) (fun () ->
       ignore (Belief.chain []))
 
 (* ------------------------------------------------------------------ *)
@@ -431,7 +431,7 @@ let test_random_fitting_points () =
 let test_points_override_length_checked () =
   let pts = Input_space.fitting_points tech ~k:3 in
   Alcotest.check_raises "length mismatch"
-    (Invalid_argument "Char_flow: points override must have length k")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Char_flow" "points override must have length k"))
     (fun () -> ignore (Char_flow.train_lse ~points:pts tech inv_fall ~k:2))
 
 (* ------------------------------------------------------------------ *)
@@ -723,7 +723,7 @@ let test_config_scaling () =
   Alcotest.(check int) "validation doubles" (2 * c1.Config.n_validation)
     c2.Config.n_validation;
   Alcotest.check_raises "bad scale"
-    (Invalid_argument "Config.with_scale: scale must be > 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Config.with_scale" "scale must be > 0")) (fun () ->
       ignore (Config.with_scale 0.0))
 
 let test_report_series_and_formats () =
@@ -752,10 +752,10 @@ let test_belief_to_mvn () =
 
 let test_of_vec_wrong_length () =
   Alcotest.check_raises "3 coords"
-    (Invalid_argument "Timing_model.of_vec: need 4 coords") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Timing_model.of_vec" "need 4 coords")) (fun () ->
       ignore (Timing_model.of_vec [| 1.0; 2.0; 3.0 |]));
   Alcotest.check_raises "6 coords"
-    (Invalid_argument "Model_ext.of_vec: need 5 coords") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Model_ext.of_vec" "need 5 coords")) (fun () ->
       ignore (Model_ext.of_vec (Array.make 6 0.0)))
 
 let test_prior_io_rejects_future_version () =
@@ -809,11 +809,11 @@ let test_rsm_predictor_runs () =
   Alcotest.(check int) "cost" 10 p.Char_flow.train_cost
 
 let test_rsm_rejects_bad_input () =
-  Alcotest.check_raises "empty" (Invalid_argument "Rsm.fit: no samples")
+  Alcotest.check_raises "empty" (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Rsm.fit" "no samples"))
     (fun () -> ignore (Rsm.fit tech [||]));
   let pts = Input_space.fitting_points tech ~k:2 in
   Alcotest.check_raises "negative"
-    (Invalid_argument "Rsm.fit: non-positive value") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Rsm.fit" "non-positive value")) (fun () ->
       ignore (Rsm.fit tech (Array.map (fun p -> (p, -1.0)) pts)))
 
 (* ------------------------------------------------------------------ *)

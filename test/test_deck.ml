@@ -132,7 +132,7 @@ let test_unknown_node_rejected () =
   let d = Deck.parse inverter_deck in
   let _, resolve = Deck.to_netlist d ~models in
   Alcotest.check_raises "unknown node"
-    (Invalid_argument "Deck.to_netlist: unknown node nowhere") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Deck.to_netlist" "unknown node nowhere")) (fun () ->
       ignore (resolve "nowhere"))
 
 let () =

@@ -110,7 +110,7 @@ let test_scale_width () =
   check_close ~tol:1e-25 "gate cap scales" (2.0 *. Mosfet.cgate nmos)
     (Mosfet.cgate w2);
   Alcotest.check_raises "bad factor"
-    (Invalid_argument "Mosfet.scale_width: factor must be > 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Mosfet.scale_width" "factor must be > 0")) (fun () ->
       ignore (Mosfet.scale_width nmos 0.0))
 
 (* ------------------------------------------------------------------ *)
@@ -175,7 +175,7 @@ let test_temperature_scaling () =
   let same = Mosfet.at_temperature nmos ~celsius:25.0 in
   check_close ~tol:1e-12 "identity vt" nmos.Mosfet.vt same.Mosfet.vt;
   Alcotest.check_raises "absolute zero"
-    (Invalid_argument "Mosfet.at_temperature: below absolute zero") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Mosfet.at_temperature" "below absolute zero")) (fun () ->
       ignore (Mosfet.at_temperature nmos ~celsius:(-300.0)))
 
 let test_tech_at_temperature () =

@@ -299,7 +299,7 @@ let test_kde_bandwidth_accessor () =
   let k = Kde.fit ~bandwidth:0.25 [| 1.0; 2.0; 3.0 |] in
   check_close ~tol:1e-12 "explicit bandwidth" 0.25 (Kde.bandwidth k);
   Alcotest.check_raises "bad bandwidth"
-    (Invalid_argument "Kde.fit: bandwidth must be > 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Kde.fit" "bandwidth must be > 0")) (fun () ->
       ignore (Kde.fit ~bandwidth:0.0 [| 1.0; 2.0 |]))
 
 (* With all mass at one location and an explicit bandwidth, the KDE is

@@ -71,11 +71,10 @@ let test_hold_time () =
 
 let test_input_validation () =
   Alcotest.check_raises "bad vdd"
-    (Invalid_argument "Seq.simulate_capture: vdd must be > 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Seq.simulate_capture" "vdd must be > 0")) (fun () ->
       ignore (Seq.simulate_capture tech ~vdd:0.0 ~data_rises:true ~d_to_clk:0.0));
   Alcotest.check_raises "data before priming pulse"
-    (Invalid_argument
-       "Seq.simulate_capture: data edge would precede the priming pulse")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Seq.simulate_capture" "data edge would precede the priming pulse"))
     (fun () ->
       ignore
         (Seq.simulate_capture tech ~vdd ~data_rises:true ~d_to_clk:60e-12))

@@ -20,7 +20,7 @@ let test_ramp () =
   check_close "end" 1.0 (r 3.0);
   check_close "after" 1.0 (r 10.0);
   Alcotest.check_raises "bad duration"
-    (Invalid_argument "Stimulus.ramp: duration must be > 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Stimulus.ramp" "duration must be > 0")) (fun () ->
       ignore (Stimulus.ramp ~t0:0.0 ~duration:0.0 ~v_from:0.0 ~v_to:1.0 : Stimulus.t))
 
 let test_pwl () =
@@ -30,7 +30,7 @@ let test_pwl () =
   check_close "clamp left" 0.0 (w (-1.0));
   check_close "clamp right" 0.0 (w 9.0);
   Alcotest.check_raises "non-increasing"
-    (Invalid_argument "Stimulus.pwl: times must increase") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Stimulus.pwl" "times must increase")) (fun () ->
       ignore (Stimulus.pwl [ (0.0, 0.0); (0.0, 1.0) ] : Stimulus.t))
 
 (* ------------------------------------------------------------------ *)
@@ -54,17 +54,17 @@ let test_netlist_rejects () =
   let net = Netlist.create () in
   let a = Netlist.fresh_node net "a" in
   Alcotest.check_raises "zero R"
-    (Invalid_argument "Netlist.add_resistor: resistance must be > 0")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Netlist.add_resistor" "resistance must be > 0"))
     (fun () -> Netlist.add_resistor net 0.0 ~a ~b:Netlist.ground);
   Alcotest.check_raises "negative C"
-    (Invalid_argument "Netlist.add_capacitor: negative capacitance")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Netlist.add_capacitor" "negative capacitance"))
     (fun () -> Netlist.add_capacitor net (-1.0) ~a ~b:Netlist.ground);
   Alcotest.check_raises "drive ground"
-    (Invalid_argument "Netlist.add_vsource: cannot drive ground") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Netlist.add_vsource" "cannot drive ground")) (fun () ->
       Netlist.add_vsource net (Stimulus.dc 1.0) Netlist.ground);
   Netlist.add_vsource net (Stimulus.dc 1.0) a;
   Alcotest.check_raises "double pin"
-    (Invalid_argument "Netlist.add_vsource: node already pinned") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Netlist.add_vsource" "node already pinned")) (fun () ->
       Netlist.add_vsource net (Stimulus.dc 2.0) a)
 
 (* ------------------------------------------------------------------ *)
@@ -116,7 +116,7 @@ let test_waveform_csv () =
   Alcotest.(check int) "header + samples" (1 + Waveform.length w)
     (List.length lines);
   Alcotest.(check string) "header" "time,v" (List.hd lines);
-  Alcotest.check_raises "empty" (Invalid_argument "Waveform.to_csv: no waveforms")
+  Alcotest.check_raises "empty" (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Waveform.to_csv" "no waveforms"))
     (fun () -> Waveform.to_csv Format.str_formatter [])
 
 let test_cross_time_after_skips () =
@@ -138,10 +138,10 @@ let test_cross_time_after_skips () =
 
 let test_waveform_validation () =
   Alcotest.check_raises "length mismatch"
-    (Invalid_argument "Waveform.make: length mismatch") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Waveform.make" "length mismatch")) (fun () ->
       ignore (Waveform.make ~times:[| 0.0; 1.0 |] ~values:[| 0.0 |]));
   Alcotest.check_raises "non-increasing"
-    (Invalid_argument "Waveform.make: times must be strictly increasing")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Waveform.make" "times must be strictly increasing"))
     (fun () ->
       ignore (Waveform.make ~times:[| 0.0; 0.0 |] ~values:[| 0.0; 1.0 |]))
 
@@ -263,7 +263,7 @@ let test_breakpoints_hit () =
 let test_invalid_options () =
   let net, _ = rc_netlist ~r:1e3 ~c:1e-15 ~stim:(Stimulus.dc 1.0) in
   Alcotest.check_raises "tstop <= 0"
-    (Invalid_argument "Transient.default_options: tstop <= 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Transient.default_options" "tstop <= 0")) (fun () ->
       ignore (Transient.run (Transient.default_options ~tstop:0.0) net))
 
 let test_trapezoidal_more_accurate () =
@@ -332,7 +332,7 @@ let test_dc_sweep_inverter_vtc () =
 let test_dc_sweep_requires_pinned_node () =
   let net, nout = rc_netlist ~r:1e3 ~c:1e-15 ~stim:(Stimulus.dc 1.0) in
   Alcotest.check_raises "free node rejected"
-    (Invalid_argument "Transient.dc_sweep: node must be driven by a source")
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Transient.dc_sweep" "node must be driven by a source"))
     (fun () -> ignore (Transient.dc_sweep net ~node:nout ~values:[| 0.0 |]))
 
 let test_rc_ladder_matches_expm () =

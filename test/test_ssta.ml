@@ -35,10 +35,10 @@ let tiny_prior =
 (* Chain *)
 
 let test_chain_validation () =
-  Alcotest.check_raises "empty" (Invalid_argument "Chain.make: empty chain")
+  Alcotest.check_raises "empty" (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Chain.make" "empty chain"))
     (fun () -> ignore (Chain.make tech []));
   Alcotest.check_raises "bad pin"
-    (Invalid_argument "Chain.make: cell INV has no pin Z") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Chain.make" "cell INV has no pin Z")) (fun () ->
       ignore (Chain.make tech [ Chain.stage Cells.inv "Z" ]))
 
 let test_chain_arcs_alternate () =
@@ -169,7 +169,7 @@ let test_oracle_query_cache () =
   ignore (wb.Oracle.query arc { p with Harness.sin = 5.2e-12 });
   Alcotest.(check int) "bucketed slews share a query" 1 !count2;
   Alcotest.check_raises "bad bucket"
-    (Invalid_argument "Oracle.make_cache: bucket <= 0") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Oracle.make_cache" "bucket <= 0")) (fun () ->
       ignore (Oracle.make_cache ~slew_bucket:0.0 ()))
 
 (* ------------------------------------------------------------------ *)
@@ -257,7 +257,7 @@ let test_dag_pin_checking () =
   let dag = Sdag.create tech ~vdd in
   let a = Sdag.input dag "a" in
   Alcotest.check_raises "missing pin"
-    (Invalid_argument "Sdag.gate: NAND2 needs pins {A,B}, got {A}") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Sdag.gate" "NAND2 needs pins {A,B}, got {A}")) (fun () ->
       ignore (Sdag.gate dag Cells.nand2 ~pins:[ ("A", a) ] "bad"))
 
 let test_dag_single_edge_propagation () =
@@ -481,7 +481,7 @@ let test_yield_of_delays () =
   Alcotest.(check bool) "pp renders" true
     (String.length (Format.asprintf "%a" Yield.pp r) > 20);
   Alcotest.check_raises "bad period"
-    (Invalid_argument "Yield.of_delays: bad period") (fun () ->
+    (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Yield.of_delays" "bad period")) (fun () ->
       ignore (Yield.of_delays ~clock_period:0.0 delays))
 
 let test_yield_of_path () =

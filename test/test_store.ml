@@ -90,7 +90,7 @@ let test_rng_save_restore () =
   done;
   match Rng.restore "zz" with
   | _ -> Alcotest.fail "malformed state accepted"
-  | exception Invalid_argument _ -> ()
+  | exception Slc_obs.Slc_error.Invalid_input _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Store open / versioning *)
@@ -244,8 +244,8 @@ let test_predictor_opaque_rejected () =
     "rsm model is opaque" true
     (p.Char_flow.model = Char_flow.Opaque);
   match Store.put_predictor st ~key:"deadbeef" p with
-  | () -> Alcotest.fail "expected Invalid_argument"
-  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_input"
+  | exception Slc_obs.Slc_error.Invalid_input _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Library round-trip *)

@@ -1,0 +1,654 @@
+(* slc_lint analysis engine.
+
+   Reads the typed trees dune leaves behind in [.cmt] files (built by
+   the [@check] alias) and enforces the four repo invariants documented
+   in docs/lint.md:
+
+     R1  error-taxonomy     no raw [failwith] / [invalid_arg] /
+                            [raise (Failure _)] in lib/ outside lib/num
+     R2  domain-safety      toplevel mutable state must be Atomic,
+                            lock-guarded (annotated), or DLS
+     R3  hot-path-alloc     [@slc.hot] functions contain no boxing
+                            constructs
+     R4  exception-safety   mutate-then-restore must go through
+                            [Fun.protect]
+
+   The analyses are deliberately syntactic approximations over the
+   typedtree — see docs/lint.md for the precise semantics and the
+   documented blind spots of each rule.  Every rule can be silenced at
+   a use site with a reasoned annotation:
+
+     [@slc.raw_exn "reason"]      silences R1
+     [@slc.domain_safe "reason"]  silences R2
+     [@slc.hot]                   marks a function for R3 checking
+     [@slc.exn_safe "reason"]     silences R4
+
+   This module only unmarshals cmt files and walks saved trees; it
+   never queries the type environment, so it needs no load path. *)
+
+type rule = R1 | R2 | R3 | R4
+
+let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+
+let rule_name = function
+  | R1 -> "error-taxonomy"
+  | R2 -> "domain-safety"
+  | R3 -> "hot-path-alloc"
+  | R4 -> "exception-safety"
+
+type finding = {
+  rule : rule;
+  file : string;  (* build-root-relative source path from the cmt *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare_finding a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match compare a.line b.line with
+    | 0 -> (
+      match compare a.col b.col with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Attribute helpers *)
+
+let attr_payload_string (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+type annot = No_annot | Reasoned | Unreasoned
+
+let find_annot name (attrs : Parsetree.attributes) =
+  match
+    List.find_opt (fun (a : Parsetree.attribute) -> a.attr_name.txt = name) attrs
+  with
+  | None -> No_annot
+  | Some a -> (
+    match attr_payload_string a with
+    | Some s when String.trim s <> "" -> Reasoned
+    | Some _ | None -> Unreasoned)
+
+let has_attr name (attrs : Parsetree.attributes) =
+  find_annot name attrs <> No_annot
+
+(* ------------------------------------------------------------------ *)
+(* Path classification.  Saved paths print as e.g. "Stdlib.failwith",
+   "Stdlib!.failwith" or "Stdlib__Hashtbl.create" depending on how the
+   source referred to them, so matching normalizes the stdlib prefixes
+   away and then compares the remaining dotted name. *)
+
+let strip_prefix pre s =
+  if String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+  then String.sub s (String.length pre) (String.length s - String.length pre)
+  else s
+
+let normalize_path_name name =
+  name |> strip_prefix "Stdlib!." |> strip_prefix "Stdlib." |> strip_prefix "Stdlib__"
+
+let expr_head_name (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) -> Some (normalize_path_name (Path.name path))
+  | _ -> None
+
+let name_is candidates name = List.mem name candidates
+
+(* Heads whose arguments are only ever evaluated on the failure path:
+   allocation below them never runs in a converged hot loop, and raw
+   raises below them are themselves R1's business, not R3's. *)
+let raise_like name =
+  name_is [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ] name
+  || (String.length name >= 6 && String.sub name 0 6 = "raise_")
+  ||
+  (* Typed raise helpers live in Slc_error (referenced as
+     Slc_error.…, Slc_obs.Slc_error.…, or Slc_obs__Slc_error.…). *)
+  let rec has_component s =
+    match String.index_opt s '.' with
+    | None -> s = "Slc_error"
+    | Some i ->
+      String.sub s 0 i = "Slc_error"
+      || has_component (String.sub s (i + 1) (String.length s - i - 1))
+  in
+  has_component name
+
+(* ------------------------------------------------------------------ *)
+(* Per-file lint state *)
+
+type ctx = {
+  src : string;  (* reported file path *)
+  lib_scope : bool;  (* R1 applies (under lib/, outside lib/num) *)
+  mutable findings : finding list;
+}
+
+let report ctx rule (loc : Location.t) message =
+  ctx.findings <-
+    {
+      rule;
+      file = ctx.src;
+      line = loc.loc_start.pos_lnum;
+      col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+      message;
+    }
+    :: ctx.findings
+
+(* ================================================================== *)
+(* R1: error taxonomy *)
+
+let r1_banned_head name =
+  name_is [ "failwith"; "invalid_arg" ] name
+
+let r1_banned_exn cstr_name =
+  cstr_name = "Failure" || cstr_name = "Invalid_argument"
+
+(* Walk every expression; a [@slc.raw_exn "…"] annotation on an
+   enclosing value binding or on the expression itself suppresses. *)
+let check_r1 ctx (str : Typedtree.structure) =
+  if ctx.lib_scope then begin
+    let depth = ref 0 in
+    let enter attrs = if has_attr "slc.raw_exn" attrs then incr depth in
+    let leave attrs = if has_attr "slc.raw_exn" attrs then decr depth in
+    let suppressed () = !depth > 0 in
+    let warn_unreasoned attrs loc =
+      if find_annot "slc.raw_exn" attrs = Unreasoned then
+        report ctx R1 loc "[@slc.raw_exn] annotation needs a reason string"
+    in
+    let default = Tast_iterator.default_iterator in
+    let expr sub (e : Typedtree.expression) =
+      enter e.exp_attributes;
+      warn_unreasoned e.exp_attributes e.exp_loc;
+      (if not (suppressed ()) then
+         match e.exp_desc with
+         | Texp_apply (head, (_, Some arg) :: _) -> (
+           match expr_head_name head with
+           | Some name when r1_banned_head name ->
+             report ctx R1 e.exp_loc
+               (Printf.sprintf
+                  "raw [%s] — raise a typed Slc_error (e.g. \
+                   Slc_error.invalid_input) or annotate [@slc.raw_exn \
+                   \"reason\"]"
+                  name)
+           | Some name when name_is [ "raise"; "raise_notrace" ] name -> (
+             match arg.exp_desc with
+             | Texp_construct (_, cstr, _) when r1_banned_exn cstr.cstr_name ->
+               report ctx R1 e.exp_loc
+                 (Printf.sprintf
+                    "raw [raise (%s _)] — raise a typed Slc_error or \
+                     annotate [@slc.raw_exn \"reason\"]"
+                    cstr.cstr_name)
+             | _ -> ())
+           | _ -> ())
+         | _ -> ());
+      default.expr sub e;
+      leave e.exp_attributes
+    in
+    let value_binding sub (vb : Typedtree.value_binding) =
+      enter vb.vb_attributes;
+      warn_unreasoned vb.vb_attributes vb.vb_loc;
+      default.value_binding sub vb;
+      leave vb.vb_attributes
+    in
+    let it = { default with expr; value_binding } in
+    it.structure it str
+  end
+
+(* ================================================================== *)
+(* R2: domain safety of toplevel mutable state *)
+
+(* Creation heads that are already safe to share across domains. *)
+let r2_safe_head name =
+  name_is
+    [
+      "Atomic.make";
+      "Mutex.create";
+      "Condition.create";
+      "Semaphore.Counting.make";
+      "Semaphore.Binary.make";
+      "Domain.DLS.new_key";
+    ]
+    name
+
+(* Creation heads that build unsynchronized mutable state. *)
+let r2_mutable_head name =
+  name_is
+    [
+      "ref";
+      "Hashtbl.create";
+      "Queue.create";
+      "Stack.create";
+      "Buffer.create";
+      "Bytes.create";
+      "Bytes.make";
+    ]
+    name
+
+let record_has_mutable_label (fields : (Types.label_description * _) array) =
+  Array.exists (fun ((lbl : Types.label_description), _) -> lbl.lbl_mut = Mutable) fields
+
+(* Scan the right-hand side of a structure-level binding for mutable
+   state that will be shared by every domain.  Function bodies are NOT
+   entered: state created per call (or stashed in DLS) is per-domain by
+   construction.  Arrays are also skipped — the codebase's toplevel
+   arrays are lookup tables written once at init (a documented blind
+   spot). *)
+let rec r2_scan ctx (e : Typedtree.expression) =
+  if has_attr "slc.domain_safe" e.exp_attributes then ()
+  else
+    match e.exp_desc with
+    | Texp_function _ -> ()
+    | Texp_apply (head, args) -> (
+      match expr_head_name head with
+      | Some name when r2_safe_head name -> ()
+      | Some name when r2_mutable_head name ->
+        report ctx R2 e.exp_loc
+          (Printf.sprintf
+             "toplevel mutable state via [%s] — use Atomic, a \
+              mutex-guarded structure annotated [@slc.domain_safe \
+              \"reason\"], or Domain.DLS"
+             name)
+      | _ ->
+        List.iter (fun (_, a) -> Option.iter (r2_scan ctx) a) args)
+    | Texp_record { fields; extended_expression; _ } ->
+      if record_has_mutable_label fields then
+        report ctx R2 e.exp_loc
+          "toplevel record with mutable fields — guard it and annotate \
+           [@slc.domain_safe \"reason\"] or make the fields Atomic"
+      else begin
+        Array.iter
+          (fun (_, def) ->
+            match def with
+            | Typedtree.Overridden (_, e) -> r2_scan ctx e
+            | Typedtree.Kept _ -> ())
+          fields;
+        Option.iter (r2_scan ctx) extended_expression
+      end
+    | Texp_let (_, vbs, body) ->
+      List.iter (fun (vb : Typedtree.value_binding) -> r2_scan ctx vb.vb_expr) vbs;
+      r2_scan ctx body
+    | Texp_tuple es -> List.iter (r2_scan ctx) es
+    | Texp_construct (_, _, es) -> List.iter (r2_scan ctx) es
+    | Texp_sequence (a, b) ->
+      r2_scan ctx a;
+      r2_scan ctx b
+    | Texp_open (_, body) -> r2_scan ctx body
+    | _ -> ()
+
+let rec check_r2_structure ctx (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            match find_annot "slc.domain_safe" vb.vb_attributes with
+            | Reasoned -> ()
+            | Unreasoned ->
+              report ctx R2 vb.vb_loc
+                "[@slc.domain_safe] annotation needs a reason string"
+            | No_annot -> r2_scan ctx vb.vb_expr)
+          vbs
+      | Tstr_module mb -> check_r2_module ctx mb.mb_expr
+      | Tstr_recmodule mbs ->
+        List.iter (fun (mb : Typedtree.module_binding) -> check_r2_module ctx mb.mb_expr) mbs
+      | Tstr_include incl -> check_r2_module ctx incl.incl_mod
+      | _ -> ())
+    str.str_items
+
+and check_r2_module ctx (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_structure str -> check_r2_structure ctx str
+  | Tmod_constraint (me, _, _, _) -> check_r2_module ctx me
+  | _ -> ()
+
+(* ================================================================== *)
+(* R3: no boxing in [@slc.hot] functions *)
+
+(* Scan a hot function body.  Findings name the construct; subtrees
+   under raise-like heads are failure-path-only and skipped.  Local
+   [ref]s are tolerated: the compiler turns non-escaping refs into
+   mutable stack variables, and the transient bench pins the actual
+   allocation count. *)
+let rec r3_scan ctx ~fname (e : Typedtree.expression) =
+  let flag what =
+    report ctx R3 e.exp_loc
+      (Printf.sprintf "[@slc.hot] %s: %s allocates on the hot path" fname what)
+  in
+  let deeper = r3_scan ctx ~fname in
+  match e.exp_desc with
+  | Texp_function { cases; _ } ->
+    flag "closure (local function or fun literal)";
+    List.iter (fun (c : _ Typedtree.case) -> deeper c.c_rhs) cases
+  | Texp_tuple es ->
+    flag "tuple literal";
+    List.iter deeper es
+  | Texp_record { fields; extended_expression; _ } ->
+    flag "record literal";
+    Array.iter
+      (fun (_, def) ->
+        match def with
+        | Typedtree.Overridden (_, e) -> deeper e
+        | Typedtree.Kept _ -> ())
+      fields;
+    Option.iter deeper extended_expression
+  | Texp_array es ->
+    if es <> [] then flag "array literal";
+    List.iter deeper es
+  | Texp_lazy _ -> flag "lazy block"
+  | Texp_apply (head, args) -> (
+    match expr_head_name head with
+    | Some name when raise_like name ->
+      (* Failure path: everything below only allocates when raising. *)
+      ()
+    | Some name
+      when name_is [ "Printf.sprintf"; "Printf.printf"; "Printf.eprintf" ] name
+           || strip_prefix "Printf." name <> name
+           || strip_prefix "Format." name <> name ->
+      flag (Printf.sprintf "call to [%s]" name)
+    | _ ->
+      if List.exists (fun (_, a) -> a = None) args then
+        flag "partial application (closure)";
+      deeper head;
+      List.iter (fun (_, a) -> Option.iter deeper a) args)
+  | Texp_let (_, vbs, body) ->
+    List.iter (fun (vb : Typedtree.value_binding) -> deeper vb.vb_expr) vbs;
+    deeper body
+  | Texp_sequence (a, b) ->
+    deeper a;
+    deeper b
+  | Texp_ifthenelse (c, t, e_) ->
+    deeper c;
+    deeper t;
+    Option.iter deeper e_
+  | Texp_match (scrut, cases, _) ->
+    deeper scrut;
+    List.iter (fun (c : _ Typedtree.case) -> deeper c.c_rhs) cases
+  | Texp_try (body, cases) ->
+    deeper body;
+    List.iter (fun (c : _ Typedtree.case) -> deeper c.c_rhs) cases
+  | Texp_while (c, body) ->
+    deeper c;
+    deeper body
+  | Texp_for (_, _, lo, hi, _, body) ->
+    deeper lo;
+    deeper hi;
+    deeper body
+  | Texp_setfield (a, _, _, b) ->
+    deeper a;
+    deeper b
+  | Texp_field (a, _, _) -> deeper a
+  | Texp_construct (_, _, es) ->
+    (* [Some k] at a return site is tolerated: it allocates once per
+       call, not per iteration, and option results are the module
+       convention.  Arguments are still scanned. *)
+    List.iter deeper es
+  | Texp_open (_, body) -> deeper body
+  | _ -> ()
+
+(* The annotated binding's outer [fun] parameters are the function's
+   own arguments, not allocations — unwrap them before scanning. *)
+let rec r3_unwrap_params (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { cases = [ c ]; _ } -> r3_unwrap_params c.c_rhs
+  | _ -> e
+
+let check_r3 ctx (str : Typedtree.structure) =
+  let default = Tast_iterator.default_iterator in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    if has_attr "slc.hot" vb.vb_attributes then begin
+      let fname =
+        match vb.vb_pat.pat_desc with
+        | Tpat_var (id, _) -> Ident.name id
+        | _ -> "<pattern>"
+      in
+      r3_scan ctx ~fname (r3_unwrap_params vb.vb_expr)
+    end;
+    default.value_binding sub vb
+  in
+  let it = { default with value_binding } in
+  it.structure it str
+
+(* ================================================================== *)
+(* R4: mutate-then-restore must use Fun.protect *)
+
+(* Pattern matched:
+
+     let saved = x.f          (or  let saved = !r)
+     …
+     x.f <- saved             (or  r := saved)
+
+   where the restore write is NOT syntactically inside an argument of a
+   [Fun.protect] application.  The restore-by-name link makes this
+   precise enough to run repo-wide: saves that are never written back
+   (plain reads) and restores already routed through Fun.protect do not
+   fire. *)
+
+(* What location the save read from: a mutable record field (matched by
+   label name on restore) or a ref cell (matched by the ref's own ident
+   when it is a plain variable).  Linking the restore back to the same
+   location is what keeps "read a mutable field, later store that value
+   somewhere else" from firing. *)
+type r4_source = Src_field of string | Src_ref of Ident.t | Src_ref_opaque
+
+let r4_source_of (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_field (_, _, lbl) when lbl.lbl_mut = Mutable -> Some (Src_field lbl.lbl_name)
+  | Texp_apply (head, [ (_, Some cell) ]) -> (
+    match expr_head_name head with
+    | Some "!" -> (
+      match cell.exp_desc with
+      | Texp_ident (Path.Pident rid, _, _) -> Some (Src_ref rid)
+      | _ -> Some Src_ref_opaque)
+    | _ -> None)
+  | _ -> None
+
+let is_ident id (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident rid, _, _) -> Ident.same rid id
+  | _ -> false
+
+let restore_of_ident ~src id (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_setfield (_, _, lbl, rhs) -> (
+    match src with
+    | Src_field name -> lbl.lbl_name = name && is_ident id rhs
+    | Src_ref _ | Src_ref_opaque -> false)
+  | Texp_apply (head, [ (_, Some cell); (_, Some rhs) ]) -> (
+    match (expr_head_name head, src) with
+    | Some ":=", Src_ref rid -> is_ident rid cell && is_ident id rhs
+    | Some ":=", Src_ref_opaque -> is_ident id rhs
+    | _ -> false)
+  | _ -> false
+
+(* Does [e] contain a restore of [id] outside any Fun.protect call? *)
+let unprotected_restore ~src id (e : Typedtree.expression) =
+  let found = ref false in
+  let protect_depth = ref 0 in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (x : Typedtree.expression) =
+    let entering_protect =
+      match x.exp_desc with
+      | Texp_apply (head, _) -> (
+        match expr_head_name head with
+        | Some name -> name_is [ "Fun.protect"; "protect" ] name
+        | None -> false)
+      | _ -> false
+    in
+    if entering_protect then incr protect_depth;
+    if !protect_depth = 0 && restore_of_ident ~src id x then found := true;
+    default.expr sub x;
+    if entering_protect then decr protect_depth
+  in
+  let it = { default with expr } in
+  it.expr it e;
+  !found
+
+let check_r4 ctx (str : Typedtree.structure) =
+  let annot_depth = ref 0 in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_let (_, [ vb ], body) when !annot_depth = 0 -> (
+      match (vb.vb_pat.pat_desc, r4_source_of vb.vb_expr) with
+      | Tpat_var (id, _), Some src ->
+        if unprotected_restore ~src id body then
+          report ctx R4 vb.vb_loc
+            (Printf.sprintf
+               "save/restore of mutable state through [%s] without \
+                Fun.protect — an exception between save and restore \
+                leaks the mutation (annotate [@slc.exn_safe \"reason\"] \
+                if that is intended)"
+               (Ident.name id))
+      | _ -> ())
+    | _ -> ());
+    let annotated = has_attr "slc.exn_safe" e.exp_attributes in
+    if annotated then incr annot_depth;
+    default.expr sub e;
+    if annotated then decr annot_depth
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    let annotated = has_attr "slc.exn_safe" vb.vb_attributes in
+    if annotated then incr annot_depth;
+    default.value_binding sub vb;
+    if annotated then decr annot_depth
+  in
+  let it = { default with expr; value_binding } in
+  it.structure it str
+
+(* ================================================================== *)
+(* Driver *)
+
+let in_lib_scope src =
+  let has_prefix p = String.length src >= String.length p && String.sub src 0 (String.length p) = p in
+  has_prefix "lib/" && not (has_prefix "lib/num/")
+
+let lint_structure ~src ~lib_scope (str : Typedtree.structure) =
+  let ctx = { src; lib_scope; findings = [] } in
+  check_r1 ctx str;
+  check_r2_structure ctx str;
+  check_r3 ctx str;
+  check_r4 ctx str;
+  List.sort compare_finding ctx.findings
+
+(* Lint one cmt file.  Returns [] for interfaces and partial
+   implementations.  [treat_as_lib] forces R1 scope regardless of the
+   recorded source path (used by the fixture tests, whose sources do
+   not live under lib/). *)
+let lint_cmt ?(treat_as_lib = false) path =
+  let cmt = Cmt_format.read_cmt path in
+  let src =
+    match cmt.cmt_sourcefile with Some s -> s | None -> Filename.basename path
+  in
+  match cmt.cmt_annots with
+  | Cmt_format.Implementation str ->
+    let lib_scope = treat_as_lib || in_lib_scope src in
+    lint_structure ~src ~lib_scope str
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* cmt discovery: walk _build/default for *.cmt whose recorded source
+   file falls under one of the requested prefixes. *)
+
+let rec walk dir acc =
+  match Sys.readdir dir with
+  | entries ->
+    Array.fold_left
+      (fun acc name ->
+        let p = Filename.concat dir name in
+        if Sys.is_directory p then walk p acc
+        else if Filename.check_suffix name ".cmt" then p :: acc
+        else acc)
+      acc entries
+  | exception Sys_error _ -> acc
+
+let source_matches prefixes src =
+  List.exists
+    (fun p ->
+      let p = if Filename.check_suffix p "/" then p else p ^ "/" in
+      src = String.sub p 0 (String.length p - 1)
+      || (String.length src >= String.length p && String.sub src 0 (String.length p) = p))
+    prefixes
+
+let lint_tree ~build_root ~treat_as_lib prefixes =
+  (* Accept either a source checkout (scan its _build/default) or a
+     position already inside the compiled tree (dune actions run in
+     _build/default). *)
+  let candidate = Filename.concat build_root (Filename.concat "_build" "default") in
+  let root =
+    if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+    else build_root
+  in
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    Error (Printf.sprintf "no build tree at %s (run `dune build @check` first)" root)
+  else begin
+    let cmts = walk root [] in
+    let seen_src = Hashtbl.create 64 in
+    let findings =
+      List.fold_left
+        (fun acc cmt_path ->
+          match Cmt_format.read_cmt cmt_path with
+          | exception _ -> acc (* stale or foreign cmt: not ours to judge *)
+          | cmt -> (
+            match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+            | Cmt_format.Implementation str, Some src
+              when source_matches prefixes src
+                   && not (Hashtbl.mem seen_src src) ->
+              Hashtbl.add seen_src src ();
+              let lib_scope = treat_as_lib || in_lib_scope src in
+              List.rev_append (lint_structure ~src ~lib_scope str) acc
+            | _ -> acc))
+        [] cmts
+    in
+    Ok (List.sort compare_finding findings, Hashtbl.length seen_src)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: one finding per line, [rule|file|line|message].  Line
+   numbers are part of the key on purpose — a baseline is a temporary
+   debt ledger, and code motion around a suppressed finding should
+   resurface it for a fresh look. *)
+
+let finding_key f =
+  Printf.sprintf "%s|%s|%d|%s" (rule_id f.rule) f.file f.line f.message
+
+let load_baseline path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    match open_in path with
+    | exception Sys_error e -> Error e
+    | ic ->
+      let keys = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then keys := line :: !keys
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Ok (List.rev !keys)
+  end
+
+let save_baseline path findings =
+  let oc = open_out path in
+  output_string oc
+    "# slc_lint baseline: known findings suppressed from CI.\n\
+     # Regenerate with: slc_lint --update-baseline …  (keep this empty)\n";
+  List.iter (fun f -> output_string oc (finding_key f ^ "\n")) findings;
+  close_out oc
+
+let pp_finding oc f =
+  Printf.fprintf oc "%s:%d:%d: [%s %s] %s\n" f.file f.line f.col (rule_id f.rule)
+    (rule_name f.rule) f.message

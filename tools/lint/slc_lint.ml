@@ -1,0 +1,110 @@
+(* slc_lint: enforce the repo invariants documented in docs/lint.md
+   over the cmt files produced by `dune build @check`.
+
+   Usage:
+     slc_lint [--build-root DIR] [--baseline FILE] [--update-baseline]
+              [--treat-as-lib] PATH...
+
+   PATHs are build-root-relative source prefixes (e.g. `lib`); any PATH
+   ending in `.cmt` is linted directly instead (fixture/debug use).
+
+   Exit codes: 0 clean (or fully baselined), 1 findings, 2 usage/IO. *)
+
+module Engine = Slc_lint_engine.Engine
+
+let usage () =
+  prerr_endline
+    "usage: slc_lint [--build-root DIR] [--baseline FILE] \
+     [--update-baseline] [--treat-as-lib] PATH...";
+  exit 2
+
+let () =
+  let build_root = ref "." in
+  let baseline = ref None in
+  let update_baseline = ref false in
+  let treat_as_lib = ref false in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--build-root" :: d :: rest ->
+      build_root := d;
+      parse rest
+    | "--baseline" :: f :: rest ->
+      baseline := Some f;
+      parse rest
+    | "--update-baseline" :: rest ->
+      update_baseline := true;
+      parse rest
+    | "--treat-as-lib" :: rest ->
+      treat_as_lib := true;
+      parse rest
+    | ("--build-root" | "--baseline") :: [] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      usage ()
+    | p :: rest ->
+      paths := p :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = List.rev !paths in
+  if paths = [] then usage ();
+  let cmt_args, prefix_args =
+    List.partition (fun p -> Filename.check_suffix p ".cmt") paths
+  in
+  let direct =
+    List.concat_map
+      (fun p ->
+        match Engine.lint_cmt ~treat_as_lib:!treat_as_lib p with
+        | fs -> fs
+        | exception e ->
+          Printf.eprintf "slc_lint: cannot read %s: %s\n" p
+            (Printexc.to_string e);
+          exit 2)
+      cmt_args
+  in
+  let tree_findings, scanned =
+    if prefix_args = [] then ([], 0)
+    else begin
+      match
+        Engine.lint_tree ~build_root:!build_root ~treat_as_lib:!treat_as_lib
+          prefix_args
+      with
+      | Ok (fs, n) -> (fs, n)
+      | Error msg ->
+        Printf.eprintf "slc_lint: %s\n" msg;
+        exit 2
+    end
+  in
+  let findings =
+    List.sort Engine.compare_finding (List.rev_append direct tree_findings)
+  in
+  if !update_baseline then begin
+    match !baseline with
+    | None ->
+      prerr_endline "slc_lint: --update-baseline requires --baseline FILE";
+      exit 2
+    | Some path ->
+      Engine.save_baseline path findings;
+      Printf.printf "slc_lint: wrote %d finding(s) to %s\n"
+        (List.length findings) path;
+      exit 0
+  end;
+  let known =
+    match !baseline with
+    | None -> []
+    | Some path -> (
+      match Engine.load_baseline path with
+      | Ok keys -> keys
+      | Error msg ->
+        Printf.eprintf "slc_lint: cannot read baseline: %s\n" msg;
+        exit 2)
+  in
+  let fresh =
+    List.filter (fun f -> not (List.mem (Engine.finding_key f) known)) findings
+  in
+  List.iter (Engine.pp_finding stdout) fresh;
+  let suppressed = List.length findings - List.length fresh in
+  Printf.printf "slc_lint: %d finding(s) (%d baselined) in %d file(s)\n"
+    (List.length fresh) suppressed
+    (scanned + List.length cmt_args);
+  if fresh <> [] then exit 1

@@ -1,0 +1,14 @@
+(* Clean fixture: no rule should fire anywhere in this file. *)
+
+exception Local_error of string
+
+let checked x = if x < 0 then raise (Local_error "negative") else x
+
+let shared_counter = Atomic.make 0
+
+let with_saved (r : int ref) f =
+  let saved = !r in
+  r := saved + 1;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let[@slc.hot] sum2 a b = a +. b

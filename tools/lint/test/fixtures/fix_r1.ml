@@ -1,0 +1,9 @@
+(* R1 fixture: raw raises the error-taxonomy rule must flag. *)
+
+let boom () = failwith "boom"
+
+let check x = if x < 0 then invalid_arg "negative"
+
+let legacy () = raise (Failure "legacy")
+
+let excused () = (failwith "excused" [@slc.raw_exn "fixture: intentionally raw"])

@@ -1,0 +1,17 @@
+(* R2 fixture: unsynchronized toplevel mutable state. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let counter = ref 0
+
+type box = { mutable slot : int }
+
+let shared = { slot = 0 }
+
+let safe = Atomic.make 0
+
+let[@slc.domain_safe "fixture: guarded elsewhere"] excused :
+    (int, int) Hashtbl.t =
+  Hashtbl.create 4
+
+let per_call () = Hashtbl.create 16

@@ -1,0 +1,16 @@
+(* R3 fixture: boxing constructs inside [@slc.hot] functions. *)
+
+let[@slc.hot] pair x y = (x, y)
+
+let[@slc.hot] closure xs = Array.iter (fun x -> ignore x) xs
+
+let[@slc.hot] printer x = Printf.printf "%d\n" x
+
+let[@slc.hot] clean acc n =
+  let t = ref acc in
+  for i = 1 to n do
+    t := !t + i
+  done;
+  !t
+
+let cold x = (x, x)

@@ -1,0 +1,22 @@
+(* R4 fixture: mutate-then-restore without Fun.protect. *)
+
+type cell = { mutable value : int }
+
+let unsafe_bump c f =
+  let saved = c.value in
+  c.value <- saved + 1;
+  let r = f () in
+  c.value <- saved;
+  r
+
+let unsafe_toggle flag f =
+  let saved = !flag in
+  flag := true;
+  let r = f () in
+  flag := saved;
+  r
+
+let safe_bump c f =
+  let saved = c.value in
+  c.value <- saved + 1;
+  Fun.protect ~finally:(fun () -> c.value <- saved) f

@@ -1,0 +1,96 @@
+(* Linter engine tests: each rule must fire on its fixture at exactly
+   the expected (rule, line) set, and must stay silent on the clean
+   fixture and on the fixtures' annotated escape hatches.
+
+   The fixtures are compiled as a normal dune library next to this
+   test, so their cmt files are guaranteed fresh: the test reads them
+   from the library's .objs directory rather than shelling out to the
+   slc_lint executable. *)
+
+module Engine = Slc_lint_engine.Engine
+
+let cmt name =
+  Filename.concat "fixtures/.slc_lint_fixtures.objs/byte"
+    ("slc_lint_fixtures__" ^ name ^ ".cmt")
+
+let findings ?treat_as_lib name =
+  Engine.lint_cmt ?treat_as_lib (cmt name)
+
+let summarize fs =
+  List.map (fun f -> (Engine.rule_id f.Engine.rule, f.Engine.line)) fs
+
+let hits = Alcotest.(list (pair string int))
+
+let check_fixture ?(treat_as_lib = true) name expected () =
+  Alcotest.check hits name expected
+    (summarize (findings ~treat_as_lib name))
+
+let test_r1 =
+  check_fixture "Fix_r1" [ ("R1", 3); ("R1", 5); ("R1", 7) ]
+
+let test_r2 =
+  check_fixture "Fix_r2" [ ("R2", 3); ("R2", 5); ("R2", 9) ]
+
+let test_r3 =
+  check_fixture "Fix_r3" [ ("R3", 3); ("R3", 5); ("R3", 7) ]
+
+let test_r4 =
+  check_fixture "Fix_r4" [ ("R4", 6); ("R4", 13) ]
+
+let test_clean = check_fixture "Fix_clean" []
+
+(* Without --treat-as-lib the fixtures are out of R1's lib/ scope, so
+   only the scope-independent rules remain. *)
+let test_r1_scope =
+  check_fixture ~treat_as_lib:false "Fix_r1" []
+
+let test_messages () =
+  let fs = findings ~treat_as_lib:true "Fix_r1" in
+  match fs with
+  | f :: _ ->
+    Alcotest.(check bool)
+      "message names the construct and the escape hatch" true
+      (let has needle =
+         let rec search i =
+           i + String.length needle <= String.length f.Engine.message
+           && (String.sub f.Engine.message i (String.length needle) = needle
+              || search (i + 1))
+         in
+         search 0
+       in
+       has "failwith" && has "slc.raw_exn")
+  | [] -> Alcotest.fail "expected findings in Fix_r1"
+
+let test_baseline_roundtrip () =
+  let fs = findings ~treat_as_lib:true "Fix_r2" in
+  let path = Filename.temp_file "slc_lint_test" ".baseline" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Engine.save_baseline path fs;
+      match Engine.load_baseline path with
+      | Error e -> Alcotest.fail e
+      | Ok keys ->
+        Alcotest.(check (list string))
+          "baseline suppresses exactly the saved findings"
+          (List.map Engine.finding_key fs)
+          keys)
+
+let () =
+  Alcotest.run "slc_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 error-taxonomy" `Quick test_r1;
+          Alcotest.test_case "R2 domain-safety" `Quick test_r2;
+          Alcotest.test_case "R3 hot-path-alloc" `Quick test_r3;
+          Alcotest.test_case "R4 exception-safety" `Quick test_r4;
+          Alcotest.test_case "clean fixture is silent" `Quick test_clean;
+          Alcotest.test_case "R1 scoped to lib/" `Quick test_r1_scope;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "diagnostic text" `Quick test_messages;
+          Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
+        ] );
+    ]
