@@ -165,6 +165,38 @@ let bench_fig78 =
            ~seed:(Lazy.force seed_fixture)
            ~prior:(Lazy.force tiny_prior) tech28 inv_fall ~k:2))
 
+let batch_lanes_fixture =
+  (* 16 lockstep lanes of the NOR2 arc: same topology, per-lane load
+     spread, as Statistical's (seed x point) batches present it. *)
+  lazy
+    (Array.init 16 (fun i ->
+         ( Process.nominal,
+           {
+             mid_point with
+             Harness.cload = 2e-15 *. (1.0 +. (0.02 *. float_of_int i));
+           } )))
+
+let bench_fig2_batch =
+  (* Fig 2 batch kernel: 16 transient simulations advanced in lockstep
+     by the structure-of-arrays engine.  Per-simulation cost is this
+     time / 16, to be held against fig2/transient-simulation. *)
+  Test.make ~name:"fig2/transient-batch"
+    (Staged.stage (fun () ->
+         Harness.simulate_batch tech14 nor2_fall (Lazy.force batch_lanes_fixture)))
+
+let batch_seeds_fixture =
+  lazy (Process.sample_batch (Slc_prob.Rng.create 11) tech28 4)
+
+let bench_fig78_batch =
+  (* Fig 7/8 batched variant: a 4-seed population extraction whose
+     (seed x point) simulation grid rides the batch engine end to end. *)
+  Test.make ~name:"fig78/per-seed-extraction-batch"
+    (Staged.stage (fun () ->
+         Statistical.extract_population ~method_:Statistical.Lse ~tech:tech28
+           ~arc:inv_fall
+           ~seeds:(Lazy.force batch_seeds_fixture)
+           ~budget:2 ()))
+
 let bench_fig9 =
   Test.make ~name:"fig9/kde-evaluate-80"
     (Staged.stage (fun () ->
@@ -205,8 +237,9 @@ let bench_ablation_chain =
 let all_benches =
   Test.make_grouped ~name:"slc"
     [
-      bench_table1; bench_fig2; bench_fig3; bench_fig5; bench_fig6_map;
-      bench_fig6_lut; bench_fig78; bench_fig9; bench_ablation_beta;
+      bench_table1; bench_fig2; bench_fig2_batch; bench_fig3; bench_fig5;
+      bench_fig6_map; bench_fig6_lut; bench_fig78; bench_fig78_batch;
+      bench_fig9; bench_ablation_beta;
       bench_ablation_chain; bench_ssta; bench_store_cold; bench_store_warm;
     ]
 

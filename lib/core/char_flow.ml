@@ -15,9 +15,24 @@ type dataset = {
 
 let simulate_dataset ?seed tech arc points =
   let before = Harness.sim_count () in
-  (* Pure per-point tasks: safe to spread over domains. *)
+  (* One lane per point, all for the same seed, advanced in lockstep by
+     the batch transient engine.  Failure semantics match the
+     [Parallel.map] this replaces: a single failing point re-raises its
+     exception unwrapped, several raise [Parallel.Failures]. *)
+  let seed = Option.value seed ~default:Process.nominal in
+  let results =
+    Harness.simulate_batch tech arc (Array.map (fun p -> (seed, p)) points)
+  in
+  (match
+     List.filter_map
+       (function Error e -> Some e | Ok _ -> None)
+       (Array.to_list results)
+   with
+  | [] -> ()
+  | [ e ] -> raise e
+  | e :: rest -> raise (Slc_num.Parallel.Failures (e, rest)));
   let measured =
-    Slc_num.Parallel.map (fun p -> Harness.simulate ?seed tech arc p) points
+    Array.map (function Ok m -> m | Error _ -> assert false) results
   in
   {
     arc;

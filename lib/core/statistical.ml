@@ -123,19 +123,19 @@ let extract_seed_models ?(min_points = 2) ~design ~method_ ~tech ~arc ~seeds
                 tech ~k:budget)
             seeds
       in
-      (* All (seed x point) simulations as one flat batch: individual
-         simulations are the scheduling unit, so a seed whose windows
-         retry does not serialize the seeds behind it.  [try_map]
-         captures per-simulation failures without cancelling the batch,
-         so one pathological (seed, point) costs exactly one design
-         point, not the whole extraction. *)
+      (* All (seed x point) simulations as one flat lane array routed
+         through the lockstep batch engine: [Harness.simulate_batch]
+         advances a whole chunk of lanes through one
+         structure-of-arrays Newton loop per domain, captures per-lane
+         failures without cancelling the batch (so one pathological
+         (seed, point) costs exactly one design point, not the whole
+         extraction), and keeps per-lane results and accounting
+         identical to scalar [Harness.simulate] calls. *)
       let flat =
-        Slc_num.Parallel.try_map
-          (fun idx ->
-            let si = idx / budget and pi = idx mod budget in
-            Harness.simulate ~seed:seeds.(si) tech arc
-              per_seed_points.(si).(pi))
-          (Array.init (ns * budget) Fun.id)
+        Harness.simulate_batch tech arc
+          (Array.init (ns * budget) (fun idx ->
+               let si = idx / budget and pi = idx mod budget in
+               (seeds.(si), per_seed_points.(si).(pi))))
       in
       let datasets =
         Array.init ns (fun si ->
@@ -275,18 +275,18 @@ let monte_carlo_baseline ~tech ~arc ~seeds ~points =
   let np = Array.length points in
   let ns = Array.length seeds in
   (* Simulate each (point, seed) once, reading both metrics.  The work
-     list is flattened to individual simulations so the dynamically
-     scheduled parallel map can balance them across domains even when
-     some (point, seed) pairs retry with longer windows.  Failed pairs
-     are recorded and excluded from the moment estimates; their sample
-     slots hold NaN. *)
+     list is flattened to individual (seed, point) lanes and routed
+     through the lockstep batch engine, which chunks lanes over the
+     domain pool and advances each chunk through one
+     structure-of-arrays Newton loop.  Failed pairs are recorded and
+     excluded from the moment estimates; their sample slots hold
+     NaN. *)
   let flat =
-    Slc_num.Parallel.try_map
-      (fun idx ->
-        let pt = points.(idx / ns) and seed = seeds.(idx mod ns) in
-        let m = Harness.simulate ~seed tech arc pt in
-        (m.Harness.td, m.Harness.sout))
-      (Array.init (np * ns) Fun.id)
+    Array.map
+      (Result.map (fun m -> (m.Harness.td, m.Harness.sout)))
+      (Harness.simulate_batch tech arc
+         (Array.init (np * ns) (fun idx ->
+              (seeds.(idx mod ns), points.(idx / ns)))))
   in
   let failed = ref [] in
   for idx = (np * ns) - 1 downto 0 do

@@ -595,6 +595,136 @@ let prop_equivalent_width_positive_when_conducting =
           if Topology.conducts net ~on then w > 0.0 else w = 0.0)
         Cells.all)
 
+(* ------------------------------------------------------------------ *)
+(* Batched harness: simulate_batch must be observationally identical to
+   one scalar [simulate] per lane. *)
+
+let batch_arc () = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall
+
+let batch_lanes () =
+  let rng = Rng.create 11 in
+  let seeds = Process.sample_batch rng tech 2 in
+  let seeds = Array.append [| Process.nominal |] seeds in
+  let points =
+    [|
+      { Harness.sin = 3e-12; cload = 1e-15; vdd = 0.8 };
+      { Harness.sin = 8e-12; cload = 4e-15; vdd = 0.7 };
+    |]
+  in
+  Array.init
+    (Array.length seeds * Array.length points)
+    (fun i -> (seeds.(i / 2), points.(i mod 2)))
+
+let check_measurement_equal l (s : Harness.measurement) = function
+  | Error e ->
+    Alcotest.failf "lane %d failed: %s" l (Printexc.to_string e)
+  | Ok (b : Harness.measurement) ->
+    check_close ~tol:0.0 (Printf.sprintf "lane %d td" l) s.Harness.td
+      b.Harness.td;
+    check_close ~tol:0.0 (Printf.sprintf "lane %d sout" l) s.Harness.sout
+      b.Harness.sout;
+    check_close ~tol:0.0 (Printf.sprintf "lane %d energy" l) s.Harness.energy
+      b.Harness.energy;
+    Alcotest.(check int)
+      (Printf.sprintf "lane %d newton iters" l)
+      s.Harness.newton_iters b.Harness.newton_iters;
+    Alcotest.(check int)
+      (Printf.sprintf "lane %d time steps" l)
+      s.Harness.time_steps b.Harness.time_steps;
+    Alcotest.(check int)
+      (Printf.sprintf "lane %d retries" l)
+      s.Harness.retries b.Harness.retries;
+    Alcotest.(check bool)
+      (Printf.sprintf "lane %d degraded" l)
+      s.Harness.degraded b.Harness.degraded;
+    Alcotest.(check (list string))
+      (Printf.sprintf "lane %d recovery" l)
+      s.Harness.recovery b.Harness.recovery
+
+let test_simulate_batch_matches_scalar () =
+  let arc = batch_arc () in
+  let lanes = batch_lanes () in
+  let scalar =
+    Array.map (fun (seed, pt) -> Harness.simulate ~seed tech arc pt) lanes
+  in
+  let batch = Harness.simulate_batch tech arc lanes in
+  Array.iteri (fun l r -> check_measurement_equal l scalar.(l) r) batch;
+  (* Forcing tiny chunks exercises the chunk-split + domain-pool path
+     and must not change anything either. *)
+  let chunked = Harness.simulate_batch ~chunk:2 tech arc lanes in
+  Array.iteri (fun l r -> check_measurement_equal l scalar.(l) r) chunked
+
+let test_simulate_batch_counts () =
+  (* One counted simulation per lane per attempt, in both the global
+     sim counter and the telemetry stream — batching must not merge
+     per-seed accounting into per-batch accounting. *)
+  let arc = batch_arc () in
+  let lanes = batch_lanes () in
+  Harness.reset_sim_count ();
+  Array.iter
+    (fun (seed, pt) -> ignore (Harness.simulate ~seed tech arc pt))
+    lanes;
+  let scalar_sims = Harness.sim_count () in
+  Harness.reset_sim_count ();
+  let module T = Slc_obs.Telemetry in
+  let tel_before = if T.on () then T.read T.simulations else 0 in
+  ignore (Harness.simulate_batch tech arc lanes);
+  Alcotest.(check int) "sim_count: one per lane" scalar_sims
+    (Harness.sim_count ());
+  if T.on () then
+    Alcotest.(check int) "telemetry simulations: one per lane" scalar_sims
+      (T.read T.simulations - tel_before)
+
+let test_simulate_batch_fault_peel () =
+  (* A fault injected into one lane must fail only that lane, with the
+     scalar path's exact payload, while the other lanes complete
+     undegraded and bitwise-equal to their scalar runs. *)
+  let arc = batch_arc () in
+  let lanes = batch_lanes () in
+  let _, bad_point = lanes.(2) in
+  let bad_seed, _ = lanes.(2) in
+  Fun.protect
+    ~finally:(fun () -> Harness.set_fault_injector None)
+    (fun () ->
+      let scalar =
+        Array.map
+          (fun (seed, pt) -> Harness.simulate ~seed tech arc pt)
+          lanes
+      in
+      Harness.set_fault_injector
+        (Some (fun seed pt -> seed == bad_seed && pt = bad_point));
+      let batch = Harness.simulate_batch tech arc lanes in
+      Array.iteri
+        (fun l r ->
+          if l = 2 then
+            match r with
+            | Ok _ -> Alcotest.fail "faulted lane should not succeed"
+            | Error (Slc_obs.Slc_error.No_convergence d) ->
+              Alcotest.(check (list string))
+                "injected-fault recovery tag" [ "injected-fault" ]
+                d.Slc_obs.Slc_error.recovery
+            | Error e ->
+              Alcotest.failf "unexpected failure: %s" (Printexc.to_string e)
+          else check_measurement_equal l scalar.(l) r)
+        batch)
+
+let test_simulate_batch_invalid_lane () =
+  let arc = batch_arc () in
+  let lanes = batch_lanes () in
+  let mixed = Array.copy lanes in
+  mixed.(1) <- (Process.nominal, { mid_point with Harness.sin = 0.0 });
+  let batch = Harness.simulate_batch tech arc mixed in
+  (match batch.(1) with
+  | Error (Slc_obs.Slc_error.Invalid_input _) -> ()
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "invalid lane should not succeed");
+  Array.iteri
+    (fun l r ->
+      if l <> 1 then
+        let seed, pt = mixed.(l) in
+        check_measurement_equal l (Harness.simulate ~seed tech arc pt) r)
+    batch
+
 let () =
   Alcotest.run "slc_cell"
     [
@@ -660,6 +790,17 @@ let () =
           Alcotest.test_case "energy grows with vdd" `Quick
             test_energy_grows_with_vdd;
           Alcotest.test_case "PVT corner ordering" `Quick test_pvt_ordering;
+        ] );
+      ( "batch harness",
+        [
+          Alcotest.test_case "simulate_batch = scalar simulate" `Quick
+            test_simulate_batch_matches_scalar;
+          Alcotest.test_case "one counted sim per lane" `Quick
+            test_simulate_batch_counts;
+          Alcotest.test_case "injected fault peels one lane" `Quick
+            test_simulate_batch_fault_peel;
+          Alcotest.test_case "invalid lane among valid" `Quick
+            test_simulate_batch_invalid_lane;
         ] );
       ( "ring",
         [
