@@ -83,6 +83,32 @@ let input_cap (tech : Tech.t) (cell : Cells.t) ~pin =
   let wp = width_of tech.Tech.pmos cell.Cells.pull_up *. cell.Cells.wp_mult in
   (wn *. Mosfet.cgate tech.Tech.nmos) +. (wp *. Mosfet.cgate tech.Tech.pmos)
 
+(* Pin-capacitance memo: SSTA graph building asks for the same
+   (tech, cell, pin) capacitance once per fanout pin of every gate, so
+   a 100k-gate netlist over a dozen cell kinds would otherwise re-walk
+   the same pull-up/pull-down topologies ~200k times.  Keys are the
+   technology and cell names (both unique per definition); values are
+   the pure [input_cap] result, so caching never changes bits. *)
+let[@slc.domain_safe "guarded by input_cap_lock"] input_cap_memo :
+    (string * string * string, float) Hashtbl.t =
+  Hashtbl.create 64
+
+let input_cap_lock = Mutex.create ()
+
+let input_cap_cached (tech : Tech.t) (cell : Cells.t) ~pin =
+  let key = (tech.Tech.name, cell.Cells.name, pin) in
+  Mutex.lock input_cap_lock;
+  match Hashtbl.find_opt input_cap_memo key with
+  | Some c ->
+    Mutex.unlock input_cap_lock;
+    c
+  | None ->
+    (* Compute under the lock: a pure, cheap topology walk. *)
+    let c = input_cap tech cell ~pin in
+    Hashtbl.replace input_cap_memo key c;
+    Mutex.unlock input_cap_lock;
+    c
+
 let parasitic_cap (tech : Tech.t) (arc : Arc.t) =
   let cell = arc.Arc.cell in
   (* Devices whose drain touches the output: the top level of both

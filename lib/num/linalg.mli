@@ -31,6 +31,13 @@ val cholesky_solve_into : Mat.t -> Vec.t -> y:Vec.t -> x:Vec.t -> unit
 val spd_inverse : Mat.t -> Mat.t
 (** Inverse of a symmetric positive-definite matrix via Cholesky. *)
 
+val spd_inverse_into : Mat.t -> l:Mat.t -> e:Vec.t -> y:Vec.t -> out:Mat.t -> unit
+(** [spd_inverse_into a ~l ~e ~y ~out] is {!spd_inverse} into the
+    caller-owned factor buffer [l], scratch vectors [e]/[y] (length
+    [rows a]) and result [out] (none may alias [a]).  Bitwise identical
+    to the allocating form.  Allocation-free — the workspace primitive
+    behind the residual-BP inner loop (see {!Slc_core.Belief}). *)
+
 val spd_log_det : Mat.t -> float
 (** Log-determinant of a symmetric positive-definite matrix. *)
 

@@ -1,0 +1,74 @@
+module Cells = Slc_cell.Cells
+module Rng = Slc_prob.Rng
+
+type design = {
+  dag : Sdag.t;
+  inputs : Sdag.net array;
+  outputs : Sdag.net array;
+  compiled : Sdag.compiled;
+}
+
+let default_cells = [| Cells.inv; Cells.nand2; Cells.nor2 |]
+
+let design ?(inputs = 32) ?(cells = default_cells) ?(mean_wire_cap = 0.5e-15)
+    ?(out_load = 2.0e-15) tech ~vdd ~seed ~gates =
+  if inputs <= 0 then
+    Slc_obs.Slc_error.invalid_input ~site:"Generate.design" "inputs must be > 0";
+  if gates <= 0 then
+    Slc_obs.Slc_error.invalid_input ~site:"Generate.design" "gates must be > 0";
+  if Array.length cells = 0 then
+    Slc_obs.Slc_error.invalid_input ~site:"Generate.design" "empty cell set";
+  if mean_wire_cap < 0.0 then
+    Slc_obs.Slc_error.invalid_input ~site:"Generate.design" "negative wire cap";
+  let dag = Sdag.create tech ~vdd in
+  let root = Rng.create seed in
+  let n_nets = inputs + gates in
+  let first = Sdag.input dag "in0" in
+  let nets = Array.make n_nets first in
+  for i = 1 to inputs - 1 do
+    nets.(i) <- Sdag.input dag (Printf.sprintf "in%d" i)
+  done;
+  let fanout = Array.make n_nets 0 in
+  let avail = ref inputs in
+  for gi = 0 to gates - 1 do
+    (* One sub-stream per gate, derived from (root state, index): the
+       construction is serial, but keying by index keeps every gate's
+       draws independent of how many draws its predecessors made, so
+       editing one cell's pin count never reshuffles the whole design. *)
+    let r = Rng.split_ix root gi in
+    let cell = cells.(Rng.int r (Array.length cells)) in
+    (* Drivers drawn uniformly over all nets created so far: expected
+       depth grows logarithmically in the gate count, so big designs
+       come out wide and shallow — the interesting regime for levelized
+       parallel evaluation — with a skewed fanout distribution (early
+       nets accumulate the most sinks). *)
+    let pins =
+      List.map
+        (fun pin ->
+          let d = Rng.int r !avail in
+          fanout.(d) <- fanout.(d) + 1;
+          (pin, nets.(d)))
+        cell.Cells.inputs
+    in
+    (* Exponentially distributed wire load with the given mean. *)
+    let wire_cap = -.mean_wire_cap *. log (1.0 -. Rng.float r) in
+    let out = Sdag.gate dag cell ~pins ~wire_cap (Printf.sprintf "g%d" gi) in
+    nets.(!avail) <- out;
+    incr avail
+  done;
+  (* Gate outputs nobody consumes are the primary outputs. *)
+  let outs = ref [] in
+  for i = n_nets - 1 downto inputs do
+    if fanout.(i) = 0 then outs := nets.(i) :: !outs
+  done;
+  let outputs = Array.of_list !outs in
+  Array.iter (fun n -> Sdag.set_load dag n out_load) outputs;
+  { dag; inputs = Array.sub nets 0 inputs; outputs; compiled = Sdag.compile dag }
+
+let both_edges ~at ~slew =
+  {
+    Sdag.rise = Some { Sdag.at; slew };
+    fall = Some { Sdag.at; slew };
+  }
+
+let required d r = Array.to_list (Array.map (fun n -> (n, r)) d.outputs)

@@ -1,0 +1,48 @@
+(** Deterministic random gate-level designs for large-graph SSTA
+    benchmarking and testing.
+
+    Designs are layered random DAGs over a configurable cell set
+    (default INV/NAND2/NOR2): each gate draws its cell, its driver nets
+    (uniformly over everything built so far, which yields wide, shallow
+    graphs with a skewed fanout distribution) and an exponentially
+    distributed wire load from a per-gate {!Slc_prob.Rng.split_ix}
+    sub-stream.  The same [seed]/[gates] always reproduces the same
+    netlist, bit for bit, on any machine. *)
+
+type design = {
+  dag : Sdag.t;  (** the mutable builder (already fully built) *)
+  inputs : Sdag.net array;  (** primary inputs, in creation order *)
+  outputs : Sdag.net array;
+      (** zero-fanout gate outputs, each given the generator's output
+          load; in net order *)
+  compiled : Sdag.compiled;
+      (** the design compiled once, after all loads were placed *)
+}
+
+val default_cells : Slc_cell.Cells.t array
+(** INV, NAND2, NOR2 — the paper's Table-I set. *)
+
+val design :
+  ?inputs:int ->
+  ?cells:Slc_cell.Cells.t array ->
+  ?mean_wire_cap:float ->
+  ?out_load:float ->
+  Slc_device.Tech.t ->
+  vdd:float ->
+  seed:int ->
+  gates:int ->
+  design
+(** [design tech ~vdd ~seed ~gates] builds a random design with
+    [gates] gates over [?inputs] (default 32) primary inputs.
+    [?mean_wire_cap] (farads, default 0.5 fF) sets the exponential
+    wire-load mean; [?out_load] (default 2 fF) is placed on every
+    primary output.  Raises through {!Slc_obs.Slc_error} on
+    non-positive sizes or a negative wire-cap mean. *)
+
+val both_edges : at:float -> slew:float -> Sdag.arrival
+(** An arrival with identical rising and falling edges — the usual
+    primary-input condition for whole-design passes. *)
+
+val required : design -> float -> (Sdag.net * float) list
+(** All primary outputs constrained to one required time — the
+    [~outputs] argument for {!Sdag.slack_report_compiled}. *)

@@ -70,25 +70,55 @@ let of_simulator ?seed tech =
    caller opts into, bounded by the oracle's sensitivity over one
    bucket). *)
 
-type cache = {
-  c_tbl : (string * float * float * float, float * float) Hashtbl.t;
-  c_bucket : float option;
-  c_lock : Mutex.t;
+(* The table is sharded by key hash so that concurrent queries from a
+   levelized parallel timing pass contend on independent locks instead
+   of serializing on one.  Sharding is invisible to callers: each key
+   lives in exactly one shard, lookups and first-publication-wins
+   insertion behave as before, and results stay bitwise identical
+   (queries are pure, so WHICH caller computes a value never matters —
+   only that all callers then see the same published answer). *)
+
+type shard = {
+  s_tbl : (string * float * float * float, float * float) Hashtbl.t;
+  s_lock : Mutex.t;
 }
 
-let make_cache ?slew_bucket () =
+type cache = {
+  c_shards : shard array; (* length is a power of two *)
+  c_bucket : float option;
+}
+
+let default_shards = 16
+
+let make_cache ?slew_bucket ?(shards = default_shards) () =
   (match slew_bucket with
   | Some b when b <= 0.0 -> Slc_obs.Slc_error.invalid_input ~site:"Oracle.make_cache" "bucket <= 0"
   | _ -> ());
-  { c_tbl = Hashtbl.create 64; c_bucket = slew_bucket; c_lock = Mutex.create () }
+  if shards <= 0 then
+    Slc_obs.Slc_error.invalid_input ~site:"Oracle.make_cache" "shards <= 0";
+  (* Round up to a power of two so shard selection is a mask. *)
+  let n = ref 1 in
+  while !n < shards do
+    n := !n * 2
+  done;
+  {
+    c_shards =
+      Array.init !n (fun _ ->
+          { s_tbl = Hashtbl.create 64; s_lock = Mutex.create () });
+    c_bucket = slew_bucket;
+  }
 
 let cache_size c =
-  Mutex.lock c.c_lock;
-  let n = Hashtbl.length c.c_tbl in
-  Mutex.unlock c.c_lock;
-  n
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.s_lock;
+      let n = Hashtbl.length s.s_tbl in
+      Mutex.unlock s.s_lock;
+      acc + n)
+    0 c.c_shards
 
 let cached c oracle =
+  let mask = Array.length c.c_shards - 1 in
   let query arc (point : Harness.point) =
     let point =
       match c.c_bucket with
@@ -102,9 +132,10 @@ let cached c oracle =
     let key =
       (Arc.name arc, point.Harness.sin, point.Harness.cload, point.Harness.vdd)
     in
-    Mutex.lock c.c_lock;
-    let hit = Hashtbl.find_opt c.c_tbl key in
-    Mutex.unlock c.c_lock;
+    let s = c.c_shards.(Hashtbl.hash key land mask) in
+    Mutex.lock s.s_lock;
+    let hit = Hashtbl.find_opt s.s_tbl key in
+    Mutex.unlock s.s_lock;
     match hit with
     | Some r ->
       Telemetry.incr Telemetry.oracle_hits;
@@ -112,17 +143,17 @@ let cached c oracle =
     | None ->
       Telemetry.incr Telemetry.oracle_misses;
       let r = oracle.query arc point in
-      Mutex.lock c.c_lock;
+      Mutex.lock s.s_lock;
       (* Under a race the first publication wins, so every caller sees
          one consistent answer. *)
       let r =
-        match Hashtbl.find_opt c.c_tbl key with
+        match Hashtbl.find_opt s.s_tbl key with
         | Some first -> first
         | None ->
-          Hashtbl.add c.c_tbl key r;
+          Hashtbl.add s.s_tbl key r;
           r
       in
-      Mutex.unlock c.c_lock;
+      Mutex.unlock s.s_lock;
       r
   in
   { oracle with query }

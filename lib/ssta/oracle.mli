@@ -58,13 +58,18 @@ type cache
     answer — fanout nets and repeated path timings stop re-deriving
     identical arc delays. *)
 
-val make_cache : ?slew_bucket:float -> unit -> cache
+val make_cache : ?slew_bucket:float -> ?shards:int -> unit -> cache
 (** With no [slew_bucket] the cache is exact (keys are the literal
     point coordinates; results are bitwise identical to the uncached
     oracle).  With a bucket (seconds, > 0), input slews are quantized
     to positive multiples of it and the oracle is queried at the
     quantized point: nearby slews deterministically share one answer,
-    trading bounded accuracy for fewer queries. *)
+    trading bounded accuracy for fewer queries.
+
+    The table is internally sharded by key hash ([?shards], default 16,
+    rounded up to a power of two) so concurrent queries — a levelized
+    parallel timing pass — contend on independent locks rather than
+    serializing on one.  Sharding never changes results. *)
 
 val cached : cache -> t -> t
 (** [cached c oracle] wraps [oracle] so queries go through [c].  A

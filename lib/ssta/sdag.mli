@@ -1,4 +1,4 @@
-(** A small static-timing DAG over standard cells.
+(** A static-timing DAG over standard cells.
 
     Nets carry separate rise and fall arrivals (time + slew).  Each
     gate input pin contributes candidate arrivals at the output through
@@ -8,7 +8,19 @@
     numbers supplied by any {!Oracle.t}.
 
     Gates must be added after their driver nets (construction order is
-    the topological order), which the builder enforces. *)
+    the topological order), which the builder enforces.  The builder is
+    array-backed: net-name lookup is O(1) and per-net total capacitance
+    is accumulated incrementally as fanout pins are connected, so no
+    pass over the netlist is quadratic in its size.
+
+    For repeated or large analyses, {!compile} snapshots the builder
+    into an immutable {!compiled} graph: int-indexed pin arrays,
+    pre-resolved timing-arc candidates, frozen per-output loads, and an
+    ASAP levelization that lets each level's gates be timed in parallel
+    over the {!Slc_num.Parallel} domain pool.  Parallel evaluation is
+    bitwise identical to sequential ([Parallel.sequential]) evaluation:
+    gates write disjoint result slots and oracle queries are pure and
+    memoized first-publication-wins. *)
 
 type t
 
@@ -37,6 +49,7 @@ type arrival = { rise : edge_arrival option; fall : edge_arrival option }
 
 val analyze :
   ?cache:Oracle.cache ->
+  ?domains:int ->
   t ->
   Oracle.t ->
   input_arrivals:(string -> arrival) ->
@@ -52,7 +65,12 @@ val analyze :
     arc delay once); pass [?cache] to keep the memo across calls —
     exact by default, or slew-bucketed if the cache was built with
     one.  Results with the default or an exact cache are identical to
-    the unmemoized pass. *)
+    the unmemoized pass.
+
+    [?domains] sizes the per-level parallel evaluation (default: the
+    {!Slc_num.Parallel} pool default).  Results are bitwise independent
+    of the domain count.  Compiles the graph internally; hot callers
+    should {!compile} once and use {!analyze_compiled}. *)
 
 type slack_row = {
   net_label : string;
@@ -63,6 +81,7 @@ type slack_row = {
 
 val slack_report :
   ?cache:Oracle.cache ->
+  ?domains:int ->
   t ->
   Oracle.t ->
   input_arrivals:(string -> arrival) ->
@@ -75,10 +94,59 @@ val slack_report :
     Oracle queries are memoized as in {!analyze}. *)
 
 val net_name : t -> net -> string
-(** The label the net was created under. *)
+(** The label the net was created under.  O(1). *)
+
+val net_cap : t -> net -> float
+(** Total capacitance on a net: explicit loads ({!set_load} /
+    [?wire_cap]) plus the input capacitance of every fanout pin
+    connected so far.  O(1): fanout caps are accumulated as gates are
+    added, in connection order, so the total is bitwise identical to a
+    fresh summation over the netlist. *)
 
 val at_edge : arrival -> rises:bool -> edge_arrival option
 (** Selects the rising or falling component of an arrival. *)
 
 val input_edge : at:float -> slew:float -> rises:bool -> arrival
 (** Convenience constructor for a single-edge input arrival. *)
+
+(** {2 Compiled graphs}
+
+    An immutable snapshot of the DAG, built once and reused across
+    passes.  Compilation resolves each distinct (cell, pin, edge)
+    timing arc once, freezes every output net's total load, and groups
+    gates into ASAP levels for parallel evaluation. *)
+
+type compiled
+
+val compile : t -> compiled
+(** Snapshot the builder.  Later mutations of [t] (more gates, more
+    loads) are not reflected; compile again.  O(nets + pins). *)
+
+val compiled_nets : compiled -> int
+(** Number of nets (primary inputs + gate outputs). *)
+
+val compiled_gates : compiled -> int
+
+val level_widths : compiled -> int array
+(** Gates per ASAP level, in level order — the available parallelism
+    profile of the design. *)
+
+val analyze_compiled :
+  ?cache:Oracle.cache ->
+  ?domains:int ->
+  compiled ->
+  Oracle.t ->
+  input_arrivals:(string -> arrival) ->
+  net ->
+  arrival
+(** {!analyze} over a compiled graph, skipping recompilation. *)
+
+val slack_report_compiled :
+  ?cache:Oracle.cache ->
+  ?domains:int ->
+  compiled ->
+  Oracle.t ->
+  input_arrivals:(string -> arrival) ->
+  outputs:(net * float) list ->
+  slack_row list
+(** {!slack_report} over a compiled graph, skipping recompilation. *)

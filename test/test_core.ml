@@ -323,6 +323,129 @@ let test_belief_empty_chain_rejected () =
     (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Belief.chain" "empty chain")) (fun () ->
       ignore (Belief.chain []))
 
+(* Deterministic synthetic node populations for graph tests. *)
+let belief_rows ~shift n =
+  Array.init n (fun i ->
+      Timing_model.to_vec
+        {
+          Timing_model.kd = 0.3 +. shift +. (0.002 *. float_of_int i);
+          cpar = 1.0 +. (0.01 *. float_of_int i);
+          v_off = -0.2 +. (0.5 *. shift);
+          alpha = 0.1;
+        })
+
+let same_message msg a b =
+  let bits = Int64.bits_of_float in
+  let dim = Vec.dim a.Belief.mu in
+  Alcotest.(check int) (msg ^ ": dim") dim (Vec.dim b.Belief.mu);
+  for i = 0 to dim - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: mu.(%d) bitwise" msg i)
+      true
+      (bits a.Belief.mu.(i) = bits b.Belief.mu.(i))
+  done;
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: cov.(%d,%d) bitwise" msg i j)
+        true
+        (bits (Mat.get a.Belief.cov i j) = bits (Mat.get b.Belief.cov i j))
+    done
+  done
+
+let test_belief_observe_workspace_parity () =
+  let rows = belief_rows ~shift:0.0 8 in
+  let msg = Belief.drift (Belief.diffuse 4) (Belief.default_drift 4) in
+  let plain = Belief.observe msg rows in
+  let ws = Belief.make_workspace 4 in
+  (* Reuse one workspace twice: stale scratch must not leak. *)
+  let with_ws1 = Belief.observe ~ws msg rows in
+  let with_ws2 = Belief.observe ~ws msg rows in
+  same_message "fresh vs workspace" plain with_ws1;
+  same_message "workspace reuse" plain with_ws2;
+  Alcotest.check_raises "dimension mismatch"
+    (Slc_obs.Slc_error.Invalid_input
+       (Slc_obs.Slc_error.invalid ~site:"Belief.observe"
+          "workspace dimension mismatch")) (fun () ->
+      ignore (Belief.observe ~ws:(Belief.make_workspace 3) msg rows))
+
+let test_belief_graph_matches_chain () =
+  let nodes =
+    [
+      ("n28", belief_rows ~shift:0.00 6);
+      ("n20", belief_rows ~shift:0.03 5);
+      ("n14", belief_rows ~shift:0.05 7);
+    ]
+  in
+  let g = Belief.graph_of_chain nodes in
+  let r = Belief.propagate g in
+  Alcotest.(check bool) "converged" true r.Belief.converged;
+  Alcotest.(check int) "one update per edge" (List.length nodes)
+    r.Belief.updates;
+  (* Every per-node belief along the graph reproduces the corresponding
+     prefix of the chain fold, bit for bit. *)
+  List.iteri
+    (fun i (name, _) ->
+      let prefix = List.filteri (fun j _ -> j <= i) nodes in
+      let expect = Belief.chain prefix in
+      let got = List.assoc name r.Belief.beliefs in
+      same_message name expect got)
+    nodes
+
+let test_belief_graph_diamond () =
+  let nodes =
+    [
+      ("root", belief_rows ~shift:0.00 6);
+      ("left", belief_rows ~shift:0.02 5);
+      ("right", belief_rows ~shift:0.04 5);
+      ("sink", belief_rows ~shift:0.03 6);
+    ]
+  in
+  let g =
+    Belief.graph_make ~nodes ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ] ()
+  in
+  let r = Belief.propagate g in
+  Alcotest.(check bool) "converged" true r.Belief.converged;
+  Alcotest.(check int) "one update per edge" 4 r.Belief.updates;
+  let sink = List.assoc "sink" r.Belief.beliefs in
+  Alcotest.(check bool) "finite sink mean" true
+    (Array.for_all Float.is_finite sink.Belief.mu);
+  (* Two informative parents: the sink belief is at least as tight as
+     what either single parent would give through a plain chain. *)
+  let single = Belief.chain [ List.nth nodes 0; List.nth nodes 1; List.nth nodes 3 ] in
+  Alcotest.(check bool) "two parents tighten the sink" true
+    (Mat.get sink.Belief.cov 0 0 <= Mat.get single.Belief.cov 0 0 +. 1e-12)
+
+let test_belief_graph_cycle_terminates () =
+  let nodes =
+    [ ("a", belief_rows ~shift:0.00 6); ("b", belief_rows ~shift:0.05 6) ]
+  in
+  let g = Belief.graph_make ~nodes ~edges:[ (0, 1); (1, 0) ] () in
+  let r = Belief.propagate ~tol:1e-12 ~max_updates:200 g in
+  Alcotest.(check bool) "bounded" true (r.Belief.updates <= 200);
+  Alcotest.(check bool) "cap reached iff not converged" true
+    (r.Belief.converged || r.Belief.updates = 200);
+  List.iter
+    (fun (_, b) ->
+      Alcotest.(check bool) "finite" true
+        (Array.for_all Float.is_finite b.Belief.mu))
+    r.Belief.beliefs
+
+let test_belief_graph_validation () =
+  let rows = belief_rows ~shift:0.0 4 in
+  let raises msg err f =
+    Alcotest.check_raises msg
+      (Slc_obs.Slc_error.Invalid_input
+         (Slc_obs.Slc_error.invalid ~site:"Belief.graph_make" err))
+      (fun () -> ignore (f ()))
+  in
+  raises "empty" "empty graph" (fun () ->
+      Belief.graph_make ~nodes:[] ~edges:[] ());
+  raises "range" "edge endpoint out of range" (fun () ->
+      Belief.graph_make ~nodes:[ ("a", rows) ] ~edges:[ (0, 1) ] ());
+  raises "self" "self edge" (fun () ->
+      Belief.graph_make ~nodes:[ ("a", rows) ] ~edges:[ (0, 0) ] ())
+
 (* ------------------------------------------------------------------ *)
 (* Char_flow helpers *)
 
@@ -971,6 +1094,15 @@ let () =
             test_belief_drift_grows_cov;
           Alcotest.test_case "chain prior" `Slow test_belief_chain_and_prior;
           Alcotest.test_case "empty chain" `Quick test_belief_empty_chain_rejected;
+          Alcotest.test_case "observe workspace parity" `Quick
+            test_belief_observe_workspace_parity;
+          Alcotest.test_case "graph matches chain (bitwise)" `Quick
+            test_belief_graph_matches_chain;
+          Alcotest.test_case "graph diamond" `Quick test_belief_graph_diamond;
+          Alcotest.test_case "graph cycle terminates" `Quick
+            test_belief_graph_cycle_terminates;
+          Alcotest.test_case "graph validation" `Quick
+            test_belief_graph_validation;
         ] );
       ( "char_flow",
         [

@@ -510,6 +510,178 @@ let test_yield_of_path () =
   Alcotest.(check bool) "mid yield in (0,1]" true
     (mid.Yield.yield > 0.0 && mid.Yield.yield <= 1.0)
 
+(* ------------------------------------------------------------------ *)
+(* Generated designs and the compiled parallel forward pass.
+
+   These use a pure closed-form oracle, not the simulator: the subject
+   under test is graph compilation, levelized scheduling and
+   determinism, and a cheap oracle keeps the parity sweeps quick enough
+   for the TSan job. *)
+
+let synthetic_oracle =
+  {
+    Oracle.label = "synthetic";
+    query =
+      (fun arc (p : Harness.point) ->
+        let h = float_of_int (Hashtbl.hash (Arc.name arc) land 0xff) in
+        ( 1.0e-12 +. (1.0e-14 *. h) +. (0.4 *. p.Harness.sin)
+          +. (900.0 *. p.Harness.cload),
+          2.0e-12 +. (0.3 *. p.Harness.sin) +. (400.0 *. p.Harness.cload) ));
+  }
+
+let design_inputs _ = Generate.both_edges ~at:0.0 ~slew:sin
+
+let row_bits rows =
+  List.map
+    (fun (r : Sdag.slack_row) ->
+      ( r.Sdag.net_label,
+        Int64.bits_of_float r.Sdag.arrival_time,
+        Int64.bits_of_float r.Sdag.required_time,
+        Int64.bits_of_float r.Sdag.slack ))
+    rows
+
+let test_generate_deterministic () =
+  let d1 = Generate.design tech ~vdd ~seed:11 ~gates:400 in
+  let d2 = Generate.design tech ~vdd ~seed:11 ~gates:400 in
+  Alcotest.(check int) "same gate count"
+    (Sdag.compiled_gates d1.Generate.compiled)
+    (Sdag.compiled_gates d2.Generate.compiled);
+  Alcotest.(check int) "same net count"
+    (Sdag.compiled_nets d1.Generate.compiled)
+    (Sdag.compiled_nets d2.Generate.compiled);
+  Alcotest.(check bool) "same level profile" true
+    (Sdag.level_widths d1.Generate.compiled
+    = Sdag.level_widths d2.Generate.compiled);
+  Alcotest.(check int) "same output count"
+    (Array.length d1.Generate.outputs)
+    (Array.length d2.Generate.outputs);
+  let report d =
+    Sdag.slack_report_compiled d.Generate.compiled synthetic_oracle
+      ~input_arrivals:design_inputs ~outputs:(Generate.required d 1e-9)
+  in
+  Alcotest.(check bool) "same seed, bitwise-identical timing" true
+    (row_bits (report d1) = row_bits (report d2));
+  let d3 = Generate.design tech ~vdd ~seed:12 ~gates:400 in
+  Alcotest.(check bool) "different seed, different timing" true
+    (row_bits (report d1) <> row_bits (report d3));
+  Alcotest.check_raises "bad size"
+    (Slc_obs.Slc_error.Invalid_input
+       (Slc_obs.Slc_error.invalid ~site:"Generate.design" "gates must be > 0"))
+    (fun () -> ignore (Generate.design tech ~vdd ~seed:1 ~gates:0))
+
+let test_compiled_structure () =
+  let dag = Sdag.create tech ~vdd in
+  let x = Sdag.input dag "x" in
+  let m1 = Sdag.gate dag Cells.inv ~pins:[ ("A", x) ] "m1" in
+  let m2 = Sdag.gate dag Cells.inv ~pins:[ ("A", m1) ] "m2" in
+  let out = Sdag.gate dag Cells.nand2 ~pins:[ ("A", x); ("B", m2) ] "out" in
+  Sdag.set_load dag out 2e-15;
+  let k = Sdag.compile dag in
+  Alcotest.(check int) "nets" 4 (Sdag.compiled_nets k);
+  Alcotest.(check int) "gates" 3 (Sdag.compiled_gates k);
+  (* m1 at level 1, m2 at 2, out at 3 (its B pin depends on m2). *)
+  Alcotest.(check bool) "asap levels" true
+    (Sdag.level_widths k = [| 1; 1; 1 |]);
+  (* Incrementally accumulated net capacitance matches a direct
+     per-pin summation, bitwise. *)
+  let expect =
+    Equivalent.input_cap tech Cells.inv ~pin:"A"
+    +. Equivalent.input_cap tech Cells.nand2 ~pin:"A"
+  in
+  Alcotest.(check bool) "net cap bitwise" true
+    (Int64.bits_of_float (Sdag.net_cap dag x) = Int64.bits_of_float expect);
+  Alcotest.(check bool) "explicit load included" true
+    (Sdag.net_cap dag out = 2e-15)
+
+let test_compiled_parallel_parity () =
+  let d = Generate.design tech ~vdd ~seed:5 ~gates:600 in
+  let outputs = Generate.required d 1e-9 in
+  let report ?cache ?domains () =
+    Sdag.slack_report_compiled ?cache ?domains d.Generate.compiled
+      synthetic_oracle ~input_arrivals:design_inputs ~outputs
+  in
+  (* Reference: the pool disabled outright, not just one domain. *)
+  let reference =
+    Slc_num.Parallel.sequential (fun () -> row_bits (report ()))
+  in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains bitwise equals sequential" domains)
+        true
+        (row_bits (report ~domains ()) = reference))
+    [ 1; 2; 4; 8 ];
+  (* The builder-level entry point compiles internally and agrees. *)
+  let legacy =
+    Sdag.slack_report ~domains:2 d.Generate.dag synthetic_oracle
+      ~input_arrivals:design_inputs ~outputs
+  in
+  Alcotest.(check bool) "builder path agrees" true
+    (row_bits legacy = reference);
+  (* A shared persistent cache changes nothing across repeated passes. *)
+  let c = Oracle.make_cache () in
+  let warm1 = row_bits (report ~cache:c ~domains:4 ()) in
+  let warm2 = row_bits (report ~cache:c ~domains:4 ()) in
+  Alcotest.(check bool) "cached passes bitwise stable" true
+    (warm1 = reference && warm2 = reference)
+
+let test_large_design_completes () =
+  (* 100k gates: forward + backward + report end to end.  Exercises the
+     levelized traversal at scale; the closed-form oracle keeps it at
+     graph-engine cost only. *)
+  let d = Generate.design tech ~vdd ~seed:3 ~gates:100_000 in
+  let k = d.Generate.compiled in
+  Alcotest.(check int) "all gates placed" 100_000 (Sdag.compiled_gates k);
+  let widths = Sdag.level_widths k in
+  Alcotest.(check bool) "log-depth levelization" true
+    (Array.length widths < 100);
+  Alcotest.(check int) "levels partition the gates" 100_000
+    (Array.fold_left ( + ) 0 widths);
+  let rows =
+    Sdag.slack_report_compiled ~domains:4 k synthetic_oracle
+      ~input_arrivals:design_inputs ~outputs:(Generate.required d 1e-9)
+  in
+  Alcotest.(check int) "one row per net" (Sdag.compiled_nets k)
+    (List.length rows);
+  List.iter
+    (fun (r : Sdag.slack_row) ->
+      if not (Float.is_finite r.Sdag.arrival_time) then
+        Alcotest.fail "non-finite arrival")
+    rows
+
+let test_oracle_cache_shards () =
+  let calls = ref 0 in
+  let counted =
+    {
+      synthetic_oracle with
+      Oracle.query =
+        (fun arc p ->
+          incr calls;
+          synthetic_oracle.Oracle.query arc p);
+    }
+  in
+  let c = Oracle.make_cache ~shards:4 () in
+  let w = Oracle.cached c counted in
+  let arc = Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall in
+  let p = { Harness.sin; cload = 2e-15; vdd } in
+  let d0, s0 = w.Oracle.query arc p in
+  let d1, s1 = w.Oracle.query arc p in
+  Alcotest.(check int) "one underlying query" 1 !calls;
+  Alcotest.(check int) "one entry across shards" 1 (Oracle.cache_size c);
+  Alcotest.(check bool) "hit is bitwise" true
+    (Int64.bits_of_float d0 = Int64.bits_of_float d1
+    && Int64.bits_of_float s0 = Int64.bits_of_float s1);
+  (* Distinct points land in (possibly) different shards; the size sums. *)
+  for i = 1 to 20 do
+    ignore
+      (w.Oracle.query arc { p with Harness.cload = float_of_int i *. 1.3e-15 })
+  done;
+  Alcotest.(check int) "sizes sum across shards" 21 (Oracle.cache_size c);
+  Alcotest.check_raises "bad shards"
+    (Slc_obs.Slc_error.Invalid_input
+       (Slc_obs.Slc_error.invalid ~site:"Oracle.make_cache" "shards <= 0"))
+    (fun () -> ignore (Oracle.make_cache ~shards:0 ()))
+
 let () =
   Alcotest.run "slc_ssta"
     [
@@ -565,5 +737,19 @@ let () =
           Alcotest.test_case "fanout adds load" `Slow test_dag_fanout_adds_load;
           Alcotest.test_case "persistent query cache" `Slow
             test_dag_persistent_cache;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "structure" `Quick test_compiled_structure;
+          Alcotest.test_case "parallel parity (bitwise)" `Quick
+            test_compiled_parallel_parity;
+          Alcotest.test_case "sharded oracle cache" `Quick
+            test_oracle_cache_shards;
+          Alcotest.test_case "100k-gate design completes" `Slow
+            test_large_design_completes;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
         ] );
     ]
