@@ -121,6 +121,95 @@ let bench_store_warm =
          store_extract st seeds))
 
 (* ------------------------------------------------------------------ *)
+(* Characterization-server kernel: one request through the whole serve
+   answer path — wire parse, dispatch on the resident engine (memo
+   lookups included), response format — against an injected
+   constant-time bank.  What this measures is the per-query overhead a
+   warm daemon adds on top of the oracle itself; the real
+   characterization cost is covered by the fig/table kernels above. *)
+
+let serve_bank _tech ~k =
+  {
+    Slc_ssta.Oracle.label = "bench-serve";
+    query =
+      (fun arc (pt : Harness.point) ->
+        let base = float_of_int (String.length (Arc.name arc) + k) in
+        ( (base *. 1e-12) +. (0.5 *. pt.Harness.sin)
+          +. (pt.Harness.cload /. 1e-3),
+          (base *. 2e-12) +. (0.25 *. pt.Harness.sin) ));
+  }
+
+let serve_request_line = "delay n14 INV A fall 3 5e-12 2e-15 0.8"
+
+let serve_fixture =
+  lazy
+    (let engine = Slc_server.Engine.create ~bank:serve_bank () in
+     (* Warm the per-(tech, k) bank memo so the kernel times the
+        steady-state path, not the first-miss build. *)
+     (match Slc_server.Protocol.parse_request serve_request_line with
+     | Ok req -> ignore (Slc_server.Engine.exec engine req)
+     | Error e ->
+       Printf.eprintf "bench: serve fixture request rejected: %s\n" e;
+       exit 2);
+     engine)
+
+let bench_serve =
+  Test.make ~name:"serve/queries-per-sec"
+    (Staged.stage (fun () ->
+         let engine = Lazy.force serve_fixture in
+         match Slc_server.Protocol.parse_request serve_request_line with
+         | Ok req ->
+           Slc_server.Protocol.format_response (Slc_server.Engine.exec engine req)
+         | Error e -> e))
+
+(* --serve-saturation: an end-to-end socket throughput check — an
+   in-process daemon on a Unix socket, N client threads each streaming
+   M requests and verifying every reply.  Exits non-zero if any reply
+   is wrong, so CI can use --quick as a smoke gate. *)
+let serve_saturation ~quick () =
+  let engine = Slc_server.Engine.create ~bank:serve_bank () in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "slc-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let srv = Slc_server.Server.start engine (Slc_server.Server.Unix_socket path) in
+  let clients = if quick then 4 else 8 in
+  let requests = if quick then 50 else 2000 in
+  let errors = Atomic.make 0 in
+  let client () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try
+       for _ = 1 to requests do
+         output_string oc (serve_request_line ^ "\n");
+         flush oc;
+         let reply = input_line ic in
+         if
+           String.length reply < 9
+           || not (String.equal (String.sub reply 0 9) "ok delay ")
+         then Atomic.incr errors
+       done
+     with End_of_file | Sys_error _ -> Atomic.incr errors);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun _ -> Thread.create client ()) in
+  List.iter Thread.join threads;
+  let secs = Unix.gettimeofday () -. t0 in
+  Slc_server.Server.stop srv;
+  let total = clients * requests in
+  Printf.printf
+    "serve saturation: %d clients x %d requests = %d queries in %.3f s \
+     (%.0f queries/s), %d bad replies\n"
+    clients requests total secs
+    (float_of_int total /. secs)
+    (Atomic.get errors);
+  exit (if Atomic.get errors > 0 then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
 (* One benchmark per table/figure. *)
 
 let bench_table1 =
@@ -342,7 +431,7 @@ let light_benches =
       bench_fig6_map; bench_fig6_lut; bench_fig78; bench_fig78_batch;
       bench_fig9; bench_ablation_beta;
       bench_ablation_chain; bench_belief_graph; bench_ssta;
-      bench_store_cold; bench_store_warm;
+      bench_store_cold; bench_store_warm; bench_serve;
     ]
 
 (* Measured in a second batch, AFTER every light kernel: their fixtures
@@ -778,6 +867,8 @@ let () =
   let skip_bench = Array.exists (fun a -> a = "--no-bench") Sys.argv in
   let skip_figs = Array.exists (fun a -> a = "--no-figs") Sys.argv in
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  if Array.exists (fun a -> a = "--serve-saturation") Sys.argv then
+    serve_saturation ~quick ();
   let path_flag flag =
     let p = ref None in
     Array.iteri

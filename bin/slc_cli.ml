@@ -542,6 +542,120 @@ let population_cmd =
       const run $ tech_arg "n28" $ cell_arg $ pin_arg $ seeds_arg $ k_arg
       $ method_arg $ batch_arg $ rng_arg $ store_arg)
 
+let listen_arg =
+  let doc =
+    "Endpoint to listen on (or connect to): unix:PATH, tcp:HOST:PORT, a \
+     bare path containing '/', or HOST:PORT.  tcp port 0 binds an \
+     ephemeral port and prints the real one."
+  in
+  Arg.(
+    value
+    & opt string "unix:/tmp/slc-serve.sock"
+    & info [ "l"; "listen" ] ~doc ~docv:"ENDPOINT")
+
+let endpoint_of_string_or_exit s =
+  match Slc_server.Server.endpoint_of_string s with
+  | Ok ep -> ep
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+let serve_cmd =
+  let run listen store_dir =
+    let ep = endpoint_of_string_or_exit listen in
+    let engine = Slc_server.Engine.create ?store:(store_of store_dir) () in
+    let srv = Slc_server.Server.start engine ep in
+    Format.fprintf std "slc serve: listening on %s@."
+      (Slc_server.Server.endpoint_to_string (Slc_server.Server.endpoint srv));
+    (* SIGINT/SIGTERM drain like a [shutdown] request: finish in-flight
+       replies, then exit. *)
+    let on_signal _ = Slc_server.Server.request_stop srv in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    Slc_server.Server.wait srv;
+    Format.fprintf std "slc serve: stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived characterization server: keeps the domain pool, \
+          trained banks, query caches and store resident, and answers \
+          delay/slew/pdf/sta requests over a newline-delimited socket \
+          protocol (see docs/server.md)")
+    Term.(const run $ listen_arg $ store_arg)
+
+let query_cmd =
+  let connect_arg =
+    let doc =
+      "Send the requests to a running server at ENDPOINT instead of \
+       answering them in-process."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~doc ~docv:"ENDPOINT")
+  in
+  let client ep =
+    let domain, addr =
+      match ep with
+      | Slc_server.Server.Unix_socket path ->
+        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      | Slc_server.Server.Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found ->
+              Printf.eprintf "cannot resolve host %S\n" host;
+              exit 2)
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "connect %s: %s\n"
+        (Slc_server.Server.endpoint_to_string ep)
+        (Unix.error_message e);
+      exit 2);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let rec loop () =
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        (match input_line ic with
+        | exception End_of_file -> ()
+        | reply ->
+          print_endline reply;
+          loop ())
+    in
+    loop ();
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let run connect store_dir =
+    match connect with
+    | Some ep -> client (endpoint_of_string_or_exit ep)
+    | None ->
+      (* One-shot local mode: the exact connection loop the daemon
+         runs, over stdin/stdout — so a served response is bitwise
+         identical to this output by construction. *)
+      let engine = Slc_server.Engine.create ?store:(store_of store_dir) () in
+      Slc_server.Server.serve_channels engine stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Answer server-protocol requests from stdin: in-process by \
+          default, or against a running server with --connect")
+    Term.(const run $ connect_arg $ store_arg)
+
 let all_cmd =
   let run scale = with_timer (fun () ->
       let config = config_of scale in
@@ -565,7 +679,7 @@ let main =
     [
       table1_cmd; fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig78_cmd; fig9_cmd;
       ablations_cmd; characterize_cmd; corners_cmd; liberty_cmd; prior_cmd;
-      population_cmd; sta_cmd; all_cmd;
+      population_cmd; sta_cmd; serve_cmd; query_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -254,6 +254,20 @@ let predict_samples pop pt ~td =
       if td then pop.predict_td seed pt else pop.predict_sout seed pt)
     surviving
 
+let predict_density pop pt ~td ~grid =
+  if grid < 2 then
+    Slc_obs.Slc_error.invalid_input ~site:"Statistical.predict_density"
+      "grid must be >= 2";
+  let samples = predict_samples pop pt ~td in
+  if Array.length samples < 2 then
+    Slc_obs.Slc_error.invalid_input ~site:"Statistical.predict_density"
+      (Printf.sprintf "needs >= 2 surviving seeds, have %d"
+         (Array.length samples));
+  let kde = Slc_prob.Kde.fit samples in
+  let xs = Slc_prob.Kde.grid kde grid in
+  let ps = Slc_prob.Kde.evaluate kde xs in
+  Array.init (Array.length xs) (fun i -> (xs.(i), ps.(i)))
+
 type baseline = {
   points : Input_space.point array;
   mu_td : float array;

@@ -142,6 +142,17 @@ val predict_samples :
     slew).  [Seed_failed] seeds are skipped, so the array length is the
     number of surviving seeds. *)
 
+val predict_density :
+  population -> Input_space.point -> td:bool -> grid:int ->
+  (float * float) array
+(** The predicted delay (or slew, [td:false]) distribution at one
+    condition, as [(value, density)] pairs on a [grid]-point KDE grid
+    over the surviving seeds' predictions (the paper's Fig 9 curve, as
+    a query).  Deterministic: same population and condition, bitwise
+    same curve.  Raises through {!Slc_obs.Slc_error} when fewer than 2
+    seeds survive or [grid < 2].  This is the re-entrant pdf entry
+    point the characterization server answers [pdf] requests with. *)
+
 type baseline = {
   points : Input_space.point array;
   mu_td : float array;

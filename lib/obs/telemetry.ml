@@ -84,6 +84,12 @@ let degraded_seeds = make_counter "degraded_seeds"
 
 let failed_seeds = make_counter "failed_seeds"
 
+let server_connections = make_counter "server_connections"
+
+let server_requests = make_counter "server_requests"
+
+let server_errors = make_counter "server_errors"
+
 (* Spans accumulate wall time in nanoseconds so the accumulator can be
    a lock-free integer. *)
 type span = { s_name : string; s_count : int Atomic.t; s_ns : int Atomic.t }
@@ -127,28 +133,48 @@ let reset () =
 
 let in_creation_order l = List.rev !l
 
+(* Per-name counter readings at one instant — the unit the server diffs
+   per connection.  Stored in creation order, like every dump. *)
+type snapshot = (string * int) list
+
+let snapshot () =
+  List.map (fun c -> (c.c_name, read c)) (in_creation_order counters)
+
+let diff ~before ~after =
+  List.map
+    (fun (name, v1) ->
+      let v0 = Option.value ~default:0 (List.assoc_opt name before) in
+      (name, v1 - v0))
+    after
+
+let snapshot_value snap name = Option.value ~default:0 (List.assoc_opt name snap)
+
+(* Emit ["key": payload] members separated by ",\n": tracking "is a
+   previous member pending?" instead of "is this the last index?" needs
+   no length precomputation and no per-element [List.length] (the old
+   [iteri] recomputed the length for every element — quadratic in the
+   counter count). *)
+let add_members b items add_one =
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string b ",\n";
+      add_one x)
+    items;
+  if items <> [] then Buffer.add_char b '\n'
+
 let dump_json () =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b
     (Printf.sprintf "  \"enabled\": %b,\n  \"counters\": {\n" !enabled);
-  let cs = in_creation_order counters in
-  List.iteri
-    (fun i c ->
-      Buffer.add_string b
-        (Printf.sprintf "    \"%s\": %d%s\n" c.c_name (read c)
-           (if i = List.length cs - 1 then "" else ",")))
-    cs;
+  add_members b (in_creation_order counters) (fun c ->
+      Buffer.add_string b (Printf.sprintf "    \"%s\": %d" c.c_name (read c)));
   Buffer.add_string b "  },\n  \"spans\": {\n";
-  let ss = in_creation_order spans in
-  List.iteri
-    (fun i s ->
+  add_members b (in_creation_order spans) (fun s ->
       Buffer.add_string b
-        (Printf.sprintf "    \"%s\": { \"count\": %d, \"seconds\": %.6f }%s\n"
+        (Printf.sprintf "    \"%s\": { \"count\": %d, \"seconds\": %.6f }"
            s.s_name (Atomic.get s.s_count)
-           (float_of_int (Atomic.get s.s_ns) /. 1e9)
-           (if i = List.length ss - 1 then "" else ",")))
-    ss;
+           (float_of_int (Atomic.get s.s_ns) /. 1e9)));
   Buffer.add_string b "  }\n}\n";
   Buffer.contents b
 

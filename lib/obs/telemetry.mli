@@ -112,6 +112,16 @@ val degraded_seeds : counter
 val failed_seeds : counter
 (** Statistical seeds dropped entirely. *)
 
+val server_connections : counter
+(** Connections accepted by the characterization server. *)
+
+val server_requests : counter
+(** Requests answered by the characterization server (all
+    connections). *)
+
+val server_errors : counter
+(** Server requests answered with an [err] response. *)
+
 type span
 
 val span_simulate : span
@@ -129,6 +139,27 @@ val span_baseline : span
 val with_span : span -> (unit -> 'a) -> 'a
 (** Runs the thunk, accumulating its wall time and invocation count
     into the span when enabled; just runs it when disabled. *)
+
+(** {2 Snapshots}
+
+    An immutable reading of every counter at one instant, diffable —
+    what the characterization server reports per connection ("what did
+    the process spend while this connection was open").  Counters can
+    be read whether or not collection is enabled; a snapshot taken
+    while disabled simply reads the frozen values. *)
+
+type snapshot = (string * int) list
+(** [(counter name, value)] in counter-creation order. *)
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-counter [after - before], in [after]'s order.  A counter
+    missing from [before] (an older snapshot from before the counter
+    existed) diffs against 0. *)
+
+val snapshot_value : snapshot -> string -> int
+(** The named counter's reading; 0 when absent. *)
 
 val reset : unit -> unit
 (** Zero every counter and span (keeps the enabled/disabled state). *)

@@ -1,0 +1,288 @@
+(* Newline-delimited request/response protocol.  All response floats go
+   through Hexfloat so the text round-trips bit-exactly; request floats
+   accept decimal too (humans type decimal, tools replay hex). *)
+
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Hexfloat = Slc_num.Hexfloat
+
+type query = {
+  q_tech : string;
+  q_cell : string;
+  q_pin : string;
+  q_dir : Arc.direction;
+  q_k : int;
+  q_point : Harness.point;
+}
+
+type pdf_query = {
+  p_tech : string;
+  p_cell : string;
+  p_pin : string;
+  p_dir : Arc.direction;
+  p_method : string;
+  p_k : int;
+  p_seeds : int;
+  p_rng : int;
+  p_grid : int;
+  p_point : Harness.point;
+}
+
+type sta_query = {
+  s_tech : string;
+  s_k : int;
+  s_clock : float;
+  s_netlist : string;
+}
+
+type request =
+  | Delay of query
+  | Slew of query
+  | Pdf of pdf_query
+  | Sta of sta_query
+  | Stats
+  | Ping
+  | Quit
+  | Shutdown
+
+type error_kind = Parse | Domain | Internal
+
+type response =
+  | Ok_delay of float * float
+  | Ok_slew of float
+  | Ok_pdf of (float * float) array
+  | Ok_sta of (string * float * float * float) list
+  | Ok_stats of (string * string) list
+  | Ok_pong
+  | Ok_bye
+  | Err of error_kind * string
+
+(* ----------------------------------------------------------------- *)
+(* Parsing *)
+
+let tokens line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.filter (fun s -> s <> "")
+
+(* Local to the parser; every raise is caught in [parse_request] /
+   [parse_response] and surfaced as [Error _]. *)
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let int_tok what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> bad "%s: expected an integer, got %S" what s
+
+let float_tok what s =
+  match Hexfloat.of_string_opt s with
+  | Some v -> v
+  | None -> bad "%s: expected a float, got %S" what s
+
+let dir_tok s =
+  match s with
+  | "rise" -> Arc.Rise
+  | "fall" -> Arc.Fall
+  | _ -> bad "direction: expected rise or fall, got %S" s
+
+let point_of sin cload vdd =
+  {
+    Harness.sin = float_tok "sin" sin;
+    cload = float_tok "cload" cload;
+    vdd = float_tok "vdd" vdd;
+  }
+
+let query_of = function
+  | [ tech; cell; pin; dir; k; sin; cload; vdd ] ->
+    {
+      q_tech = tech;
+      q_cell = cell;
+      q_pin = pin;
+      q_dir = dir_tok dir;
+      q_k = int_tok "k" k;
+      q_point = point_of sin cload vdd;
+    }
+  | args ->
+    bad "expected <tech> <cell> <pin> rise|fall <k> <sin> <cload> <vdd>, got %d argument(s)"
+      (List.length args)
+
+let pdf_query_of = function
+  | [ tech; cell; pin; dir; meth; k; seeds; rng; grid; sin; cload; vdd ] ->
+    {
+      p_tech = tech;
+      p_cell = cell;
+      p_pin = pin;
+      p_dir = dir_tok dir;
+      p_method = meth;
+      p_k = int_tok "k" k;
+      p_seeds = int_tok "seeds" seeds;
+      p_rng = int_tok "rng" rng;
+      p_grid = int_tok "grid" grid;
+      p_point = point_of sin cload vdd;
+    }
+  | args ->
+    bad "expected <tech> <cell> <pin> rise|fall <method> <k> <seeds> <rng> <grid> <sin> <cload> <vdd>, got %d argument(s)"
+      (List.length args)
+
+let sta_query_of = function
+  | [ tech; k; clock; netlist ] ->
+    {
+      s_tech = tech;
+      s_k = int_tok "k" k;
+      s_clock = float_tok "clock" clock;
+      s_netlist = netlist;
+    }
+  | args ->
+    bad "expected <tech> <k> <clock> <netlist-path>, got %d argument(s)"
+      (List.length args)
+
+let parse_request line =
+  match tokens line with
+  | [] -> Error "empty request"
+  | verb :: args -> (
+    try
+      match (verb, args) with
+      | "delay", args -> Ok (Delay (query_of args))
+      | "slew", args -> Ok (Slew (query_of args))
+      | "pdf", args -> Ok (Pdf (pdf_query_of args))
+      | "sta", args -> Ok (Sta (sta_query_of args))
+      | "stats", [] -> Ok Stats
+      | "ping", [] -> Ok Ping
+      | "quit", [] -> Ok Quit
+      | "shutdown", [] -> Ok Shutdown
+      | ("stats" | "ping" | "quit" | "shutdown"), _ :: _ ->
+        Error (Printf.sprintf "%s takes no arguments" verb)
+      | _ -> Error (Printf.sprintf "unknown request %S" verb)
+    with Bad m -> Error (Printf.sprintf "%s: %s" verb m))
+
+(* ----------------------------------------------------------------- *)
+(* Formatting *)
+
+let hex = Hexfloat.to_string
+
+let dir_str = Arc.direction_to_string
+
+let format_query verb q =
+  Printf.sprintf "%s %s %s %s %s %d %s %s %s" verb q.q_tech q.q_cell q.q_pin
+    (dir_str q.q_dir) q.q_k (hex q.q_point.Harness.sin)
+    (hex q.q_point.Harness.cload) (hex q.q_point.Harness.vdd)
+
+let format_request = function
+  | Delay q -> format_query "delay" q
+  | Slew q -> format_query "slew" q
+  | Pdf p ->
+    Printf.sprintf "pdf %s %s %s %s %s %d %d %d %d %s %s %s" p.p_tech p.p_cell
+      p.p_pin (dir_str p.p_dir) p.p_method p.p_k p.p_seeds p.p_rng p.p_grid
+      (hex p.p_point.Harness.sin) (hex p.p_point.Harness.cload)
+      (hex p.p_point.Harness.vdd)
+  | Sta s ->
+    Printf.sprintf "sta %s %d %s %s" s.s_tech s.s_k (hex s.s_clock) s.s_netlist
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Quit -> "quit"
+  | Shutdown -> "shutdown"
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let error_kind_label = function
+  | Parse -> "parse"
+  | Domain -> "domain"
+  | Internal -> "internal"
+
+let format_response = function
+  | Ok_delay (td, sout) -> Printf.sprintf "ok delay %s %s" (hex td) (hex sout)
+  | Ok_slew sout -> Printf.sprintf "ok slew %s" (hex sout)
+  | Ok_pdf pairs ->
+    let b = Buffer.create (16 * Array.length pairs) in
+    Buffer.add_string b (Printf.sprintf "ok pdf %d" (Array.length pairs));
+    Array.iter
+      (fun (x, p) ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b (hex x);
+        Buffer.add_char b ' ';
+        Buffer.add_string b (hex p))
+      pairs;
+    Buffer.contents b
+  | Ok_sta rows ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b (Printf.sprintf "ok sta %d" (List.length rows));
+    List.iter
+      (fun (net, arr, req, slack) ->
+        Buffer.add_string b
+          (Printf.sprintf " %s %s %s %s" net (hex arr) (hex req) (hex slack)))
+      rows;
+    Buffer.contents b
+  | Ok_stats kvs ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b "ok stats";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v))
+      kvs;
+    Buffer.contents b
+  | Ok_pong -> "ok pong"
+  | Ok_bye -> "ok bye"
+  | Err (kind, msg) ->
+    Printf.sprintf "err %s %s" (error_kind_label kind) (one_line msg)
+
+(* ----------------------------------------------------------------- *)
+(* Response parsing (the client half) *)
+
+let error_kind_of = function
+  | "parse" -> Parse
+  | "domain" -> Domain
+  | "internal" -> Internal
+  | s -> bad "unknown error kind %S" s
+
+let rec take_pairs what acc = function
+  | [] -> List.rev acc
+  | [ _ ] -> bad "%s: odd number of values" what
+  | x :: p :: rest ->
+    take_pairs what ((float_tok what x, float_tok what p) :: acc) rest
+
+let rec take_rows acc = function
+  | [] -> List.rev acc
+  | net :: arr :: req :: slack :: rest ->
+    take_rows
+      ((net, float_tok "arrival" arr, float_tok "required" req,
+        float_tok "slack" slack)
+      :: acc)
+      rest
+  | _ -> bad "sta: truncated row"
+
+let kv_of tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+    (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+  | None -> bad "stats: expected key=value, got %S" tok
+
+let parse_response line =
+  match tokens line with
+  | [] -> Error "empty response"
+  | toks -> (
+    try
+      match toks with
+      | [ "ok"; "delay"; td; sout ] ->
+        Ok (Ok_delay (float_tok "td" td, float_tok "sout" sout))
+      | [ "ok"; "slew"; sout ] -> Ok (Ok_slew (float_tok "sout" sout))
+      | "ok" :: "pdf" :: n :: rest ->
+        let n = int_tok "n" n in
+        let pairs = Array.of_list (take_pairs "pdf" [] rest) in
+        if Array.length pairs <> n then
+          bad "pdf: header says %d pairs, line carries %d" n
+            (Array.length pairs)
+        else Ok (Ok_pdf pairs)
+      | "ok" :: "sta" :: n :: rest ->
+        let n = int_tok "n" n in
+        let rows = take_rows [] rest in
+        if List.length rows <> n then
+          bad "sta: header says %d rows, line carries %d" n (List.length rows)
+        else Ok (Ok_sta rows)
+      | "ok" :: "stats" :: kvs -> Ok (Ok_stats (List.map kv_of kvs))
+      | [ "ok"; "pong" ] -> Ok Ok_pong
+      | [ "ok"; "bye" ] -> Ok Ok_bye
+      | "err" :: kind :: rest ->
+        Ok (Err (error_kind_of kind, String.concat " " rest))
+      | verb :: _ -> Error (Printf.sprintf "unrecognized response %S" verb)
+      | [] -> Error "empty response"
+    with Bad m -> Error m)

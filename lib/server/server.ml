@@ -1,0 +1,310 @@
+(* Accept loop + per-connection threads over a shared Engine.
+
+   Drain discipline: [request_stop] flips the stopping flag and wakes
+   the accept loop with a throwaway connection; [wait] then joins the
+   accept thread, half-closes every live connection's receive side
+   (unblocking readers without cutting off a response in flight) and
+   joins the handlers.  A handler finishes its current request and
+   flushes the reply before it notices the flag, so stopping never
+   truncates an answer. *)
+
+module Harness = Slc_cell.Harness
+module Telemetry = Slc_obs.Telemetry
+module Slc_error = Slc_obs.Slc_error
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_to_string = function
+  | Unix_socket path -> Printf.sprintf "unix:%s" path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let endpoint_of_string s =
+  let host_port hp =
+    match String.rindex_opt hp ':' with
+    | None -> Error (Printf.sprintf "endpoint %S: expected HOST:PORT" s)
+    | Some i -> (
+      let host = String.sub hp 0 i in
+      let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "endpoint %S: bad port %S" s port))
+  in
+  match String.index_opt s ':' with
+  | Some 4 when String.sub s 0 4 = "unix" ->
+    Ok (Unix_socket (String.sub s 5 (String.length s - 5)))
+  | Some 3 when String.sub s 0 3 = "tcp" ->
+    host_port (String.sub s 4 (String.length s - 4))
+  | Some _ -> host_port s
+  | None ->
+    if String.contains s '/' then Ok (Unix_socket s)
+    else Error (Printf.sprintf "endpoint %S: want unix:PATH or tcp:HOST:PORT" s)
+
+(* ----------------------------------------------------------------- *)
+(* Per-connection state: request count and latency reservoir for the
+   p50/p99 the [stats] request reports. *)
+
+type conn_stats = {
+  mutable requests : int;
+  mutable errors : int;
+  mutable lat_s : float array;  (* seconds, first [nlat] live *)
+  mutable nlat : int;
+  opened_counters : Telemetry.snapshot;
+  opened_sims : int;
+}
+
+let new_conn_stats () =
+  {
+    requests = 0;
+    errors = 0;
+    lat_s = Array.make 64 0.0;
+    nlat = 0;
+    opened_counters = Telemetry.snapshot ();
+    opened_sims = Harness.sim_count ();
+  }
+
+let record_latency cs dt =
+  if cs.nlat = Array.length cs.lat_s then begin
+    let bigger = Array.make (2 * cs.nlat) 0.0 in
+    Array.blit cs.lat_s 0 bigger 0 cs.nlat;
+    cs.lat_s <- bigger
+  end;
+  cs.lat_s.(cs.nlat) <- dt;
+  cs.nlat <- cs.nlat + 1
+
+let percentile_us cs q =
+  if cs.nlat = 0 then 0.0
+  else begin
+    let a = Array.sub cs.lat_s 0 cs.nlat in
+    Array.sort compare a;
+    let i =
+      int_of_float (Float.round (q *. float_of_int (cs.nlat - 1)))
+    in
+    a.(i) *. 1e6
+  end
+
+let conn_stat_fields cs =
+  let delta =
+    Telemetry.diff ~before:cs.opened_counters ~after:(Telemetry.snapshot ())
+  in
+  let d name = string_of_int (Telemetry.snapshot_value delta name) in
+  [
+    ("requests", string_of_int cs.requests);
+    ("errors", string_of_int cs.errors);
+    ("p50_us", Printf.sprintf "%.1f" (percentile_us cs 0.5));
+    ("p99_us", Printf.sprintf "%.1f" (percentile_us cs 0.99));
+    ("conn_sims", string_of_int (Harness.sim_count () - cs.opened_sims));
+    ("conn_oracle_hits", d "oracle_hits");
+    ("conn_oracle_misses", d "oracle_misses");
+    ("conn_trained_hits", d "trained_hits");
+    ("conn_trained_misses", d "trained_misses");
+  ]
+
+(* ----------------------------------------------------------------- *)
+(* The connection loop, shared by socket handlers and the CLI's local
+   mode.  [`Close] ends the connection, [`Shutdown] additionally stops
+   the whole server. *)
+
+let answer engine cs line =
+  let t0 = Unix.gettimeofday () in
+  let resp, ctl =
+    match Protocol.parse_request line with
+    | Error msg -> (Protocol.Err (Protocol.Parse, msg), `Continue)
+    | Ok req ->
+      let ctl =
+        match req with
+        | Protocol.Quit -> `Close
+        | Protocol.Shutdown -> `Shutdown
+        | _ -> `Continue
+      in
+      let resp =
+        match req with
+        | Protocol.Stats ->
+          Protocol.Ok_stats (conn_stat_fields cs @ Engine.stats engine)
+        | req -> Engine.exec engine req
+      in
+      (resp, ctl)
+  in
+  cs.requests <- cs.requests + 1;
+  Telemetry.incr Telemetry.server_requests;
+  (match resp with
+  | Protocol.Err _ ->
+    cs.errors <- cs.errors + 1;
+    Telemetry.incr Telemetry.server_errors
+  | _ -> ());
+  record_latency cs (Unix.gettimeofday () -. t0);
+  (Protocol.format_response resp, ctl)
+
+let serve_loop ~stopping ~on_shutdown engine ic oc =
+  let cs = new_conn_stats () in
+  let rec loop () =
+    if Atomic.get stopping then ()
+    else
+      match input_line ic with
+      | exception (End_of_file | Sys_error _) -> ()
+      | line ->
+        if String.trim line = "" then loop ()
+        else begin
+          let reply, ctl = answer engine cs line in
+          (match
+             output_string oc reply;
+             output_char oc '\n';
+             flush oc
+           with
+          | () -> ()
+          | exception Sys_error _ -> ());
+          match ctl with
+          | `Close -> ()
+          | `Shutdown -> on_shutdown ()
+          | `Continue -> loop ()
+        end
+  in
+  loop ()
+
+let serve_channels engine ic oc =
+  serve_loop
+    ~stopping:(Atomic.make false)
+    ~on_shutdown:(fun () -> ())
+    engine ic oc
+
+(* ----------------------------------------------------------------- *)
+(* The daemon *)
+
+type t = {
+  engine : Engine.t;
+  listen_fd : Unix.file_descr;
+  ep : endpoint;  (* as bound: TCP port resolved *)
+  stopping : bool Atomic.t;
+  lock : Mutex.t;  (* guards [conns] *)
+  mutable conns : (Unix.file_descr * Thread.t) list;
+  mutable accepter : Thread.t option;
+}
+
+let endpoint t = t.ep
+
+let unlink_quiet path =
+  try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) ->
+      Slc_error.invalid_input ~site:"Server.start"
+        (Printf.sprintf "cannot resolve host %S" host))
+
+let request_stop t =
+  if Atomic.compare_and_set t.stopping false true then begin
+    (* Wake the accept loop with a throwaway connection; if the listen
+       socket is already gone the loop has already noticed. *)
+    try
+      let domain, addr =
+        match t.ep with
+        | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+        | Tcp (_, port) ->
+          (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      in
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> Unix.connect fd addr)
+    with Unix.Unix_error _ -> ()
+  end
+
+let handle t fd =
+  Telemetry.incr Telemetry.server_connections;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () ->
+      (try flush oc with Sys_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* A handler must never take the process down: I/O races during
+         shutdown (reads from a half-closed socket) surface as spurious
+         exceptions that only this connection cares about. *)
+      try
+        serve_loop ~stopping:t.stopping
+          ~on_shutdown:(fun () -> request_stop t)
+          t.engine ic oc
+      with _ -> ())
+
+let rec accept_loop t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
+    if Atomic.get t.stopping then () else accept_loop t
+  | exception Unix.Unix_error _ -> ()
+  | fd, _addr ->
+    if Atomic.get t.stopping then (
+      (try Unix.close fd with Unix.Unix_error _ -> ()))
+    else begin
+      let th = Thread.create (fun () -> handle t fd) () in
+      Mutex.lock t.lock;
+      t.conns <- (fd, th) :: t.conns;
+      Mutex.unlock t.lock;
+      accept_loop t
+    end
+
+let start ?(backlog = 16) engine ep =
+  (* A client that disconnects mid-response must cost EPIPE, not the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listen_fd, ep =
+    match ep with
+    | Unix_socket path ->
+      unlink_quiet path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd backlog;
+      (fd, Unix_socket path)
+    | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+      Unix.listen fd backlog;
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Tcp (host, port))
+  in
+  let t =
+    {
+      engine;
+      listen_fd;
+      ep;
+      stopping = Atomic.make false;
+      lock = Mutex.create ();
+      conns = [];
+      accepter = None;
+    }
+  in
+  t.accepter <- Some (Thread.create accept_loop t);
+  t
+
+let wait t =
+  (match t.accepter with Some th -> Thread.join th | None -> ());
+  Mutex.lock t.lock;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.lock;
+  (* Half-close: blocked readers see end-of-file, but a response still
+     being written goes out whole. *)
+  List.iter
+    (fun (fd, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    conns;
+  let self = Thread.id (Thread.self ()) in
+  List.iter
+    (fun (_, th) -> if Thread.id th <> self then Thread.join th)
+    conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  match t.ep with Unix_socket path -> unlink_quiet path | Tcp _ -> ()
+
+let stop t =
+  request_stop t;
+  wait t

@@ -1,0 +1,55 @@
+(** The [slc serve] daemon: an accept loop on a Unix-domain or TCP
+    socket, one thread per connection, every request answered through a
+    shared resident {!Engine.t}.
+
+    The same dispatch loop also runs directly over a channel pair
+    ({!serve_channels}) — the CLI's local [slc query] mode — so a
+    served response line is byte-for-byte the line the one-shot CLI
+    prints for the same request.
+
+    Shutdown is {e draining}: {!stop} stops accepting, lets every
+    in-flight request finish and flush its response, then closes the
+    connections and returns. *)
+
+type endpoint =
+  | Unix_socket of string  (** filesystem path *)
+  | Tcp of string * int    (** host, port (port 0 = ephemeral) *)
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], a bare path containing ['/'], or
+    a bare ["HOST:PORT"]. *)
+
+val endpoint_to_string : endpoint -> string
+
+type t
+
+val start : ?backlog:int -> Engine.t -> endpoint -> t
+(** Binds, listens and spawns the accept thread; returns immediately.
+    A Unix-socket path is unlinked first (and again on {!stop}); a TCP
+    endpoint with port 0 is bound ephemerally — read the real port
+    back with {!endpoint}.  Raises {!Slc_obs.Slc_error.Invalid_input}
+    for an unresolvable host, [Unix.Unix_error] for bind failures. *)
+
+val endpoint : t -> endpoint
+(** The endpoint actually bound (TCP port resolved). *)
+
+val request_stop : t -> unit
+(** Asks the server to stop: no new connections are accepted and every
+    connection closes once its current request (if any) is answered.
+    Non-blocking and idempotent — safe to call from a connection
+    handler (the [shutdown] request) or a signal handler. *)
+
+val wait : t -> unit
+(** Blocks until the server has fully stopped: accept thread joined,
+    in-flight requests drained, connections and listen socket closed,
+    Unix-socket path unlinked. *)
+
+val stop : t -> unit
+(** {!request_stop} + {!wait}. *)
+
+val serve_channels : Engine.t -> in_channel -> out_channel -> unit
+(** Runs the connection loop over an arbitrary channel pair: reads one
+    request per line until end-of-file or [quit]/[shutdown], writes
+    exactly one response line per request and flushes after each.
+    This is the socket handler's own loop — the CLI's local mode goes
+    through it to make local and served responses identical. *)

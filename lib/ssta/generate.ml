@@ -10,6 +10,18 @@ type design = {
 
 let default_cells = [| Cells.inv; Cells.nand2; Cells.nor2 |]
 
+(* One exponentially distributed wire load.  The uniform draw is forced
+   into (0, 1] before the log: [Rng.float] is specified as [0, 1), so
+   [1.0 -. u] is already positive today, but a generator whose draw can
+   reach (or round to) 1.0 would make [log 0.0 = -inf] — an infinite
+   cap that poisons every downstream arrival.  The clamp is the
+   identity for every value the current generator produces, so existing
+   seeds keep their bitwise designs. *)
+let wire_cap_draw r ~mean =
+  let u = 1.0 -. Rng.float r in
+  let u = if u > 0.0 then u else Float.min_float in
+  -.mean *. log u
+
 let design ?(inputs = 32) ?(cells = default_cells) ?(mean_wire_cap = 0.5e-15)
     ?(out_load = 2.0e-15) tech ~vdd ~seed ~gates =
   if inputs <= 0 then
@@ -50,8 +62,7 @@ let design ?(inputs = 32) ?(cells = default_cells) ?(mean_wire_cap = 0.5e-15)
           (pin, nets.(d)))
         cell.Cells.inputs
     in
-    (* Exponentially distributed wire load with the given mean. *)
-    let wire_cap = -.mean_wire_cap *. log (1.0 -. Rng.float r) in
+    let wire_cap = wire_cap_draw r ~mean:mean_wire_cap in
     let out = Sdag.gate dag cell ~pins ~wire_cap (Printf.sprintf "g%d" gi) in
     nets.(!avail) <- out;
     incr avail

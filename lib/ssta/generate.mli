@@ -39,6 +39,13 @@ val design :
     primary output.  Raises through {!Slc_obs.Slc_error} on
     non-positive sizes or a negative wire-cap mean. *)
 
+val wire_cap_draw : Slc_prob.Rng.t -> mean:float -> float
+(** One wire-load draw: exponentially distributed with the given mean,
+    always finite — the uniform draw behind it is clamped into (0, 1]
+    so a generator returning its upper endpoint can never produce
+    [log 0.0 = -inf] (an infinite cap would poison every downstream
+    arrival).  Exposed for the regression test pinning that bound. *)
+
 val both_edges : at:float -> slew:float -> Sdag.arrival
 (** An arrival with identical rising and falling edges — the usual
     primary-input condition for whole-design passes. *)

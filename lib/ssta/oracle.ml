@@ -10,15 +10,37 @@ type t = {
   label : string;
 }
 
+(* The per-oracle arc memo is queried concurrently: a levelized
+   parallel timing pass ([Sdag.forward_compiled]) calls [oracle.query]
+   from every pool domain on shard-cache misses, and the long-lived
+   characterization server answers many connections against one oracle
+   value.  The table is therefore mutex-guarded with
+   first-publication-wins insertion; [build] runs OUTSIDE the lock —
+   predictor training costs simulations (possibly through the worker
+   pool itself) and must not serialize on it.  Builds are deterministic,
+   so a losing build produces the same value the winner published and
+   discarding it never changes results. *)
 let memo_by_arc build =
   let table : (string, 'a) Hashtbl.t = Hashtbl.create 16 in
+  let lock = Mutex.create () in
   fun arc ->
     let key = Arc.name arc in
-    match Hashtbl.find_opt table key with
+    Mutex.lock lock;
+    let hit = Hashtbl.find_opt table key in
+    Mutex.unlock lock;
+    match hit with
     | Some v -> v
     | None ->
       let v = build arc in
-      Hashtbl.add table key v;
+      Mutex.lock lock;
+      let v =
+        match Hashtbl.find_opt table key with
+        | Some first -> first
+        | None ->
+          Hashtbl.add table key v;
+          v
+      in
+      Mutex.unlock lock;
       v
 
 let of_predictors ~label build =

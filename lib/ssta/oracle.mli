@@ -15,7 +15,14 @@ val of_predictors :
   (Slc_cell.Arc.t -> Slc_core.Char_flow.predictor) ->
   t
 (** Backed by per-arc predictors (e.g. {!Slc_core.Char_flow.train_bayes});
-    the function is called once per distinct arc and memoized. *)
+    the function is called once per distinct arc and memoized.
+
+    The memo table is domain-safe: concurrent queries (the levelized
+    parallel timing pass, the characterization server) publish
+    first-build-wins under a mutex, with the build itself running
+    outside the lock.  Builds must be deterministic — concurrent misses
+    on the same arc may build more than once, and every caller then
+    sees the single published value. *)
 
 val of_library : Slc_cell.Library.t -> t
 (** Backed by interpolated NLDM tables; raises [Not_found] when queried

@@ -1,0 +1,528 @@
+(* Characterization-server tests: protocol round-trips, local-vs-socket
+   bitwise parity, concurrent clients, malformed-request handling,
+   draining shutdown, and the Telemetry snapshot/diff API the server's
+   per-connection stats are built on.
+
+   Engines are built with injected synthetic banks (pure, deterministic,
+   zero simulator runs) so the suite exercises the server machinery, not
+   the characterization flow; the CI serve-smoke job covers the real
+   warm/cold = zero-simulation contract end to end. *)
+
+module Protocol = Slc_server.Protocol
+module Engine = Slc_server.Engine
+module Server = Slc_server.Server
+module Oracle = Slc_ssta.Oracle
+module Arc = Slc_cell.Arc
+module Harness = Slc_cell.Harness
+module Telemetry = Slc_obs.Telemetry
+
+(* ----------------------------------------------------------------- *)
+(* Helpers *)
+
+(* A pure, deterministic stand-in bank: answers depend on the arc name,
+   [k] and the query point, so distinct requests get distinct replies
+   and repeats are bit-identical.  [queries] counts oracle entries —
+   the cache-hit analog of "simulator runs" for these tests. *)
+let fake_bank ?(delay_s = 0.0) ~builds ~queries () tech ~k =
+  ignore tech;
+  Atomic.incr builds;
+  {
+    Oracle.label = "fake";
+    query =
+      (fun arc pt ->
+        Atomic.incr queries;
+        if delay_s > 0.0 then Thread.delay delay_s;
+        let base = float_of_int (String.length (Arc.name arc) + k) in
+        ( (base *. 1e-12) +. (0.5 *. pt.Harness.sin)
+          +. (pt.Harness.cload /. 1e-3),
+          (base *. 2e-12) +. (0.25 *. pt.Harness.sin) ));
+  }
+
+let fresh_engine ?delay_s () =
+  let builds = Atomic.make 0 in
+  let queries = Atomic.make 0 in
+  let engine =
+    Engine.create ~bank:(fake_bank ?delay_s ~builds ~queries ()) ()
+  in
+  (engine, builds, queries)
+
+(* Run request lines through the CLI's local mode (serve_channels over
+   temp files) and return the response lines. *)
+let run_local engine lines =
+  let req_path = Filename.temp_file "slc_server_req" ".txt" in
+  let resp_path = Filename.temp_file "slc_server_resp" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove req_path with Sys_error _ -> ());
+      try Sys.remove resp_path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text req_path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines);
+      In_channel.with_open_text req_path (fun ic ->
+          Out_channel.with_open_text resp_path (fun oc ->
+              Server.serve_channels engine ic oc));
+      In_channel.with_open_text resp_path In_channel.input_lines)
+
+let temp_sock_path () =
+  let path = Filename.temp_file "slc_srv" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server engine f =
+  let path = temp_sock_path () in
+  let srv = Server.start engine (Server.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f path)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One request/response exchange on an open connection. *)
+let exchange ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+(* Open a connection, send every line, collect replies until the server
+   closes or the lines run out. *)
+let run_socket path lines =
+  let fd, ic, oc = connect path in
+  Fun.protect
+    ~finally:(fun () -> close_quiet fd)
+    (fun () ->
+      List.filter_map
+        (fun line ->
+          match exchange ic oc line with
+          | reply -> Some reply
+          | exception (End_of_file | Sys_error _) -> None)
+        lines)
+
+(* A request battery touching every verb and both error kinds.  sta
+   runs over a temp netlist through the fake bank. *)
+let battery netlist =
+  [
+    "ping";
+    "delay n14 INV A fall 3 5e-12 2e-15 0.8";
+    "slew n14 NAND2 B rise 2 4e-12 1e-15 0.9";
+    "delay n14 INV A fall 3 5e-12 2e-15 0.8";
+    "sta n28 2 6e-11 " ^ netlist;
+    "delay nope INV A fall 3 5e-12 2e-15 0.8";
+    "delay n14 INV A fall 3 junk 2e-15 0.8";
+    "frobnicate all the things";
+    "quit";
+  ]
+
+let with_netlist f =
+  let path = Filename.temp_file "slc_server_net" ".v" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc
+        "module chain (a, b, out);\n\
+        \  input a, b;\n\
+        \  output out;\n\
+        \  wire n1, n2;\n\
+        \  NAND2 u1 (.A(a), .B(b), .Y(n1));\n\
+        \  INV   u2 (.A(n1), .Y(n2));\n\
+        \  INV   u3 (.A(n2), .Y(out));\n\
+         endmodule\n");
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let lines = Alcotest.(list string)
+
+(* ----------------------------------------------------------------- *)
+(* Protocol round-trips *)
+
+let sample_requests =
+  [
+    Protocol.Ping;
+    Protocol.Quit;
+    Protocol.Shutdown;
+    Protocol.Stats;
+    Protocol.Delay
+      {
+        q_tech = "n14";
+        q_cell = "INV";
+        q_pin = "A";
+        q_dir = Arc.Fall;
+        q_k = 3;
+        q_point = { Harness.sin = 5.3e-12; cload = 2.7e-15; vdd = 0.8125 };
+      };
+    Protocol.Slew
+      {
+        q_tech = "n28";
+        q_cell = "NAND2";
+        q_pin = "B";
+        q_dir = Arc.Rise;
+        q_k = 7;
+        q_point = { Harness.sin = 1.0 /. 3.0; cload = 0.1; vdd = 1.0 };
+      };
+    Protocol.Pdf
+      {
+        p_tech = "n28";
+        p_cell = "INV";
+        p_pin = "A";
+        p_dir = Arc.Fall;
+        p_method = "bayes";
+        p_k = 3;
+        p_seeds = 12;
+        p_rng = 42;
+        p_grid = 33;
+        p_point = { Harness.sin = 6e-12; cload = 3e-15; vdd = 0.75 };
+      };
+    Protocol.Sta
+      { s_tech = "n14"; s_k = 2; s_clock = 6.1e-11; s_netlist = "/tmp/x.v" };
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let line = Protocol.format_request req in
+      match Protocol.parse_request line with
+      | Ok req' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" line)
+          true (req = req')
+      | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" line m))
+    sample_requests
+
+let sample_responses =
+  [
+    Protocol.Ok_pong;
+    Protocol.Ok_bye;
+    Protocol.Ok_delay (1.0 /. 3.0 *. 1e-12, Float.min_float);
+    Protocol.Ok_slew 4.25e-12;
+    Protocol.Ok_pdf [| (1e-12, 0.5); (2e-12, 1.5); (3e-12, 0.25) |];
+    Protocol.Ok_sta
+      [ ("out", 6e-11, 6.1e-11, 1e-12); ("n1", 3e-11, Float.infinity, 1.0) ];
+    Protocol.Ok_stats [ ("requests", "4"); ("p50_us", "12.5") ];
+    Protocol.Err (Protocol.Parse, "unknown request \"bogus\"");
+    Protocol.Err (Protocol.Domain, "unknown technology \"nope\"");
+    Protocol.Err (Protocol.Internal, "multi\nline\rmessage");
+  ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let line = Protocol.format_response resp in
+      Alcotest.(check bool)
+        (Printf.sprintf "single line: %s" line)
+        false
+        (String.contains line '\n');
+      match Protocol.parse_response line with
+      | Ok resp' ->
+        (* The one lossy case by design: newlines in error text are
+           flattened to keep the framing. *)
+        let expect =
+          match resp with
+          | Protocol.Err (k, m) ->
+            Protocol.Err
+              (k, String.map (function '\n' | '\r' -> ' ' | c -> c) m)
+          | r -> r
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" line)
+          true (expect = resp')
+      | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" line m))
+    sample_responses
+
+let test_parse_rejects () =
+  List.iter
+    (fun line ->
+      match Protocol.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" line))
+    [
+      "";
+      "   ";
+      "frobnicate";
+      "delay n14 INV A fall";
+      "delay n14 INV A sideways 3 1e-12 1e-15 0.8";
+      "delay n14 INV A fall 3 junk 1e-15 0.8";
+      "delay n14 INV A fall 3.5 1e-12 1e-15 0.8";
+      "pdf n28 INV A fall bayes 3 12 42 1e-12 1e-15 0.8";
+      "ping extra";
+      "stats now";
+    ]
+
+(* ----------------------------------------------------------------- *)
+(* Engine dispatch *)
+
+let test_engine_dispatch () =
+  let engine, builds, queries = fresh_engine () in
+  let delay_req =
+    Protocol.Delay
+      {
+        q_tech = "n14";
+        q_cell = "INV";
+        q_pin = "A";
+        q_dir = Arc.Fall;
+        q_k = 3;
+        q_point = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 };
+      }
+  in
+  (match Engine.exec engine delay_req with
+  | Protocol.Ok_delay (td, sout) ->
+    Alcotest.(check bool) "finite" true (Float.is_finite td && Float.is_finite sout)
+  | r -> Alcotest.fail (Protocol.format_response r));
+  let first = Engine.exec engine delay_req in
+  let q_after_first = Atomic.get queries in
+  (* Warm repeat: the (tech, k) bank is reused and the exact query
+     cache answers without re-entering the oracle — the test-scale
+     version of "a second identical request costs zero simulations". *)
+  let second = Engine.exec engine delay_req in
+  Alcotest.(check bool) "bitwise equal warm answer" true (first = second);
+  Alcotest.(check int) "one bank build" 1 (Atomic.get builds);
+  Alcotest.(check int) "no new oracle entry" q_after_first (Atomic.get queries);
+  (* Errors come back typed, never raised. *)
+  (match
+     Engine.exec engine
+       (Protocol.Sta
+          { s_tech = "n14"; s_k = 2; s_clock = 1e-10; s_netlist = "/nope.v" })
+   with
+  | Protocol.Err (Protocol.Domain, _) -> ()
+  | r -> Alcotest.fail ("want err domain, got " ^ Protocol.format_response r));
+  match
+    Engine.exec engine
+      (Protocol.Delay
+         {
+           q_tech = "n14";
+           q_cell = "INV";
+           q_pin = "Z";
+           q_dir = Arc.Fall;
+           q_k = 3;
+           q_point = { Harness.sin = 5e-12; cload = 2e-15; vdd = 0.8 };
+         })
+  with
+  | Protocol.Err (Protocol.Domain, _) -> ()
+  | r -> Alcotest.fail ("want err domain, got " ^ Protocol.format_response r)
+
+(* ----------------------------------------------------------------- *)
+(* Socket server *)
+
+let test_socket_matches_local () =
+  with_netlist (fun netlist ->
+      let local_engine, _, _ = fresh_engine () in
+      let local = run_local local_engine (battery netlist) in
+      let served_engine, _, _ = fresh_engine () in
+      let served =
+        with_server served_engine (fun path -> run_socket path (battery netlist))
+      in
+      Alcotest.check lines
+        "served responses bitwise equal local one-shot responses" local served;
+      (* Sanity on shape: every reply is ok or err, errors are typed. *)
+      List.iter
+        (fun l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "framed reply: %s" l)
+            true
+            (String.length l > 3
+            && (String.sub l 0 3 = "ok " || String.sub l 0 4 = "err ")))
+        served)
+
+let test_concurrent_clients () =
+  with_netlist (fun netlist ->
+      let reqs = battery netlist in
+      let engine, _, _ = fresh_engine ~delay_s:0.002 () in
+      with_server engine (fun path ->
+          (* Sequential pass first: warms the engine memo and fixes the
+             reference answers.  The concurrent clients must then each
+             see exactly this transcript, bit for bit. *)
+          let reference = run_socket path reqs in
+          let n = 6 in
+          let results = Array.make n [] in
+          let threads =
+            List.init n (fun i ->
+                Thread.create
+                  (fun () -> results.(i) <- run_socket path reqs)
+                  ())
+          in
+          List.iter Thread.join threads;
+          Array.iteri
+            (fun i r ->
+              Alcotest.check lines
+                (Printf.sprintf "client %d sees the sequential answers" i)
+                reference r)
+            results))
+
+let test_malformed_then_usable () =
+  let engine, _, _ = fresh_engine () in
+  with_server engine (fun path ->
+      let fd, ic, oc = connect path in
+      Fun.protect
+        ~finally:(fun () -> close_quiet fd)
+        (fun () ->
+          let r1 = exchange ic oc "utter nonsense" in
+          Alcotest.(check bool)
+            "typed parse error" true
+            (String.length r1 >= 9 && String.sub r1 0 9 = "err parse");
+          let r2 = exchange ic oc "delay n14 INV A fall 3 junk 2e-15 0.8" in
+          Alcotest.(check bool)
+            "typed parse error with detail" true
+            (String.length r2 >= 9 && String.sub r2 0 9 = "err parse");
+          let r3 = exchange ic oc "delay nope INV A fall 3 5e-12 2e-15 0.8" in
+          Alcotest.(check bool)
+            "typed domain error" true
+            (String.length r3 >= 10 && String.sub r3 0 10 = "err domain");
+          (* The connection survived all three. *)
+          Alcotest.(check string) "still usable" "ok pong" (exchange ic oc "ping")))
+
+let test_per_connection_stats () =
+  let engine, _, _ = fresh_engine () in
+  with_server engine (fun path ->
+      let stats_field reply name =
+        match Protocol.parse_response reply with
+        | Ok (Protocol.Ok_stats kvs) -> List.assoc_opt name kvs
+        | _ -> Alcotest.fail ("not a stats reply: " ^ reply)
+      in
+      let fd1, ic1, oc1 = connect path in
+      let fd2, ic2, oc2 = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          close_quiet fd1;
+          close_quiet fd2)
+        (fun () ->
+          ignore (exchange ic1 oc1 "ping");
+          ignore (exchange ic1 oc1 "ping");
+          ignore (exchange ic1 oc1 "bogus");
+          let s1 = exchange ic1 oc1 "stats" in
+          (* Counted before the stats request itself lands. *)
+          Alcotest.(check (option string))
+            "conn1 requests" (Some "3") (stats_field s1 "requests");
+          Alcotest.(check (option string))
+            "conn1 errors" (Some "1") (stats_field s1 "errors");
+          let s2 = exchange ic2 oc2 "stats" in
+          Alcotest.(check (option string))
+            "conn2 starts fresh" (Some "0") (stats_field s2 "requests");
+          Alcotest.(check bool)
+            "latency percentiles present" true
+            (stats_field s1 "p50_us" <> None && stats_field s1 "p99_us" <> None);
+          Alcotest.(check (option string))
+            "no sims through the fake bank" (Some "0")
+            (stats_field s1 "conn_sims")))
+
+let test_stop_drains_in_flight () =
+  let engine, _, _ = fresh_engine ~delay_s:0.3 () in
+  let path = temp_sock_path () in
+  let srv = Server.start engine (Server.Unix_socket path) in
+  let fd, ic, oc = connect path in
+  Fun.protect
+    ~finally:(fun () -> close_quiet fd)
+    (fun () ->
+      output_string oc "delay n14 INV A fall 3 5e-12 2e-15 0.8\n";
+      flush oc;
+      (* Let the handler get into the slow oracle call, then stop. *)
+      Thread.delay 0.1;
+      let t0 = Unix.gettimeofday () in
+      Server.stop srv;
+      let stop_took = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        "stop blocked for the in-flight request" true (stop_took > 0.05);
+      (* The response was written whole before the connection closed. *)
+      (match input_line ic with
+      | reply ->
+        Alcotest.(check bool)
+          "drained reply is complete" true
+          (String.length reply > 9 && String.sub reply 0 9 = "ok delay ")
+      | exception End_of_file -> Alcotest.fail "reply lost in shutdown");
+      match input_line ic with
+      | _ -> Alcotest.fail "connection should be closed after drain"
+      | exception End_of_file -> ())
+
+let test_shutdown_request_stops_server () =
+  let engine, _, _ = fresh_engine () in
+  let path = temp_sock_path () in
+  let srv = Server.start engine (Server.Unix_socket path) in
+  let fd, ic, oc = connect path in
+  let reply = exchange ic oc "shutdown" in
+  Alcotest.(check string) "acknowledged" "ok bye" reply;
+  close_quiet fd;
+  (* wait returns because the shutdown request stopped the server. *)
+  Server.wait srv;
+  match connect path with
+  | fd, _, _ ->
+    close_quiet fd;
+    Alcotest.fail "server still accepting after shutdown"
+  | exception Unix.Unix_error _ -> ()
+
+(* ----------------------------------------------------------------- *)
+(* Telemetry snapshots (the per-connection stats substrate) *)
+
+let test_telemetry_snapshot_diff () =
+  let was_on = Telemetry.on () in
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_on then Telemetry.disable ())
+    (fun () ->
+      let before = Telemetry.snapshot () in
+      Telemetry.incr Telemetry.oracle_hits;
+      Telemetry.incr Telemetry.oracle_hits;
+      Telemetry.incr Telemetry.server_requests;
+      let after = Telemetry.snapshot () in
+      let d = Telemetry.diff ~before ~after in
+      Alcotest.(check int) "oracle_hits delta" 2
+        (Telemetry.snapshot_value d "oracle_hits");
+      Alcotest.(check int) "server_requests delta" 1
+        (Telemetry.snapshot_value d "server_requests");
+      Alcotest.(check int) "untouched counter" 0
+        (Telemetry.snapshot_value d "store_hits");
+      Alcotest.(check int) "unknown name reads 0" 0
+        (Telemetry.snapshot_value d "no_such_counter");
+      (* A counter missing from [before] (older snapshot) diffs vs 0. *)
+      let d0 = Telemetry.diff ~before:[] ~after in
+      Alcotest.(check int) "missing-from-before falls back to absolute"
+        (Telemetry.snapshot_value after "oracle_hits")
+        (Telemetry.snapshot_value d0 "oracle_hits"))
+
+let test_telemetry_dump_json () =
+  let json = Telemetry.dump_json () in
+  let has needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counters section" true (has "\"counters\"");
+  Alcotest.(check bool) "new server counters present" true
+    (has "\"server_requests\"" && has "\"server_connections\"");
+  Alcotest.(check bool) "spans section" true (has "\"spans\"");
+  Alcotest.(check bool) "object closed" true
+    (String.length json > 3 && String.sub json (String.length json - 2) 2 = "}\n")
+
+let () =
+  Alcotest.run "slc_server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "malformed requests rejected" `Quick
+            test_parse_rejects;
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "dispatch and memo" `Quick test_engine_dispatch ] );
+      ( "server",
+        [
+          Alcotest.test_case "socket = local, bitwise" `Quick
+            test_socket_matches_local;
+          Alcotest.test_case "concurrent clients agree" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "malformed then usable" `Quick
+            test_malformed_then_usable;
+          Alcotest.test_case "per-connection stats" `Quick
+            test_per_connection_stats;
+          Alcotest.test_case "stop drains in-flight" `Quick
+            test_stop_drains_in_flight;
+          Alcotest.test_case "shutdown request" `Quick
+            test_shutdown_request_stops_server;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "snapshot/diff" `Quick test_telemetry_snapshot_diff;
+          Alcotest.test_case "dump_json" `Quick test_telemetry_dump_json;
+        ] );
+    ]

@@ -172,6 +172,69 @@ let test_oracle_query_cache () =
     (Slc_obs.Slc_error.Invalid_input (Slc_obs.Slc_error.invalid ~site:"Oracle.make_cache" "bucket <= 0")) (fun () ->
       ignore (Oracle.make_cache ~slew_bucket:0.0 ()))
 
+(* Regression for the [memo_by_arc] data race: every predictor-backed
+   oracle memoizes per arc in one table, and a levelized parallel
+   forward pass queries it from every pool domain at once on shard-cache
+   misses (as does the characterization server from its connection
+   threads).  The unguarded Hashtbl this memo used to be is a racing
+   write TSan flags; hammer a cold memo from a deliberately
+   oversubscribed parallel map and check the published answers are the
+   deterministic build values, that at least one build ran per arc, and
+   that the memo really memoizes once warm (concurrent-miss losers are
+   allowed — first publication wins — but a warm table must not build
+   again). *)
+let test_oracle_memo_concurrent_miss () =
+  let builds = Atomic.make 0 in
+  let oracle =
+    Oracle.of_predictors ~label:"const" (fun arc ->
+        Atomic.incr builds;
+        (* Widen the miss window so concurrent first queries overlap
+           inside the build, not just around it. *)
+        let spin = ref 0 in
+        for _ = 1 to 50_000 do
+          incr spin
+        done;
+        ignore (Sys.opaque_identity !spin);
+        let base = float_of_int (String.length (Arc.name arc)) in
+        {
+          Char_flow.label = "const";
+          train_cost = 0;
+          model = Char_flow.Opaque;
+          predict_td = (fun p -> base +. p.Harness.sin);
+          predict_sout = (fun p -> base +. p.Harness.cload);
+        })
+  in
+  let arcs =
+    [|
+      Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Fall;
+      Arc.find Cells.nand2 ~pin:"A" ~out_dir:Arc.Fall;
+      Arc.find Cells.nor2 ~pin:"B" ~out_dir:Arc.Fall;
+      Arc.find Cells.inv ~pin:"A" ~out_dir:Arc.Rise;
+    |]
+  in
+  let p = { Harness.sin; cload = 2e-15; vdd } in
+  let queries = Array.init 64 (fun i -> arcs.(i mod Array.length arcs)) in
+  let got =
+    Slc_num.Parallel.map ~domains:4 ~chunk:1
+      (fun a -> oracle.Oracle.query a p)
+      queries
+  in
+  Array.iteri
+    (fun i a ->
+      let td, so = got.(i) in
+      let base = float_of_int (String.length (Arc.name a)) in
+      Alcotest.(check (float 0.0)) "td is the built value" (base +. sin) td;
+      Alcotest.(check (float 0.0)) "sout is the built value" (base +. 2e-15) so)
+    queries;
+  let raced = Atomic.get builds in
+  Alcotest.(check bool)
+    (Printf.sprintf "each arc built at least once (%d builds)" raced)
+    true
+    (raced >= Array.length arcs);
+  (* Warm memo: re-querying every arc must not build again. *)
+  Array.iter (fun a -> ignore (oracle.Oracle.query a p)) arcs;
+  Alcotest.(check int) "warm memo builds nothing" raced (Atomic.get builds)
+
 (* ------------------------------------------------------------------ *)
 (* Path *)
 
@@ -569,6 +632,25 @@ let test_generate_deterministic () =
        (Slc_obs.Slc_error.invalid ~site:"Generate.design" "gates must be > 0"))
     (fun () -> ignore (Generate.design tech ~vdd ~seed:1 ~gates:0))
 
+(* Every wire-cap draw must be finite for any generator state: the
+   uniform draw behind it is clamped into (0, 1], so even a (future)
+   generator returning its upper endpoint cannot produce [log 0.0].
+   Sweep many seeds and many draws per seed, and pin the clamp bound
+   itself (the largest possible cap is [-mean * log min_float], which
+   is finite). *)
+let test_wire_cap_draw_finite () =
+  let mean = 0.5e-15 in
+  for seed = 0 to 99 do
+    let r = Slc_prob.Rng.create seed in
+    for _ = 1 to 1000 do
+      let c = Generate.wire_cap_draw r ~mean in
+      if not (Float.is_finite c && c >= 0.0) then
+        Alcotest.failf "seed %d drew a non-finite/negative cap %h" seed c
+    done
+  done;
+  Alcotest.(check bool) "clamp bound is finite" true
+    (Float.is_finite (-.mean *. log Float.min_float))
+
 let test_compiled_structure () =
   let dag = Sdag.create tech ~vdd in
   let x = Sdag.input dag "x" in
@@ -702,6 +784,8 @@ let () =
             test_oracle_simulator_matches_harness;
           Alcotest.test_case "library oracle" `Quick test_oracle_library;
           Alcotest.test_case "memoization" `Slow test_oracle_memoizes;
+          Alcotest.test_case "concurrent memo misses" `Quick
+            test_oracle_memo_concurrent_miss;
           Alcotest.test_case "cross-instance trained cache" `Slow
             test_oracle_bank_cross_instance_cache;
           Alcotest.test_case "query cache" `Slow test_oracle_query_cache;
@@ -751,5 +835,7 @@ let () =
       ( "generate",
         [
           Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "wire caps finite" `Quick
+            test_wire_cap_draw_finite;
         ] );
     ]

@@ -287,6 +287,107 @@ let rec r2_scan ctx (e : Typedtree.expression) =
     | Texp_open (_, body) -> r2_scan ctx body
     | _ -> ()
 
+(* R2, escaping-closure extension.  [r2_scan] deliberately skips
+   function bodies: state created per call dies with the call.  That
+   leaves one way per-call state becomes shared state — a factory whose
+   body creates a mutable structure and returns a closure capturing it:
+
+     let memo build =
+       let table = Hashtbl.create 16 in
+       fun x -> … table …
+
+   Every caller of the returned closure then shares [table], across
+   domains, exactly like a toplevel table.  This pass walks {e inside}
+   functions and flags let-chains that create unsynchronized mutable
+   state and end in a [fun].
+
+   Tolerated, by the guarded-memo convention (e.g. [Oracle.memo_by_arc]):
+   a binding anywhere in the same chain — or in an enclosing chain of
+   the same function — whose head is a safe creation ([Mutex.create],
+   [Atomic.make], …), plus the usual [@slc.domain_safe "reason"]
+   annotation.  Chains whose tail returns closures indirectly (a record
+   of closures, a partial application) are a documented blind spot. *)
+
+let creation_head (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (head, _) -> expr_head_name head
+  | _ -> None
+
+let binds_safe_creation (vbs : Typedtree.value_binding list) =
+  List.exists
+    (fun (vb : Typedtree.value_binding) ->
+      match creation_head vb.vb_expr with
+      | Some name -> r2_safe_head name
+      | None -> false)
+    vbs
+
+let rec r2_chain_final (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_let (_, _, body) | Texp_open (_, body) | Texp_sequence (_, body) ->
+    r2_chain_final body
+  | _ -> e
+
+let rec r2_chain_has_safe (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_let (_, vbs, body) -> binds_safe_creation vbs || r2_chain_has_safe body
+  | Texp_open (_, body) | Texp_sequence (_, body) -> r2_chain_has_safe body
+  | _ -> false
+
+let check_r2_escapes ctx (str : Typedtree.structure) =
+  let fun_depth = ref 0 in
+  let safe_scope = ref 0 in
+  let annot_depth = ref 0 in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    let annotated = has_attr "slc.domain_safe" e.exp_attributes in
+    if annotated then incr annot_depth;
+    (match e.exp_desc with
+    | Texp_let (_, vbs, body)
+      when !fun_depth > 0 && !annot_depth = 0 && !safe_scope = 0
+           && not (r2_chain_has_safe e) -> (
+      match (r2_chain_final body).exp_desc with
+      | Texp_function _ ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            if find_annot "slc.domain_safe" vb.vb_attributes = No_annot then
+              match creation_head vb.vb_expr with
+              | Some name when r2_mutable_head name ->
+                report ctx R2 vb.vb_loc
+                  (Printf.sprintf
+                     "mutable state via [%s] is captured by a returned \
+                      closure — it outlives the call and is shared by every \
+                      caller across domains; guard it with a sibling \
+                      Mutex/Atomic in the same chain or annotate \
+                      [@slc.domain_safe \"reason\"]"
+                     name)
+              | _ -> ())
+          vbs
+      | _ -> ())
+    | _ -> ());
+    let enters_fun =
+      match e.exp_desc with Texp_function _ -> true | _ -> false
+    in
+    let adds_safe =
+      match e.exp_desc with
+      | Texp_let (_, vbs, _) -> binds_safe_creation vbs
+      | _ -> false
+    in
+    if enters_fun then incr fun_depth;
+    if adds_safe then incr safe_scope;
+    default.expr sub e;
+    if adds_safe then decr safe_scope;
+    if enters_fun then decr fun_depth;
+    if annotated then decr annot_depth
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    let annotated = find_annot "slc.domain_safe" vb.vb_attributes <> No_annot in
+    if annotated then incr annot_depth;
+    default.value_binding sub vb;
+    if annotated then decr annot_depth
+  in
+  let it = { default with expr; value_binding } in
+  it.structure it str
+
 let rec check_r2_structure ctx (str : Typedtree.structure) =
   List.iter
     (fun (item : Typedtree.structure_item) ->
@@ -539,6 +640,7 @@ let lint_structure ~src ~lib_scope (str : Typedtree.structure) =
   let ctx = { src; lib_scope; findings = [] } in
   check_r1 ctx str;
   check_r2_structure ctx str;
+  check_r2_escapes ctx str;
   check_r3 ctx str;
   check_r4 ctx str;
   List.sort compare_finding ctx.findings

@@ -15,3 +15,35 @@ let[@slc.domain_safe "fixture: guarded elsewhere"] excused :
   Hashtbl.create 4
 
 let per_call () = Hashtbl.create 16
+
+(* Escaping-closure cases: per-call state is fine until a returned
+   closure captures it — then every caller shares it. *)
+
+let leaky_memo () =
+  let cache = Hashtbl.create 8 in
+  fun x -> Hashtbl.replace cache x x
+
+let leaky_counter () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n
+
+let guarded_memo () =
+  let cache = Hashtbl.create 8 in
+  let lock = Mutex.create () in
+  fun x ->
+    Mutex.lock lock;
+    Hashtbl.replace cache x x;
+    Mutex.unlock lock
+
+let excused_memo () =
+  let[@slc.domain_safe "fixture: used from one domain"] cache =
+    Hashtbl.create 8
+  in
+  fun x -> Hashtbl.mem cache x
+
+let local_only x =
+  let scratch = Hashtbl.create 8 in
+  Hashtbl.replace scratch x x;
+  Hashtbl.length scratch

@@ -29,7 +29,8 @@ let test_r1 =
   check_fixture "Fix_r1" [ ("R1", 3); ("R1", 5); ("R1", 7) ]
 
 let test_r2 =
-  check_fixture "Fix_r2" [ ("R2", 3); ("R2", 5); ("R2", 9) ]
+  check_fixture "Fix_r2"
+    [ ("R2", 3); ("R2", 5); ("R2", 9); ("R2", 23); ("R2", 27) ]
 
 let test_r3 =
   check_fixture "Fix_r3" [ ("R3", 3); ("R3", 5); ("R3", 7) ]
