@@ -194,7 +194,7 @@ let characterize_cmd =
             let key =
               Store.predictor_key
                 ~prior_fp:(Store.prior_fingerprint prior)
-                ~tech ~arc ~k ~seed:None
+                ~tech ~arc ~k ~seed:None ()
             in
             match Store.find_predictor st ~key ~tech ~arc with
             | Some p -> p
@@ -440,7 +440,38 @@ let population_cmd =
       value & opt int 42
       & info [ "rng-seed" ] ~doc:"Seed-batch generator seed.")
   in
-  let run tech cell pin nseeds k meth batch rng_seed store_dir =
+  let design_arg =
+    Arg.(
+      value & opt string "curated"
+      & info [ "design" ]
+          ~doc:
+            "Fitting-point design: curated (deterministic grid), random \
+             (per-seed random draws) or adaptive (sequential \
+             information-gain selection with GPR fallback).")
+  in
+  let design_rng_arg =
+    Arg.(
+      value & opt int 78
+      & info [ "design-seed" ]
+          ~doc:"Generator seed for the random/adaptive designs.")
+  in
+  let candidates_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "candidates" ]
+          ~doc:"Adaptive design: candidate pool size per seed.")
+  in
+  let gpr_threshold_arg =
+    Arg.(
+      value
+      & opt float Slc_core.Char_flow.default_gpr_threshold
+      & info [ "gpr-threshold" ]
+          ~doc:
+            "Adaptive design: mean relative-residual threshold above which \
+             a seed's analytical model is replaced by a GPR fallback.")
+  in
+  let run tech cell pin nseeds k meth batch rng_seed design design_seed
+      candidates gpr_threshold store_dir =
     let tech = tech_of_name tech in
     let cell =
       match Cells.by_name cell with
@@ -471,15 +502,34 @@ let population_cmd =
             Printf.eprintf "unknown method %S (want bayes, lse or lut)\n" m;
             exit 2
         in
+        let design =
+          match design with
+          | "curated" -> Statistical.Curated
+          | "random" ->
+            Statistical.Random_per_seed (Slc_prob.Rng.create design_seed)
+          | "adaptive" ->
+            Statistical.Adaptive
+              {
+                (Statistical.adaptive_defaults
+                   (Slc_prob.Rng.create design_seed))
+                with
+                Statistical.a_candidates = candidates;
+                a_gpr_threshold = gpr_threshold;
+              }
+          | d ->
+            Printf.eprintf
+              "unknown design %S (want curated, random or adaptive)\n" d;
+            exit 2
+        in
         let pop =
           match store with
           | None ->
-            Statistical.extract_population_design ~design:Statistical.Curated
-              ~method_ ~tech ~arc ~seeds ~budget:k ()
+            Statistical.extract_population_design ~design ~method_ ~tech ~arc
+              ~seeds ~budget:k ()
           | Some st ->
             let pop, outcome =
               Store.extract_population ~batch_size:batch ~store:st ~method_
-                ~design:Statistical.Curated ~tech ~arc ~seeds ~budget:k ()
+                ~design ~tech ~arc ~seeds ~budget:k ()
             in
             (match outcome with
             | Store.Hit ->
@@ -540,7 +590,8 @@ let population_cmd =
           and zero-simulation replay when --store is given")
     Term.(
       const run $ tech_arg "n28" $ cell_arg $ pin_arg $ seeds_arg $ k_arg
-      $ method_arg $ batch_arg $ rng_arg $ store_arg)
+      $ method_arg $ batch_arg $ rng_arg $ design_arg $ design_rng_arg
+      $ candidates_arg $ gpr_threshold_arg $ store_arg)
 
 let listen_arg =
   let doc =

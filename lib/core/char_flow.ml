@@ -59,6 +59,7 @@ let observations_of_dataset ?(seed = Process.nominal) tech ds ~metric =
 type model =
   | Timing_pair of { td : Timing_model.params; sout : Timing_model.params }
   | Nldm_table of Slc_cell.Nldm.t
+  | Gpr_pair of { td : Gpr.model; sout : Gpr.model }
   | Opaque
 
 type predictor = {
@@ -89,11 +90,28 @@ let table_predictor ~label ~cost table =
     predict_sout = (fun pt -> Nldm.lookup_sout table pt);
   }
 
+(* The closures only read the fitted posteriors (immutable) and call
+   [Gpr.predict] without a workspace, so a predictor may be shared
+   across query threads/domains like the analytical ones. *)
+let gpr_predictor ~label ~cost (f_td : Gpr.t) (f_sout : Gpr.t) =
+  {
+    label;
+    train_cost = cost;
+    model = Gpr_pair { td = Gpr.model f_td; sout = Gpr.model f_sout };
+    predict_td = (fun pt -> Gpr.predict f_td pt);
+    predict_sout = (fun pt -> Gpr.predict f_sout pt);
+  }
+
 let predictor_of_model ?seed ~label ~train_cost tech arc model =
   match model with
   | Timing_pair { td; sout } ->
     model_predictor ~label ~seed ~tech ~arc ~cost:train_cost td sout
   | Nldm_table table -> table_predictor ~label ~cost:train_cost table
+  | Gpr_pair { td; sout } ->
+    (* [Gpr.refit] is bitwise: a predictor rebuilt from the stored
+       training set answers exactly like the original. *)
+    gpr_predictor ~label ~cost:train_cost (Gpr.refit tech td)
+      (Gpr.refit tech sout)
   | Opaque ->
     Slc_obs.Slc_error.invalid_input ~site:"Char_flow.predictor_of_model" "Opaque models cannot be rebuilt"
 
@@ -151,6 +169,13 @@ let train_rsm ?seed ?points tech arc ~k =
     predict_sout = Rsm.eval rsm_sout;
   }
 
+let gpr_label = "model+gpr"
+
+let train_gpr_on ?workspace tech ds =
+  let f_td = Gpr.fit ?workspace tech ds.points ds.td in
+  let f_sout = Gpr.fit ?workspace tech ds.points ds.sout in
+  gpr_predictor ~label:gpr_label ~cost:ds.cost f_td f_sout
+
 let train_lut ?seed tech arc ~budget =
   let box = Tech.input_box tech in
   let levels = Nldm.design_levels ~budget ~box in
@@ -178,6 +203,16 @@ let evaluate p ds =
     td_err = mean_abs_rel td_pred ds.td;
     sout_err = mean_abs_rel sout_pred ds.sout;
   }
+
+let default_gpr_threshold = 0.05
+
+let with_gpr_fallback ?workspace ~threshold tech ds p =
+  let e = evaluate p ds in
+  if Float.max e.td_err e.sout_err > threshold then begin
+    Slc_obs.Telemetry.incr Slc_obs.Telemetry.gpr_fallbacks;
+    train_gpr_on ?workspace tech ds
+  end
+  else p
 
 let budget_to_reach ~curve ~target =
   (* The curve need not be monotone; find the first crossing going up

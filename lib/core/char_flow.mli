@@ -48,6 +48,11 @@ type model =
       (** the paper's 4-parameter compact model, one fit per metric
           (Bayes/MAP and LSE flows) *)
   | Nldm_table of Slc_cell.Nldm.t  (** a conventional look-up table *)
+  | Gpr_pair of { td : Gpr.model; sout : Gpr.model }
+      (** nonparametric Gaussian-process fallback, one GP per metric —
+          trained when the analytical form's residuals exceed a
+          threshold (see {!with_gpr_fallback}); rebuilt bitwise from
+          its stored training set by {!Gpr.refit} *)
   | Opaque
       (** not serializable (e.g. the RSM baseline); the persistent
           store refuses these *)
@@ -134,10 +139,40 @@ val train_lut :
 (** Builds the largest NLDM grid whose size does not exceed [budget];
     [train_cost] is the actual grid size. *)
 
+val train_gpr_on :
+  ?workspace:Gpr.workspace ->
+  Slc_device.Tech.t ->
+  dataset ->
+  predictor
+(** Nonparametric fallback: one exact-inference GP per metric
+    ({!Gpr.fit} with data-driven hyperparameters) conditioned on the
+    dataset.  Labelled ["model+gpr"].  Unlike the analytical trainers
+    this needs no seed — the per-seed electrical behaviour is already
+    baked into the measured targets. *)
+
 type errors = { td_err : float; sout_err : float }
 (** Mean absolute relative errors over a dataset. *)
 
 val evaluate : predictor -> dataset -> errors
+
+val default_gpr_threshold : float
+(** Default residual threshold (mean |relative error| on the training
+    set, [0.05]) above which the analytical fit is considered poor. *)
+
+val with_gpr_fallback :
+  ?workspace:Gpr.workspace ->
+  threshold:float ->
+  Slc_device.Tech.t ->
+  dataset ->
+  predictor ->
+  predictor
+(** [with_gpr_fallback ~threshold tech ds p] keeps [p] when it
+    reproduces its own training dataset to within [threshold] (mean
+    absolute relative error, worse of the two metrics), and otherwise
+    replaces it with {!train_gpr_on} — the regime (break points,
+    low-Vdd corners) where the 4-parameter form is structurally wrong
+    and a nonparametric model earns its keep.  Increments the
+    [gpr_fallbacks] telemetry counter when it switches. *)
 
 val budget_to_reach :
   curve:(int * float) list -> target:float -> float option

@@ -39,6 +39,59 @@ val fig78 :
 
 val print_fig78 : Format.formatter -> fig78_result -> unit
 
+(** {2 Adaptive-budget experiment (active-learning design)} *)
+
+type adaptive_budget_result = {
+  ab_tech_name : string;
+  ab_arc_names : string list;
+  ab_n_points : int;
+  ab_n_seeds : int;
+  ab_budgets : int array;  (** the common budget sweep (k >= 2) *)
+  ab_random : stat_curve;
+  ab_adaptive : stat_curve;
+  ab_random_sims : int array;
+      (** simulator runs spent by the random design at each budget,
+          summed over arcs *)
+  ab_adaptive_sims : int array;  (** same, for the adaptive design *)
+  ab_reference_budget : int;
+      (** the accuracy target: the largest random budget whose
+          worst-of-four error the adaptive design attains with strictly
+          fewer simulations (falls back to the largest budget in the
+          sweep when no budget admits strict savings) *)
+  ab_reference_error : float;
+      (** the random design's worst-of-four error at that budget *)
+  ab_match_budget : int option;
+      (** smallest adaptive budget whose worst-of-four error is at or
+          below [ab_reference_error]; [None] if never reached *)
+  ab_match_sims : int option;
+      (** simulator runs the adaptive design spent at [ab_match_budget] *)
+  ab_sims_saved : int option;
+      (** [random sims at the reference budget - ab_match_sims] *)
+  ab_gpr_fallbacks : int;
+      (** GPR fallback activations during the adaptive sweep (0 when
+          telemetry is disabled) *)
+}
+
+val adaptive_budget :
+  ?config:Config.t ->
+  ?tech:Slc_device.Tech.t ->
+  ?arcs:Slc_cell.Arc.t list ->
+  ?prior:Prior.pair ->
+  unit ->
+  adaptive_budget_result
+(** Paired comparison of {!Statistical.Random_per_seed} against
+    {!Statistical.Adaptive} (information-gain sequential design with
+    GPR fallback) over the budget sweep [config.ks_stat] restricted to
+    budgets >= 2.  Both designs draw from generators created in the
+    same state, so each adaptive run's candidate pool is sampled from
+    the distribution the random design draws its points from.  The
+    headline number is how many simulator runs the adaptive design
+    saves while matching the random design's worst statistical error
+    at its largest budget — the active-learning analogue of the
+    paper's Figs. 7–8 simulation-count claims. *)
+
+val print_adaptive_budget : Format.formatter -> adaptive_budget_result -> unit
+
 type fig9_result = {
   point : Input_space.point;
   arc_name : string;

@@ -1,0 +1,185 @@
+module Vec = Slc_num.Vec
+module Mat = Slc_num.Mat
+module Linalg = Slc_num.Linalg
+
+type hyper = { signal2 : float; noise2 : float; lengths : float array }
+
+type model = {
+  m_hyper : hyper;
+  m_mean : float;
+  m_points : Input_space.point array;
+  m_targets : float array;
+}
+
+type t = {
+  t_model : model;
+  t_tech : Slc_device.Tech.t;
+  t_xs : Vec.t array;  (* normalized training inputs *)
+  t_chol : Mat.t;      (* lower Cholesky of K + noise2 I *)
+  t_alpha : Vec.t;     (* (K + noise2 I)^-1 (y - mean) *)
+}
+
+let model t = t.t_model
+
+(* Scratch buffers grown on demand; owned by one caller (one worker
+   domain via [Parallel.Slot]), never shared. *)
+type workspace = {
+  mutable w_k : Mat.t;    (* n x n kernel assembly *)
+  mutable w_b : Vec.t;    (* centered targets *)
+  mutable w_y : Vec.t;    (* triangular-solve intermediate *)
+  mutable w_ks : Vec.t;   (* k* cross-covariances *)
+  mutable w_v : Vec.t;    (* L^-1 k* *)
+}
+
+let workspace () =
+  {
+    w_k = Mat.create 1 1;
+    w_b = Vec.create 1;
+    w_y = Vec.create 1;
+    w_ks = Vec.create 1;
+    w_v = Vec.create 1;
+  }
+
+(* The factorization buffers must match n exactly ([cholesky_into]
+   factors the whole matrix); the predictive scratch only needs room
+   for n and can keep slack. *)
+let ensure_exact ws n =
+  if Mat.rows ws.w_k <> n then begin
+    ws.w_k <- Mat.create n n;
+    ws.w_b <- Vec.create n;
+    ws.w_y <- Vec.create n
+  end
+
+let ensure_scratch ws n =
+  if Vec.dim ws.w_ks < n then begin
+    ws.w_ks <- Vec.create n;
+    ws.w_v <- Vec.create n
+  end
+
+let n_dims = 3
+
+(* k(x, x') without the noise term; inputs are normalized vectors. *)
+let kernel h (x : Vec.t) (x' : Vec.t) =
+  let s = ref 0.0 in
+  for d = 0 to n_dims - 1 do
+    let dx = (x.(d) -. x'.(d)) /. h.lengths.(d) in
+    s := !s +. (dx *. dx)
+  done;
+  h.signal2 *. exp (-0.5 *. !s)
+
+let default_hyper tech points targets =
+  let n = Array.length targets in
+  if n = 0 || Array.length points <> n then
+    Slc_obs.Slc_error.invalid_input ~site:"Gpr.default_hyper"
+      "points/targets must be non-empty and of equal length";
+  let xs = Array.map (Input_space.normalize tech) points in
+  let lengths =
+    Array.init n_dims (fun d ->
+        let lo = ref infinity and hi = ref neg_infinity in
+        Array.iter
+          (fun (x : Vec.t) ->
+            if x.(d) < !lo then lo := x.(d);
+            if x.(d) > !hi then hi := x.(d))
+          xs;
+        Float.max 0.3 (0.75 *. (!hi -. !lo)))
+  in
+  let mean = Array.fold_left ( +. ) 0.0 targets /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc y -> acc +. ((y -. mean) *. (y -. mean))) 0.0
+      targets
+    /. float_of_int n
+  in
+  let floor = 1e-10 *. mean *. mean in
+  let signal2 =
+    if var > floor then var else if floor > 0.0 then floor else 1.0
+  in
+  { signal2; noise2 = 1e-6 *. signal2; lengths }
+
+let build ?workspace:ws tech m =
+  let n = Array.length m.m_targets in
+  if n = 0 || Array.length m.m_points <> n then
+    Slc_obs.Slc_error.invalid_input ~site:"Gpr.fit"
+      "points/targets must be non-empty and of equal length";
+  let h = m.m_hyper in
+  if Array.length h.lengths <> n_dims then
+    Slc_obs.Slc_error.invalid_input ~site:"Gpr.fit"
+      "hyper.lengths must have one entry per input dimension";
+  let ws = match ws with Some ws -> ws | None -> workspace () in
+  ensure_exact ws n;
+  let xs = Array.map (Input_space.normalize tech) m.m_points in
+  let k = ws.w_k in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let v = kernel h xs.(i) xs.(j) in
+      let v = if i = j then v +. h.noise2 else v in
+      Mat.set k i j v;
+      Mat.set k j i v
+    done
+  done;
+  (* The factor and dual weights outlive the workspace (they are the
+     posterior), so they are owned by the result, not the scratch. *)
+  let chol = Mat.create n n in
+  Linalg.cholesky_into k chol;
+  let alpha = Vec.create n in
+  for i = 0 to n - 1 do
+    ws.w_b.(i) <- m.m_targets.(i) -. m.m_mean
+  done;
+  Linalg.cholesky_solve_into chol ws.w_b ~y:ws.w_y ~x:alpha;
+  { t_model = m; t_tech = tech; t_xs = xs; t_chol = chol; t_alpha = alpha }
+
+let refit ?workspace tech m = build ?workspace tech m
+
+let fit ?workspace ?hyper tech points targets =
+  let h =
+    match hyper with
+    | Some h -> h
+    | None -> default_hyper tech points targets
+  in
+  let n = Array.length targets in
+  if n = 0 || Array.length points <> n then
+    Slc_obs.Slc_error.invalid_input ~site:"Gpr.fit"
+      "points/targets must be non-empty and of equal length";
+  let mean = Array.fold_left ( +. ) 0.0 targets /. float_of_int n in
+  build ?workspace tech
+    {
+      m_hyper = h;
+      m_mean = mean;
+      m_points = Array.copy points;
+      m_targets = Array.copy targets;
+    }
+
+let cross ws t pt =
+  let n = Array.length t.t_alpha in
+  ensure_scratch ws n;
+  let x = Input_space.normalize t.t_tech pt in
+  for i = 0 to n - 1 do
+    ws.w_ks.(i) <- kernel t.t_model.m_hyper x t.t_xs.(i)
+  done;
+  (x, n)
+
+let predict ?workspace:ws t pt =
+  let ws = match ws with Some ws -> ws | None -> workspace () in
+  let _, n = cross ws t pt in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. (ws.w_ks.(i) *. t.t_alpha.(i))
+  done;
+  t.t_model.m_mean +. !s
+
+let predict_var ?workspace:ws t pt =
+  let ws = match ws with Some ws -> ws | None -> workspace () in
+  let x, n = cross ws t pt in
+  (* v = L^-1 k* by forward substitution on the n x n factor. *)
+  let l = t.t_chol and v = ws.w_v in
+  for i = 0 to n - 1 do
+    let s = ref ws.w_ks.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get l i j *. v.(j))
+    done;
+    v.(i) <- !s /. Mat.get l i i
+  done;
+  let explained = ref 0.0 in
+  for i = 0 to n - 1 do
+    explained := !explained +. (v.(i) *. v.(i))
+  done;
+  Float.max 0.0 (kernel t.t_model.m_hyper x x -. !explained)

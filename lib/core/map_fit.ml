@@ -83,3 +83,53 @@ let fit ?workspace ~(prior : Prior.t) ~tech obs =
 
 let fit_params ?workspace ~prior ~tech obs =
   (fit ?workspace ~prior ~tech obs).params
+
+(* Ridge standing in for the prior precision in the prior-free (LSE)
+   regime: tiny against the squared relative gradients it is added to,
+   so it only breaks exact singularity of the information matrix. *)
+let lse_ridge = 1e-12
+
+let information ?prior ~tech ~at obs =
+  let n_p = Timing_model.n_params in
+  let a =
+    match prior with
+    | Some (p : Prior.t) ->
+      (* Σ0⁻¹ = L0⁻ᵀ L0⁻¹ from the prior's Cholesky factor. *)
+      let l0_inv = lower_inverse p.Prior.mvn.Mvn.chol in
+      let out = Mat.create n_p n_p in
+      Mat.gram_into l0_inv out;
+      out
+    | None ->
+      let out = Mat.create n_p n_p in
+      for i = 0 to n_p - 1 do
+        Mat.set out i i lse_ridge
+      done;
+      out
+  in
+  Array.iter
+    (fun (o : Extract_lse.observation) ->
+      let beta =
+        match prior with
+        | Some p -> Prior.beta_at p tech o.Extract_lse.point
+        | None -> 1.0
+      in
+      let g = Timing_model.grad at ~ieff:o.Extract_lse.ieff o.Extract_lse.point in
+      for i = 0 to n_p - 1 do
+        let gi = g.(i) /. o.Extract_lse.value in
+        for j = 0 to n_p - 1 do
+          Mat.set a i j
+            (Mat.get a i j +. (beta *. gi *. (g.(j) /. o.Extract_lse.value)))
+        done
+      done)
+    obs;
+  a
+
+let predictive_gain ?prior ~tech ~information ~at ~ieff point =
+  let value = Timing_model.eval at ~ieff point in
+  let beta =
+    match prior with Some p -> Prior.beta_at p tech point | None -> 1.0
+  in
+  let g = Timing_model.grad at ~ieff point in
+  let gt = Array.map (fun gi -> gi /. value) g in
+  let x = Linalg.solve_spd information gt in
+  beta *. Vec.dot gt x

@@ -35,3 +35,46 @@ val fit_params :
   Extract_lse.observation array ->
   Timing_model.params
 (** [fit] returning only the parameters. *)
+
+(** {2 Sequential-design machinery}
+
+    The adaptive fitting-point design ({!Statistical.design}) selects
+    each next simulation by expected information gain.  The two
+    functions below expose the pieces: the Gauss–Newton information
+    matrix of the MAP objective (the inverse posterior covariance the
+    LM fit operates under), and the D-optimal score of a candidate
+    condition against it. *)
+
+val information :
+  ?prior:Prior.t ->
+  tech:Slc_device.Tech.t ->
+  at:Timing_model.params ->
+  Extract_lse.observation array ->
+  Slc_num.Mat.t
+(** [information ?prior ~tech ~at obs] is the Gauss–Newton information
+    (inverse posterior covariance) of the MAP objective at the
+    parameter point [at]:
+
+    A = Σ0⁻¹ + Σᵢ βᵢ g̃ᵢ g̃ᵢᵀ,  with g̃ᵢ = ∇eval(at, ξᵢ) / yᵢ
+
+    — exactly the normal matrix of the stacked residual Jacobian
+    {!fit} minimizes over.  Without [?prior] (the LSE regime) the
+    prior precision is replaced by a tiny ridge and every βᵢ is 1,
+    so the matrix is the pure data information. *)
+
+val predictive_gain :
+  ?prior:Prior.t ->
+  tech:Slc_device.Tech.t ->
+  information:Slc_num.Mat.t ->
+  at:Timing_model.params ->
+  ieff:float ->
+  Slc_cell.Harness.point ->
+  float
+(** Expected information gain of simulating one more point at the
+    candidate condition: β(ξ) · g̃ᵀ A⁻¹ g̃ with g̃ = ∇eval/eval
+    (the model's own prediction standing in for the unobserved
+    measurement).  Adding the candidate would multiply det A by
+    1 + β g̃ᵀA⁻¹g̃ (matrix-determinant lemma), so ranking candidates
+    by this score is sequential D-optimal design — equivalently,
+    picking the condition where the posterior predictive variance of
+    the relative residual is largest. *)

@@ -41,11 +41,222 @@ type seed_models = {
   sm_status : seed_status array;
 }
 
-type design = Curated | Random_per_seed of Slc_prob.Rng.t
+type adaptive = {
+  a_rng : Slc_prob.Rng.t;
+  a_candidates : int;
+  a_gpr_threshold : float;
+}
+
+type design =
+  | Curated
+  | Random_per_seed of Slc_prob.Rng.t
+  | Adaptive of adaptive
+
+let adaptive_defaults rng =
+  {
+    a_rng = rng;
+    a_candidates = 24;
+    a_gpr_threshold = Char_flow.default_gpr_threshold;
+  }
 
 (* One LM scratch workspace per worker domain, reused across every fit
    that domain performs. *)
 let lm_slot = Slc_num.Parallel.Slot.make Slc_num.Optimize.lm_workspace
+
+(* Likewise for the GPR surrogate/fallback scratch buffers. *)
+let gpr_slot = Slc_num.Parallel.Slot.make Gpr.workspace
+
+(* Sequential expected-information-gain design (ROADMAP item 4; Bai et
+   al., arXiv 2505.10799).  Each seed draws a candidate pool from its
+   own [split_ix] sub-stream, then spends its budget one simulation at
+   a time: refit the delay model on the observations so far, score
+   every unused candidate by the D-optimal gain β(ξ)·g̃ᵀA⁻¹g̃ against
+   the incremental MAP posterior information A ([Map_fit.information]),
+   simulate the argmax, repeat.  When the analytical form's residuals
+   on the observed points exceed [a_gpr_threshold], a GP surrogate
+   takes over the scoring (posterior predictive variance).
+
+   Scheduling independence: every per-seed quantity is a pure function
+   of (seed, a_rng, observations of that seed); rounds are advanced in
+   lockstep with one [simulate_batch] per round, and all cross-seed
+   state lives in per-seed array slots written only between the
+   parallel phases. *)
+let adaptive_seed_datasets ~record_degraded ~record_failed ~min_points
+    ~method_ ~tech ~arc ~seeds ~budget ad =
+  let ns = Array.length seeds in
+  let nc = ad.a_candidates in
+  if nc < budget then
+    Slc_obs.Slc_error.invalid_input ~site:"Statistical.extract_population"
+      "adaptive candidate pool smaller than the budget";
+  if not (ad.a_gpr_threshold > 0.0) then
+    Slc_obs.Slc_error.invalid_input ~site:"Statistical.extract_population"
+      "adaptive gpr threshold must be > 0";
+  let prior_delay =
+    match method_ with
+    | Bayes p -> Some p.Prior.delay
+    | Lse -> None
+    | Lut -> assert false
+  in
+  (* Pure per-index derivation, as in [Random_per_seed]: the candidate
+     pool (and hence everything downstream) is bitwise independent of
+     domain count and evaluation order, and [a_rng] is not advanced. *)
+  let cands =
+    Array.map
+      (fun seed ->
+        Input_space.random_fitting_points_rng
+          (Slc_prob.Rng.split_ix ad.a_rng seed.Process.index)
+          tech ~k:nc)
+      seeds
+  in
+  let ieffs =
+    Array.mapi
+      (fun si pool ->
+        Array.map
+          (fun (pt : Input_space.point) ->
+            Slc_cell.Equivalent.ieff_with_seed tech seeds.(si) arc
+              ~vdd:pt.Harness.vdd)
+          pool)
+      cands
+  in
+  (* Per-seed acquisition state; written only by the main thread
+     between the parallel select/simulate phases. *)
+  let used = Array.init ns (fun _ -> Array.make nc false) in
+  let obs_rev = Array.make ns [] in
+  let meas_rev = Array.make ns [] in
+  let n_fail = Array.make ns 0 in
+  let first_exn = Array.make ns None in
+  let init_params =
+    match method_ with
+    | Bayes p -> Timing_model.of_vec p.Prior.delay.Prior.mvn.Slc_prob.Mvn.mu
+    | Lse -> Timing_model.default_init
+    | Lut -> assert false
+  in
+  let params = Array.make ns init_params in
+  let dirty = Array.make ns false in
+  for _round = 1 to budget do
+    (* Select each seed's next condition (parallel; pure per seed). *)
+    let picks =
+      Slc_num.Parallel.map
+        (fun si ->
+          let obs = Array.of_list (List.rev obs_rev.(si)) in
+          let p =
+            if not dirty.(si) then params.(si)
+            else
+              let workspace = Slc_num.Parallel.Slot.get lm_slot in
+              match method_ with
+              | Bayes prior ->
+                Map_fit.fit_params ~workspace ~prior:prior.Prior.delay ~tech
+                  obs
+              | Lse -> Extract_lse.fit ~workspace obs
+              | Lut -> assert false
+          in
+          let use_gpr =
+            Array.length obs >= 2
+            && Extract_lse.avg_abs_rel_error p obs > ad.a_gpr_threshold
+          in
+          let score =
+            if use_gpr then begin
+              let workspace = Slc_num.Parallel.Slot.get gpr_slot in
+              let g =
+                Gpr.fit ~workspace tech
+                  (Array.map (fun o -> o.Extract_lse.point) obs)
+                  (Array.map (fun o -> o.Extract_lse.value) obs)
+              in
+              fun ci -> Gpr.predict_var ~workspace g cands.(si).(ci)
+            end
+            else begin
+              let information =
+                Map_fit.information ?prior:prior_delay ~tech ~at:p obs
+              in
+              fun ci ->
+                Map_fit.predictive_gain ?prior:prior_delay ~tech ~information
+                  ~at:p ~ieff:ieffs.(si).(ci)
+                  cands.(si).(ci)
+            end
+          in
+          let best = ref (-1) and best_score = ref neg_infinity in
+          for ci = 0 to nc - 1 do
+            if not used.(si).(ci) then begin
+              let s = score ci in
+              (* Strict [>]: ties resolve to the lowest candidate
+                 index, keeping the selection deterministic. *)
+              if s > !best_score then begin
+                best := ci;
+                best_score := s
+              end
+            end
+          done;
+          if !best < 0 then
+            (* All remaining scores were non-finite; fall back to the
+               first unused candidate rather than stalling. *)
+            (try
+               for ci = 0 to nc - 1 do
+                 if not used.(si).(ci) then begin
+                   best := ci;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+          (!best, p))
+        (Array.init ns Fun.id)
+    in
+    Array.iteri
+      (fun si (ci, p) ->
+        params.(si) <- p;
+        dirty.(si) <- false;
+        used.(si).(ci) <- true)
+      picks;
+    (* One lockstep batch advances every seed's chosen point. *)
+    let results =
+      Harness.simulate_batch tech arc
+        (Array.mapi (fun si (ci, _) -> (seeds.(si), cands.(si).(ci))) picks)
+    in
+    Array.iteri
+      (fun si r ->
+        let ci, _ = picks.(si) in
+        match r with
+        | Ok m ->
+          meas_rev.(si) <- (ci, m) :: meas_rev.(si);
+          obs_rev.(si) <-
+            {
+              Extract_lse.point = cands.(si).(ci);
+              ieff = ieffs.(si).(ci);
+              value = m.Harness.td;
+            }
+            :: obs_rev.(si);
+          dirty.(si) <- true
+        | Error e ->
+          n_fail.(si) <- n_fail.(si) + 1;
+          if first_exn.(si) = None then first_exn.(si) <- Some e)
+      results
+  done;
+  (* Package each seed's surviving observations as a dataset, with the
+     same degradation ladder as the fixed designs: failures cost only
+     their round, and a seed keeps fitting while at least [min_points]
+     points survive. *)
+  Array.init ns (fun si ->
+      let meas = List.rev meas_rev.(si) in
+      let dataset () =
+        {
+          Char_flow.arc;
+          points =
+            Array.of_list (List.map (fun (ci, _) -> cands.(si).(ci)) meas);
+          td = Array.of_list (List.map (fun (_, m) -> m.Harness.td) meas);
+          sout = Array.of_list (List.map (fun (_, m) -> m.Harness.sout) meas);
+          cost =
+            List.fold_left (fun acc (_, m) -> acc + m.Harness.retries + 1) 0
+              meas;
+        }
+      in
+      if n_fail.(si) = 0 then Some (dataset ())
+      else if budget - n_fail.(si) < min_points then begin
+        record_failed si (Option.get first_exn.(si));
+        None
+      end
+      else begin
+        record_degraded si n_fail.(si);
+        Some (dataset ())
+      end)
 
 (* Compact a full-design dataset down to the points whose simulations
    survived.  Only called for seeds with at least one failure — the
@@ -107,82 +318,100 @@ let extract_seed_models ?(min_points = 2) ~design ~method_ ~tech ~arc ~seeds
             None)
         r
     | Bayes _ | Lse ->
-      let per_seed_points =
-        match design with
-        | Curated ->
-          let pts = Input_space.fitting_points tech ~k:budget in
-          Array.make ns pts
-        | Random_per_seed rng ->
-          (* split_ix is a pure function of (rng state, index): each
-             seed's design is deterministic no matter which domain
-             evaluates it, in what order. *)
-          Array.map
-            (fun seed ->
-              Input_space.random_fitting_points_rng
-                (Slc_prob.Rng.split_ix rng seed.Process.index)
-                tech ~k:budget)
-            seeds
-      in
-      (* All (seed x point) simulations as one flat lane array routed
-         through the lockstep batch engine: [Harness.simulate_batch]
-         advances a whole chunk of lanes through one
-         structure-of-arrays Newton loop per domain, captures per-lane
-         failures without cancelling the batch (so one pathological
-         (seed, point) costs exactly one design point, not the whole
-         extraction), and keeps per-lane results and accounting
-         identical to scalar [Harness.simulate] calls. *)
-      let flat =
-        Harness.simulate_batch tech arc
-          (Array.init (ns * budget) (fun idx ->
-               let si = idx / budget and pi = idx mod budget in
-               (seeds.(si), per_seed_points.(si).(pi))))
-      in
       let datasets =
-        Array.init ns (fun si ->
-            let slot pi = flat.((si * budget) + pi) in
-            let n_fail = ref 0 in
-            let first_exn = ref None in
-            for pi = 0 to budget - 1 do
-              match slot pi with
-              | Ok _ -> ()
-              | Error e ->
-                incr n_fail;
-                if !first_exn = None then first_exn := Some e
-            done;
-            if !n_fail = 0 then begin
-              (* The failure-free path is byte-for-byte the historical
-                 one: same arrays, same order, same fit inputs. *)
-              let m pi =
-                match slot pi with Ok m -> m | Error _ -> assert false
-              in
-              let cost = ref 0 in
+        match design with
+        | Adaptive ad ->
+          adaptive_seed_datasets ~record_degraded ~record_failed ~min_points
+            ~method_ ~tech ~arc ~seeds ~budget ad
+        | Curated | Random_per_seed _ ->
+          let per_seed_points =
+            match design with
+            | Curated ->
+              let pts = Input_space.fitting_points tech ~k:budget in
+              Array.make ns pts
+            | Random_per_seed rng ->
+              (* split_ix is a pure function of (rng state, index): each
+                 seed's design is deterministic no matter which domain
+                 evaluates it, in what order. *)
+              Array.map
+                (fun seed ->
+                  Input_space.random_fitting_points_rng
+                    (Slc_prob.Rng.split_ix rng seed.Process.index)
+                    tech ~k:budget)
+                seeds
+            | Adaptive _ -> assert false
+          in
+          (* All (seed x point) simulations as one flat lane array routed
+             through the lockstep batch engine: [Harness.simulate_batch]
+             advances a whole chunk of lanes through one
+             structure-of-arrays Newton loop per domain, captures per-lane
+             failures without cancelling the batch (so one pathological
+             (seed, point) costs exactly one design point, not the whole
+             extraction), and keeps per-lane results and accounting
+             identical to scalar [Harness.simulate] calls. *)
+          let flat =
+            Harness.simulate_batch tech arc
+              (Array.init (ns * budget) (fun idx ->
+                   let si = idx / budget and pi = idx mod budget in
+                   (seeds.(si), per_seed_points.(si).(pi))))
+          in
+          Array.init ns (fun si ->
+              let slot pi = flat.((si * budget) + pi) in
+              let n_fail = ref 0 in
+              let first_exn = ref None in
               for pi = 0 to budget - 1 do
-                (* Each attempt of the retry loop is one simulator run. *)
-                cost := !cost + (m pi).Harness.retries + 1
+                match slot pi with
+                | Ok _ -> ()
+                | Error e ->
+                  incr n_fail;
+                  if !first_exn = None then first_exn := Some e
               done;
-              Some
-                {
-                  Char_flow.arc;
-                  points = per_seed_points.(si);
-                  td = Array.init budget (fun pi -> (m pi).Harness.td);
-                  sout = Array.init budget (fun pi -> (m pi).Harness.sout);
-                  cost = !cost;
-                }
-            end
-            else if budget - !n_fail < min_points then begin
-              record_failed si (Option.get !first_exn);
-              None
-            end
-            else begin
-              record_degraded si !n_fail;
-              let m pi =
-                match slot pi with Ok m -> m | Error _ -> assert false
-              in
-              Some
-                (compact_dataset ~arc ~points:per_seed_points.(si) ~budget
-                   (fun pi -> Result.is_ok (slot pi))
-                   m)
-            end)
+              if !n_fail = 0 then begin
+                (* The failure-free path is byte-for-byte the historical
+                   one: same arrays, same order, same fit inputs. *)
+                let m pi =
+                  match slot pi with Ok m -> m | Error _ -> assert false
+                in
+                let cost = ref 0 in
+                for pi = 0 to budget - 1 do
+                  (* Each attempt of the retry loop is one simulator run. *)
+                  cost := !cost + (m pi).Harness.retries + 1
+                done;
+                Some
+                  {
+                    Char_flow.arc;
+                    points = per_seed_points.(si);
+                    td = Array.init budget (fun pi -> (m pi).Harness.td);
+                    sout = Array.init budget (fun pi -> (m pi).Harness.sout);
+                    cost = !cost;
+                  }
+              end
+              else if budget - !n_fail < min_points then begin
+                record_failed si (Option.get !first_exn);
+                None
+              end
+              else begin
+                record_degraded si !n_fail;
+                let m pi =
+                  match slot pi with Ok m -> m | Error _ -> assert false
+                in
+                Some
+                  (compact_dataset ~arc ~points:per_seed_points.(si) ~budget
+                     (fun pi -> Result.is_ok (slot pi))
+                     m)
+              end)
+      in
+      (* For the adaptive design, a seed whose analytical fit stays
+         poor on its own training points falls back to a GPR model. *)
+      let fallback =
+        match design with
+        | Adaptive ad ->
+          Some
+            (fun ds p ->
+              let workspace = Slc_num.Parallel.Slot.get gpr_slot in
+              Char_flow.with_gpr_fallback ~workspace
+                ~threshold:ad.a_gpr_threshold tech ds p)
+        | Curated | Random_per_seed _ -> None
       in
       (* Per-seed fits, each on a worker-owned LM workspace; failed
          seeds are skipped. *)
@@ -194,12 +423,15 @@ let extract_seed_models ?(min_points = 2) ~design ~method_ ~tech ~arc ~seeds
           | Some ds ->
             let workspace = Slc_num.Parallel.Slot.get lm_slot in
             let seed = seeds.(si) in
-            Some
-              (match method_ with
+            let p =
+              match method_ with
               | Bayes prior ->
                 Char_flow.train_bayes_on ~workspace ~seed ~prior tech ds
               | Lse -> Char_flow.train_lse_on ~workspace ~seed tech ds
-              | Lut -> assert false))
+              | Lut -> assert false
+            in
+            Some
+              (match fallback with None -> p | Some f -> f ds p))
         (Array.init ns Fun.id)
   in
   { sm_predictors = predictors; sm_status = status }

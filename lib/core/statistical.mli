@@ -41,6 +41,27 @@ type population = {
   predict_sout : Slc_device.Process.seed -> Input_space.point -> float;
 }
 
+type adaptive = {
+  a_rng : Slc_prob.Rng.t;
+      (** source of each seed's candidate pool, derived per seed with
+          [Rng.split_ix] (pure; the generator is not advanced) *)
+  a_candidates : int;
+      (** candidate-pool size per seed; must be at least the budget *)
+  a_gpr_threshold : float;
+      (** mean |relative error| on the observed points above which (a)
+          the acquisition switches from the parametric information
+          gain to the GP surrogate's posterior variance, and (b) the
+          final predictor falls back to a GPR model
+          ({!Char_flow.with_gpr_fallback}) *)
+}
+(** Acquisition hyperparameters of the {!Adaptive} design.  All three
+    enter the persistent store's population key, so stored adaptive
+    populations can never be served to a run with different
+    acquisition settings. *)
+
+val adaptive_defaults : Slc_prob.Rng.t -> adaptive
+(** 24 candidates, {!Char_flow.default_gpr_threshold}. *)
+
 type design =
   | Curated
       (** every seed fits on the same deterministic
@@ -51,6 +72,23 @@ type design =
           results) are bitwise independent of domain count and
           scheduling order, and the supplied generator is not
           advanced *)
+  | Adaptive of adaptive
+      (** active learning (ROADMAP item 4): each seed's k points are
+          chosen {e sequentially} from its candidate pool by expected
+          information gain — refit the delay model on the observations
+          so far, score every remaining candidate by
+          {!Map_fit.predictive_gain} against the incremental MAP
+          posterior information (or by {!Gpr.predict_var} once the
+          analytical residuals exceed [a_gpr_threshold]), simulate the
+          argmax, repeat.  Rounds advance all seeds in lockstep through
+          one {!Slc_cell.Harness.simulate_batch} per round; every
+          per-seed choice is a pure function of that seed's own
+          sub-stream and observations, so results keep the
+          [Random_per_seed] bitwise determinism guarantees.  Spends
+          the same per-seed budget as the fixed designs but places it
+          where the posterior is least certain — fewer simulations at
+          equal mean/σ error (the [fig78/adaptive-budget] bench
+          section measures exactly this). *)
 
 val extract_population :
   ?min_points:int ->

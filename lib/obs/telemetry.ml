@@ -84,6 +84,8 @@ let degraded_seeds = make_counter "degraded_seeds"
 
 let failed_seeds = make_counter "failed_seeds"
 
+let gpr_fallbacks = make_counter "gpr_fallbacks"
+
 let server_connections = make_counter "server_connections"
 
 let server_requests = make_counter "server_requests"

@@ -112,6 +112,11 @@ val degraded_seeds : counter
 val failed_seeds : counter
 (** Statistical seeds dropped entirely. *)
 
+val gpr_fallbacks : counter
+(** Predictors where the analytical 4-parameter fit exceeded its
+    residual threshold and a GPR fallback model was trained instead
+    (see {!Slc_core.Char_flow}). *)
+
 val server_connections : counter
 (** Connections accepted by the characterization server. *)
 

@@ -210,7 +210,13 @@ let prior_id prior =
   Mutex.unlock prior_registry_lock;
   id
 
-type trained_key = int * string * int * Slc_device.Process.seed option * string
+type trained_key =
+  int
+  * string
+  * int
+  * Slc_device.Process.seed option
+  * string
+  * float option (* GPR-fallback threshold, None = analytical only *)
 
 let[@slc.domain_safe "guarded by trained_lock"] trained :
     (trained_key, Char_flow.predictor) Hashtbl.t =
@@ -218,7 +224,7 @@ let[@slc.domain_safe "guarded by trained_lock"] trained :
 
 let trained_lock = Mutex.create ()
 
-let bayes_bank ?seed ?store ~prior tech ~k =
+let bayes_bank ?seed ?store ?gpr_fallback ~prior tech ~k =
   let pid = prior_id prior in
   (* The persistent tier keys by prior content, not physical identity:
      serialize the prior once per bank, not once per arc. *)
@@ -228,7 +234,9 @@ let bayes_bank ?seed ?store ~prior tech ~k =
       store
   in
   of_predictors ~label:(Printf.sprintf "bayes-k%d" k) (fun arc ->
-      let key = (pid, tech.Slc_device.Tech.name, k, seed, Arc.name arc) in
+      let key =
+        (pid, tech.Slc_device.Tech.name, k, seed, Arc.name arc, gpr_fallback)
+      in
       Mutex.lock trained_lock;
       let hit = Hashtbl.find_opt trained key in
       Mutex.unlock trained_lock;
@@ -241,7 +249,9 @@ let bayes_bank ?seed ?store ~prior tech ~k =
         let skey =
           Option.map
             (fun (st, prior_fp) ->
-              (st, Slc_store.Store.predictor_key ~prior_fp ~tech ~arc ~k ~seed))
+              ( st,
+                Slc_store.Store.predictor_key ?gpr:gpr_fallback ~prior_fp
+                  ~tech ~arc ~k ~seed () ))
             persistent
         in
         let p =
@@ -263,7 +273,21 @@ let bayes_bank ?seed ?store ~prior tech ~k =
             (* Train outside the lock: training runs simulations
                (possibly through the worker pool) and must not
                serialize on it. *)
-            let p = Char_flow.train_bayes ?seed ~prior tech arc ~k in
+            let p =
+              match gpr_fallback with
+              | None -> Char_flow.train_bayes ?seed ~prior tech arc ~k
+              | Some threshold ->
+                (* Same curated design and MAP fit as [train_bayes],
+                   but the dataset is kept so the analytical fit can
+                   be checked against it and replaced by a GPR model
+                   when its residuals exceed the threshold. *)
+                let ds =
+                  Char_flow.simulate_dataset ?seed tech arc
+                    (Slc_core.Input_space.fitting_points tech ~k)
+                in
+                let p = Char_flow.train_bayes_on ?seed ~prior tech ds in
+                Char_flow.with_gpr_fallback ~threshold tech ds p
+            in
             Option.iter
               (fun (st, skey) -> Slc_store.Store.put_predictor st ~key:skey p)
               skey;

@@ -35,6 +35,7 @@ val of_simulator :
 val bayes_bank :
   ?seed:Slc_device.Process.seed ->
   ?store:Slc_store.Store.t ->
+  ?gpr_fallback:float ->
   prior:Slc_core.Prior.pair ->
   Slc_device.Tech.t ->
   k:int ->
@@ -42,8 +43,17 @@ val bayes_bank :
 (** Convenience: an oracle that trains a Bayesian/MAP predictor with
     [k] simulations for each arc on first use.
 
+    With [?gpr_fallback] (a mean-|relative-error| threshold), each
+    arc's analytical MAP fit is checked against its own [k]-point
+    training dataset and replaced by a nonparametric GPR model
+    ({!Slc_core.Char_flow.with_gpr_fallback}) when the 4-parameter
+    form fits poorly — the low-Vdd/break-point regime.  The threshold
+    participates in both cache tiers' keys; without it, behaviour and
+    store keys are byte-identical to earlier releases.
+
     Trained predictors are cached process-wide, keyed by (prior
-    {e physical identity}, technology name, [k], [seed], arc name):
+    {e physical identity}, technology name, [k], [seed], arc name,
+    fallback threshold):
     rebuilding a [bayes_bank] value with the same learned prior object
     reuses the existing predictors and costs zero simulations.
     Training is deterministic, so the cache never changes results.

@@ -19,6 +19,7 @@ module Statistical = Slc_core.Statistical
 module Prior = Slc_core.Prior
 module Prior_io = Slc_core.Prior_io
 module Timing_model = Slc_core.Timing_model
+module Gpr = Slc_core.Gpr
 
 type t = { root : string }
 
@@ -164,6 +165,13 @@ let method_fp = function
 let design_fp = function
   | Statistical.Curated -> "curated"
   | Statistical.Random_per_seed rng -> "random " ^ Rng.save rng
+  | Statistical.Adaptive a ->
+    (* Every acquisition hyperparameter enters the fingerprint: a
+       stored adaptive population is only ever served to a run that
+       would have selected the same points. *)
+    Printf.sprintf "adaptive %s %d %s" (Rng.save a.Statistical.a_rng)
+      a.Statistical.a_candidates
+      (hx a.Statistical.a_gpr_threshold)
 
 let key_of lines = digest (String.concat "\n" lines)
 
@@ -172,11 +180,15 @@ let prior_key ~historical =
     ("prior" :: string_of_int format_version
     :: List.map tech_fingerprint historical)
 
-let predictor_key ~prior_fp ~tech ~arc ~k ~seed =
+let predictor_key ?gpr ~prior_fp ~tech ~arc ~k ~seed () =
   key_of
-    [ "predictor"; string_of_int format_version; prior_fp;
-      tech_fingerprint tech; Arc.name arc; string_of_int k;
-      seed_opt_str seed ]
+    ([ "predictor"; string_of_int format_version; prior_fp;
+       tech_fingerprint tech; Arc.name arc; string_of_int k;
+       seed_opt_str seed ]
+    (* [None] keeps the key byte-identical to the pre-GPR format, so
+       existing stores stay warm; a fallback threshold changes what
+       gets trained and therefore must change the key. *)
+    @ match gpr with None -> [] | Some t -> [ "gpr"; hx t ])
 
 let library_key ~seed ~tech ~cells ~levels =
   key_of
@@ -270,6 +282,25 @@ let pred_to_buffer b (p : Char_flow.predictor) =
   | Char_flow.Nldm_table tbl ->
     Buffer.add_string b "nldm\n";
     Nldm.to_buffer b tbl
+  | Char_flow.Gpr_pair { td; sout } ->
+    (* Only the serializable model (hyperparameters + training set)
+       is written; [Gpr.refit] rebuilds the posterior bitwise. *)
+    Buffer.add_string b "gpr\n";
+    let gp name (m : Gpr.model) =
+      let h = m.Gpr.m_hyper in
+      Printf.bprintf b "%s %s %s %s %s %s %s %d\n" name (hx h.Gpr.signal2)
+        (hx h.Gpr.noise2) (hx h.Gpr.lengths.(0)) (hx h.Gpr.lengths.(1))
+        (hx h.Gpr.lengths.(2)) (hx m.Gpr.m_mean)
+        (Array.length m.Gpr.m_targets);
+      Array.iteri
+        (fun i (pt : Slc_cell.Harness.point) ->
+          Printf.bprintf b "p %s %s %s %s\n" (hx pt.sin) (hx pt.cload)
+            (hx pt.vdd)
+            (hx m.Gpr.m_targets.(i)))
+        m.Gpr.m_points
+    in
+    gp "td" td;
+    gp "sout" sout
   | Char_flow.Opaque ->
     Slc_obs.Slc_error.invalid_input ~site:"Slc_store" "a predictor with an Opaque model cannot be persisted");
   Buffer.add_string b "end\n"
@@ -317,6 +348,42 @@ let parse_pred_block c =
     | [ "nldm" ] -> (
       try Char_flow.Nldm_table (Nldm.parse_lines (fun () -> next c))
       with Nldm.Format_error m -> fail m)
+    | [ "gpr" ] ->
+      let gp name =
+        match fields (next c) with
+        | [ n; signal2; noise2; l0; l1; l2; mean; count ] when n = name ->
+          let count = int_of count in
+          if count < 1 then fail (name ^ " needs >= 1 training point");
+          let points = Array.make count Slc_cell.Harness.{ sin = 0.0; cload = 0.0; vdd = 0.0 } in
+          let targets = Array.make count 0.0 in
+          for i = 0 to count - 1 do
+            match fields (next c) with
+            | [ "p"; sin; cload; vdd; y ] ->
+              points.(i) <-
+                {
+                  Slc_cell.Harness.sin = float_of sin;
+                  cload = float_of cload;
+                  vdd = float_of vdd;
+                };
+              targets.(i) <- float_of y
+            | _ -> fail ("bad " ^ name ^ " training point")
+          done;
+          {
+            Gpr.m_hyper =
+              {
+                Gpr.signal2 = float_of signal2;
+                noise2 = float_of noise2;
+                lengths = [| float_of l0; float_of l1; float_of l2 |];
+              };
+            m_mean = float_of mean;
+            m_points = points;
+            m_targets = targets;
+          }
+        | _ -> fail ("expected " ^ name ^ " gpr header")
+      in
+      let td = gp "td" in
+      let sout = gp "sout" in
+      Char_flow.Gpr_pair { td; sout }
     | _ -> fail "bad predictor model kind"
   in
   (match fields (next c) with

@@ -88,16 +88,25 @@ val get_prior : t -> historical:Slc_device.Tech.t list -> Slc_core.Prior.pair
 (** {2 Trained per-arc predictors (the [Oracle.bayes_bank] tier)} *)
 
 val predictor_key :
+  ?gpr:float ->
   prior_fp:string ->
   tech:Slc_device.Tech.t ->
   arc:Slc_cell.Arc.t ->
   k:int ->
   seed:Slc_device.Process.seed option ->
+  unit ->
   key
+(** [?gpr] is the GPR-fallback residual threshold when the caller
+    trains with one ({!Slc_core.Char_flow.with_gpr_fallback}); it
+    changes which model gets trained, so it participates in the key.
+    [None] (no fallback) keeps keys byte-identical to the pre-GPR
+    format — existing stores stay warm. *)
 
 val put_predictor : t -> key:key -> Slc_core.Char_flow.predictor -> unit
-(** Persists the predictor's {!Slc_core.Char_flow.model}.  Raises
-    [Invalid_argument] for an [Opaque] model. *)
+(** Persists the predictor's {!Slc_core.Char_flow.model} (analytical
+    parameter pairs, NLDM tables and GPR training sets all round-trip
+    exactly via {!Slc_num.Hexfloat}).  Raises [Invalid_argument] for
+    an [Opaque] model. *)
 
 val find_predictor :
   ?seed:Slc_device.Process.seed ->

@@ -218,7 +218,7 @@ let test_predictor_roundtrip_bitwise () =
   let st = Store.open_ (fresh_dir ()) in
   let p = Char_flow.train_lse tech inv_fall ~k:2 in
   let key =
-    Store.predictor_key ~prior_fp:"lse" ~tech ~arc:inv_fall ~k:2 ~seed:None
+    Store.predictor_key ~prior_fp:"lse" ~tech ~arc:inv_fall ~k:2 ~seed:None ()
   in
   Store.put_predictor st ~key p;
   match Store.find_predictor st ~key ~tech ~arc:inv_fall with
@@ -470,6 +470,108 @@ let test_population_bayes_key_tracks_prior () =
   Alcotest.(check bool) "design changes the key" false (k_curated = k_random)
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive design: checkpoint/resume bitwise identity and key
+   sensitivity to the acquisition hyper-parameters *)
+
+let adaptive_design () =
+  Statistical.Adaptive (Statistical.adaptive_defaults (Rng.create 21))
+
+let extract_fresh_adaptive () =
+  Statistical.extract_population_design ~design:(adaptive_design ())
+    ~method_:Statistical.Lse ~tech ~arc:inv_fall ~seeds:seeds4 ~budget:2 ()
+
+let store_extract_adaptive ?after_batch st =
+  Store.extract_population ?after_batch ~batch_size:2 ~store:st
+    ~method_:Statistical.Lse ~design:(adaptive_design ()) ~tech ~arc:inv_fall
+    ~seeds:seeds4 ~budget:2 ()
+
+let test_adaptive_population_resume_equals_fresh () =
+  let fresh = extract_fresh_adaptive () in
+  let st = Store.open_ (fresh_dir ()) in
+  (* Crash at the first checkpoint boundary, then resume: the adaptive
+     per-seed designs key off Process.index, so the resumed half must
+     re-derive identical candidate pools and acquisition paths. *)
+  (match
+     store_extract_adaptive st ~after_batch:(fun n ->
+         if n = 1 then raise Injected_crash)
+   with
+  | _ -> Alcotest.fail "crash did not propagate"
+  | exception Injected_crash -> ());
+  let resumed, outcome = store_extract_adaptive st in
+  (match outcome with
+  | Store.Computed { resumed_seeds = 2; computed_seeds = 2; batches = 1 } -> ()
+  | Store.Computed { resumed_seeds; computed_seeds; batches } ->
+    Alcotest.fail
+      (Printf.sprintf "unexpected resume: resumed %d computed %d batches %d"
+         resumed_seeds computed_seeds batches)
+  | Store.Hit -> Alcotest.fail "checkpoint must not look like a final artifact");
+  check_pop_bitwise_equal fresh resumed;
+  (* Replay: the finished artifact serves with zero simulations. *)
+  let before = Harness.sim_count () in
+  let warm, outcome = store_extract_adaptive st in
+  Alcotest.(check int) "replay runs zero simulations" before
+    (Harness.sim_count ());
+  Alcotest.(check bool) "hit" true (outcome = Store.Hit);
+  check_pop_bitwise_equal fresh warm
+
+let test_adaptive_key_sensitivity () =
+  let key_of ad =
+    Store.population_key ~method_:Statistical.Lse
+      ~design:(Statistical.Adaptive ad) ~tech ~arc:inv_fall ~seeds:seeds4
+      ~budget:2 ~min_points:2
+  in
+  let base () = Statistical.adaptive_defaults (Rng.create 9) in
+  Alcotest.(check bool)
+    "same acquisition params, same key" true
+    (key_of (base ()) = key_of (base ()));
+  Alcotest.(check bool)
+    "candidate pool size changes the key" false
+    (key_of (base ()) = key_of { (base ()) with Statistical.a_candidates = 32 });
+  Alcotest.(check bool)
+    "gpr threshold changes the key" false
+    (key_of (base ())
+    = key_of { (base ()) with Statistical.a_gpr_threshold = 0.1 });
+  Alcotest.(check bool)
+    "design generator state changes the key" false
+    (key_of (base ())
+    = key_of (Statistical.adaptive_defaults (Rng.create 10)))
+
+(* A predictor whose model is the nonparametric GPR pair (forced by a
+   vanishing fallback threshold) must survive the store bitwise — the
+   training sets round-trip via Hexfloat and Gpr.refit rebuilds the
+   same posterior. *)
+let test_gpr_predictor_roundtrip_bitwise () =
+  let st = Store.open_ (fresh_dir ()) in
+  let prior = Lazy.force tiny_prior in
+  let ds =
+    Char_flow.simulate_dataset tech inv_fall
+      (Input_space.fitting_points tech ~k:4)
+  in
+  let p0 = Char_flow.train_bayes_on ~prior tech ds in
+  let p = Char_flow.with_gpr_fallback ~threshold:1e-12 tech ds p0 in
+  Alcotest.(check string) "fallback engaged" "model+gpr" p.Char_flow.label;
+  let prior_fp = Store.prior_fingerprint prior in
+  let key =
+    Store.predictor_key ~gpr:1e-12 ~prior_fp ~tech ~arc:inv_fall ~k:4
+      ~seed:None ()
+  in
+  Alcotest.(check bool)
+    "gpr threshold participates in the predictor key" false
+    (key = Store.predictor_key ~prior_fp ~tech ~arc:inv_fall ~k:4 ~seed:None ());
+  Store.put_predictor st ~key p;
+  match Store.find_predictor st ~key ~tech ~arc:inv_fall with
+  | None -> Alcotest.fail "gpr predictor not found after put"
+  | Some p' ->
+    Alcotest.(check string) "label" p.Char_flow.label p'.Char_flow.label;
+    Array.iter
+      (fun pt ->
+        check_bits "td prediction"
+          (p.Char_flow.predict_td pt)
+          (p'.Char_flow.predict_td pt);
+        check_bits "sout prediction"
+          (p.Char_flow.predict_sout pt)
+          (p'.Char_flow.predict_sout pt))
+      points3
 
 let () =
   Alcotest.run "slc_store"
@@ -521,5 +623,14 @@ let () =
             test_store_hit_telemetry;
           Alcotest.test_case "bayes key tracks prior content" `Slow
             test_population_bayes_key_tracks_prior;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "resume equals fresh (bitwise)" `Slow
+            test_adaptive_population_resume_equals_fresh;
+          Alcotest.test_case "key tracks acquisition params" `Quick
+            test_adaptive_key_sensitivity;
+          Alcotest.test_case "gpr predictor roundtrip" `Slow
+            test_gpr_predictor_roundtrip_bitwise;
         ] );
     ]

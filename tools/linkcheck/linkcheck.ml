@@ -1,0 +1,115 @@
+(* Markdown intra-repo link checker.
+
+   Usage: linkcheck <file.md | dir>...
+
+   Scans every named markdown file (directories are walked recursively
+   for *.md) for inline links — the [text](target) form — and verifies
+   that each repo-relative target exists on disk, resolved against the
+   linking file's directory.  External targets (http://, https://,
+   mailto:) and pure in-page anchors (#...) are skipped; a trailing
+   #anchor on a file target is stripped before the existence check
+   (anchor names are not validated).  Reference-style definitions
+   ([id]: target) are checked the same way.
+
+   Prints one "file:line: dead link -> target" per failure and exits
+   non-zero if any link is dead, so CI can gate on documentation rot.
+   No findings, no output. *)
+
+let failures = ref 0
+
+let is_external target =
+  let pre p =
+    String.length target >= String.length p
+    && String.sub target 0 (String.length p) = p
+  in
+  pre "http://" || pre "https://" || pre "mailto:"
+
+let check_target ~file ~line target =
+  let target = String.trim target in
+  (* "path#anchor" -> "path"; a bare "#anchor" is an in-page link. *)
+  let path =
+    match String.index_opt target '#' with
+    | Some 0 -> ""
+    | Some i -> String.sub target 0 i
+    | None -> target
+  in
+  if path <> "" && not (is_external path) then begin
+    let resolved =
+      if Filename.is_relative path then
+        Filename.concat (Filename.dirname file) path
+      else path
+    in
+    if not (Sys.file_exists resolved) then begin
+      Printf.printf "%s:%d: dead link -> %s\n" file line target;
+      incr failures
+    end
+  end
+
+(* Inline links on one line: find "](", take everything up to the
+   matching ')'.  Markdown allows a ' "title"' suffix inside the
+   parentheses — strip it. *)
+let scan_line ~file ~line s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if s.[!i] = ']' && s.[!i + 1] = '(' then begin
+      match String.index_from_opt s (!i + 2) ')' with
+      | Some close ->
+        let target = String.sub s (!i + 2) (close - !i - 2) in
+        let target =
+          match String.index_opt target ' ' with
+          | Some sp -> String.sub target 0 sp
+          | None -> target
+        in
+        check_target ~file ~line target;
+        i := close
+      | None -> incr i
+    end
+    else incr i
+  done;
+  (* Reference-style definition: "[id]: target" at line start. *)
+  let t = String.trim s in
+  if String.length t > 1 && t.[0] = '[' then
+    match String.index_opt t ']' with
+    | Some close
+      when close + 1 < String.length t
+           && t.[close + 1] = ':'
+           && (* not an inline link continuing with '(' *)
+           (close + 2 >= String.length t || t.[close + 2] = ' ') ->
+      let target = String.trim (String.sub t (close + 2) (String.length t - close - 2)) in
+      if target <> "" then check_target ~file ~line target
+    | _ -> ()
+
+let check_file file =
+  let ic = open_in file in
+  let line = ref 0 in
+  (try
+     while true do
+       incr line;
+       scan_line ~file ~line:!line (input_line ic)
+     done
+   with End_of_file -> ());
+  close_in ic
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry -> walk (Filename.concat path entry))
+      (Sys.readdir path)
+  else if Filename.check_suffix path ".md" then check_file path
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: linkcheck <file.md | dir>...";
+    exit 2
+  end;
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.printf "%s: no such file or directory\n" p;
+        incr failures
+      end
+      else walk p)
+    args;
+  exit (if !failures > 0 then 1 else 0)
