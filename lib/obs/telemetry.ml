@@ -113,7 +113,11 @@ let span_extract = make_span "statistical.extract_population"
 
 let span_baseline = make_span "statistical.monte_carlo_baseline"
 
-let with_span s f =
+let[@slc.det_ok
+     "wall-clock readings feed the span accumulators only, never a \
+      characterization result; the instrumented computation's value is \
+      returned unchanged (the CI telemetry run re-asserts bitwise \
+      equality with spans live)"] with_span s f =
   if not !enabled then f ()
   else begin
     let t0 = Unix.gettimeofday () in

@@ -387,6 +387,47 @@ let test_corrupt_checkpoint_discarded () =
   | _ -> Alcotest.fail "corrupt checkpoint should be discarded silently");
   check_pop_bitwise_equal fresh pop
 
+(* Regression: checkpoint entries are serialized in seed-index order,
+   not Hashtbl iteration order, so the on-disk bytes of an interrupted
+   run are reproducible.  (The loader rejects out-of-order entries, so
+   a fold-ordered writer would also break resume outright whenever the
+   table's internal order diverged from the index order.) *)
+let test_checkpoint_bytes_deterministic () =
+  let crashed_ckpt () =
+    let st = Store.open_ (fresh_dir ()) in
+    (match
+       store_extract st
+         ~after_batch:(fun n -> if n = 1 then raise Injected_crash)
+     with
+    | _ -> Alcotest.fail "crash did not propagate"
+    | exception Injected_crash -> ());
+    let key =
+      Store.population_key ~method_:Statistical.Lse
+        ~design:Statistical.Curated ~tech ~arc:inv_fall ~seeds:seeds4
+        ~budget:2 ~min_points:2
+    in
+    In_channel.with_open_text
+      (Store.artifact_path st `Population key ^ ".ckpt")
+      In_channel.input_all
+  in
+  let a = crashed_ckpt () in
+  let b = crashed_ckpt () in
+  Alcotest.(check string) "two interrupted runs checkpoint identically" a b;
+  let entry_indices =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "entry"; i ] -> Some (int_of_string i)
+        | _ -> None)
+      (String.split_on_char '\n' a)
+  in
+  Alcotest.(check bool) "checkpoint holds at least one entry" true
+    (entry_indices <> []);
+  Alcotest.(check (list int))
+    "entries appear in ascending seed order"
+    (List.sort compare entry_indices)
+    entry_indices
+
 let test_corrupt_final_artifact_raises () =
   let st = Store.open_ (fresh_dir ()) in
   ignore (store_extract st);
@@ -615,6 +656,8 @@ let () =
             test_population_resume_after_crash;
           Alcotest.test_case "corrupt checkpoint discarded" `Slow
             test_corrupt_checkpoint_discarded;
+          Alcotest.test_case "checkpoint bytes deterministic" `Slow
+            test_checkpoint_bytes_deterministic;
           Alcotest.test_case "corrupt final artifact raises" `Slow
             test_corrupt_final_artifact_raises;
           Alcotest.test_case "future-format artifact raises" `Slow

@@ -15,7 +15,10 @@
    non-zero if any link is dead, so CI can gate on documentation rot.
    No findings, no output. *)
 
-let failures = ref 0
+let[@slc.domain_safe
+     "linkcheck is a single-domain CLI tool; the counter is only ever \
+      touched from the main thread"] failures =
+  ref 0
 
 let is_external target =
   let pre p =

@@ -3,26 +3,48 @@
 
    Usage:
      slc_lint [--build-root DIR] [--baseline FILE] [--update-baseline]
-              [--treat-as-lib] PATH...
+              [--forbid-stale] [--treat-as-lib] [--rules R1,R5,...]
+              [--json FILE] [--dump-callgraph] PATH...
 
    PATHs are build-root-relative source prefixes (e.g. `lib`); any PATH
    ending in `.cmt` is linted directly instead (fixture/debug use).
 
-   Exit codes: 0 clean (or fully baselined), 1 findings, 2 usage/IO. *)
+   Stale baseline entries (keys that no longer fire) are always
+   reported; --forbid-stale additionally makes them fail the run, so a
+   committed baseline can never rot.
+
+   Exit codes: 0 clean (or fully baselined), 1 findings (or stale
+   baseline entries under --forbid-stale), 2 usage/IO. *)
 
 module Engine = Slc_lint_engine.Engine
 
 let usage () =
   prerr_endline
     "usage: slc_lint [--build-root DIR] [--baseline FILE] \
-     [--update-baseline] [--treat-as-lib] PATH...";
+     [--update-baseline] [--forbid-stale] [--treat-as-lib] \
+     [--rules R1,R5,...] [--json FILE] [--dump-callgraph] PATH...";
   exit 2
+
+let parse_rules s =
+  let ids = String.split_on_char ',' s in
+  List.map
+    (fun id ->
+      match Engine.rule_of_id (String.trim id) with
+      | Some r -> r
+      | None ->
+        Printf.eprintf "slc_lint: unknown rule %S (known: R1..R7)\n" id;
+        exit 2)
+    (List.filter (fun id -> String.trim id <> "") ids)
 
 let () =
   let build_root = ref "." in
   let baseline = ref None in
   let update_baseline = ref false in
+  let forbid_stale = ref false in
   let treat_as_lib = ref false in
+  let rules = ref Engine.all_rules in
+  let json = ref None in
+  let dump_callgraph = ref false in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -35,10 +57,22 @@ let () =
     | "--update-baseline" :: rest ->
       update_baseline := true;
       parse rest
+    | "--forbid-stale" :: rest ->
+      forbid_stale := true;
+      parse rest
     | "--treat-as-lib" :: rest ->
       treat_as_lib := true;
       parse rest
-    | ("--build-root" | "--baseline") :: [] -> usage ()
+    | "--rules" :: r :: rest ->
+      rules := parse_rules r;
+      parse rest
+    | "--json" :: f :: rest ->
+      json := Some f;
+      parse rest
+    | "--dump-callgraph" :: rest ->
+      dump_callgraph := true;
+      parse rest
+    | ("--build-root" | "--baseline" | "--rules" | "--json") :: [] -> usage ()
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
       usage ()
     | p :: rest ->
@@ -51,10 +85,30 @@ let () =
   let cmt_args, prefix_args =
     List.partition (fun p -> Filename.check_suffix p ".cmt") paths
   in
+  if !dump_callgraph then begin
+    (* Debugging aid: print the resolved def/use graph and stop. *)
+    List.iter
+      (fun p ->
+        match Engine.callgraph_cmt p with
+        | lines -> List.iter print_endline lines
+        | exception e ->
+          Printf.eprintf "slc_lint: cannot read %s: %s\n" p
+            (Printexc.to_string e);
+          exit 2)
+      cmt_args;
+    if prefix_args <> [] then begin
+      match Engine.callgraph_tree ~build_root:!build_root prefix_args with
+      | Ok lines -> List.iter print_endline lines
+      | Error msg ->
+        Printf.eprintf "slc_lint: %s\n" msg;
+        exit 2
+    end;
+    exit 0
+  end;
   let direct =
     List.concat_map
       (fun p ->
-        match Engine.lint_cmt ~treat_as_lib:!treat_as_lib p with
+        match Engine.lint_cmt ~treat_as_lib:!treat_as_lib ~rules:!rules p with
         | fs -> fs
         | exception e ->
           Printf.eprintf "slc_lint: cannot read %s: %s\n" p
@@ -67,7 +121,7 @@ let () =
     else begin
       match
         Engine.lint_tree ~build_root:!build_root ~treat_as_lib:!treat_as_lib
-          prefix_args
+          ~rules:!rules prefix_args
       with
       | Ok (fs, n) -> (fs, n)
       | Error msg ->
@@ -99,12 +153,25 @@ let () =
         Printf.eprintf "slc_lint: cannot read baseline: %s\n" msg;
         exit 2)
   in
-  let fresh =
-    List.filter (fun f -> not (List.mem (Engine.finding_key f) known)) findings
+  let fresh, baselined =
+    List.partition
+      (fun f -> not (List.mem (Engine.finding_key f) known))
+      findings
   in
+  let stale = Engine.stale_keys ~known findings in
+  (match !json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Engine.write_json
+      ~files_scanned:(scanned + List.length cmt_args)
+      ~fresh ~baselined ~stale oc;
+    close_out oc);
   List.iter (Engine.pp_finding stdout) fresh;
-  let suppressed = List.length findings - List.length fresh in
-  Printf.printf "slc_lint: %d finding(s) (%d baselined) in %d file(s)\n"
-    (List.length fresh) suppressed
+  List.iter
+    (fun k -> Printf.printf "stale baseline entry (no longer fires): %s\n" k)
+    stale;
+  Printf.printf "slc_lint: %d finding(s) (%d baselined, %d stale) in %d file(s)\n"
+    (List.length fresh) (List.length baselined) (List.length stale)
     (scanned + List.length cmt_args);
-  if fresh <> [] then exit 1
+  if fresh <> [] || (!forbid_stale && stale <> []) then exit 1

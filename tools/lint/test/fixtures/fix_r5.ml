@@ -1,0 +1,10 @@
+(* R5 fixture: a hot entry calls through a helper into an allocating leaf. *)
+let leaf_alloc x = (x, x)
+
+let mid x = fst (leaf_alloc x)
+
+let[@slc.alloc_ok "builds its pair once per call, amortized by the caller"] escaped x = (x, x)
+
+let[@slc.hot] hot_callee x = x + 1
+
+let[@slc.hot] hot_entry x = mid (hot_callee x) + snd (escaped x)

@@ -1,0 +1,8 @@
+(* R5 clean fixture: every reachable callee is allocation-free, hot, or escaped. *)
+let leaf_ok x = x * 2
+
+let[@slc.alloc_ok "builds the result pair once per call, not per iteration"] escaped x = (x, x)
+
+let[@slc.hot] helper x = leaf_ok x
+
+let[@slc.hot] hot_entry x = helper x + fst (escaped x)

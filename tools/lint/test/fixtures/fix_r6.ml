@@ -1,0 +1,37 @@
+(* R6 fixture: lock-order cycle and locks held across blocking calls. *)
+module Parallel = struct
+  let map f xs = Array.map f xs
+end
+
+let lock_a = Mutex.create ()
+
+let lock_b = Mutex.create ()
+
+let ab () =
+  Mutex.lock lock_a;
+  Mutex.lock lock_b;
+  Mutex.unlock lock_b;
+  Mutex.unlock lock_a
+
+let grab_a () =
+  Mutex.lock lock_a;
+  Mutex.unlock lock_a
+
+let ba_indirect () =
+  Mutex.lock lock_b;
+  grab_a ();
+  Mutex.unlock lock_b
+
+let held_across_map xs =
+  Mutex.lock lock_a;
+  let r = Parallel.map (fun x -> x + 1) xs in
+  Mutex.unlock lock_a;
+  r
+
+let submit xs = Parallel.map (fun x -> x * 2) xs
+
+let held_across_indirect xs =
+  Mutex.lock lock_b;
+  let r = submit xs in
+  Mutex.unlock lock_b;
+  r

@@ -1,0 +1,32 @@
+(* R6 clean fixture: one global lock order, blocking outside locks, and
+   a reasoned escape. *)
+module Parallel = struct
+  let map f xs = Array.map f xs
+end
+
+let lock_a = Mutex.create ()
+
+let lock_b = Mutex.create ()
+
+let ab () =
+  Mutex.lock lock_a;
+  Mutex.lock lock_b;
+  Mutex.unlock lock_b;
+  Mutex.unlock lock_a
+
+let ab_again () =
+  Mutex.lock lock_a;
+  Mutex.lock lock_b;
+  Mutex.unlock lock_b;
+  Mutex.unlock lock_a
+
+let map_outside xs =
+  Mutex.lock lock_a;
+  Mutex.unlock lock_a;
+  Parallel.map (fun x -> x + 1) xs
+
+let[@slc.lock_ok "test-only helper: the pool is quiesced before this runs"] held_escaped xs =
+  Mutex.lock lock_a;
+  let r = Parallel.map (fun x -> x * 2) xs in
+  Mutex.unlock lock_a;
+  r

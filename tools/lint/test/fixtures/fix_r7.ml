@@ -1,0 +1,14 @@
+(* R7 fixture: nondeterminism reachable from a determinism root. *)
+let stamp () = Unix.gettimeofday ()
+
+let close_enough (a : float) b = a == b
+
+let sum_table tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0
+
+let unreachable tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let[@slc.det_root] entry tbl =
+  let t = stamp () in
+  let s = sum_table tbl in
+  ignore (Sys.time ());
+  close_enough t s

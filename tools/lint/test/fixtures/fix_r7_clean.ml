@@ -1,0 +1,13 @@
+(* R7 clean fixture: escapes at the definition and the expression level. *)
+let[@slc.det_ok "wall clock feeds a log line only, never the result"] stamp () =
+  Unix.gettimeofday ()
+
+let sum_sorted tbl =
+  (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  [@slc.det_ok "folded list is sorted before use, erasing table order"])
+  |> List.sort compare
+  |> List.fold_left (fun acc (_, v) -> acc +. v) 0.0
+
+let[@slc.det_root] entry tbl =
+  ignore (stamp ());
+  sum_sorted tbl
